@@ -1,0 +1,91 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op's adjoint in this crate is verified by comparing the analytic
+//! gradient against a central finite difference. The check perturbs
+//! *parameter store* entries, so it exercises the full
+//! `param_full`/`param_rows` → ops → `backward` → `grads_into` path the
+//! models use in training.
+
+use crate::{Graph, ParamId, ParamStore, Var};
+use agnn_tensor::Matrix;
+
+/// Outcome of a gradient check for one parameter.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative difference (scaled by gradient magnitude).
+    pub max_rel_err: f32,
+}
+
+/// Checks the analytic gradient of `build`'s scalar output with respect to
+/// parameter `id`, using central differences with step `eps`.
+///
+/// `build` must be deterministic: any sampling (dropout masks, VAE noise)
+/// must be passed in as constants.
+///
+/// # Panics
+/// Panics if any error exceeds `tol` (both absolute and relative must fail
+/// for an element to count as a mismatch, so large gradients aren't held to
+/// an absolute standard that f32 cannot meet).
+pub fn check_param(
+    store: &mut ParamStore,
+    id: ParamId,
+    eps: f32,
+    tol: f32,
+    build: impl Fn(&mut Graph, &ParamStore) -> Var,
+) -> GradCheckReport {
+    // Analytic gradient.
+    store.zero_grads();
+    let mut g = Graph::new();
+    let loss = build(&mut g, store);
+    g.backward(loss);
+    g.grads_into(store);
+    let analytic = store.grad(id).clone();
+
+    // Numeric gradient.
+    let (rows, cols) = store.value(id).shape();
+    let mut numeric = Matrix::zeros(rows, cols);
+    for i in 0..rows * cols {
+        let orig = store.value(id).as_slice()[i];
+        store.value_mut(id).as_mut_slice()[i] = orig + eps;
+        let mut gp = Graph::new();
+        let lp = build(&mut gp, store);
+        let fp = gp.scalar(lp);
+        store.value_mut(id).as_mut_slice()[i] = orig - eps;
+        let mut gm = Graph::new();
+        let lm = build(&mut gm, store);
+        let fm = gm.scalar(lm);
+        store.value_mut(id).as_mut_slice()[i] = orig;
+        numeric.as_mut_slice()[i] = (fp - fm) / (2.0 * eps);
+    }
+
+    let mut max_abs_err = 0.0f32;
+    let mut max_rel_err = 0.0f32;
+    for (&a, &n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+        let abs = (a - n).abs();
+        let rel = abs / a.abs().max(n.abs()).max(1e-3);
+        max_abs_err = max_abs_err.max(abs);
+        max_rel_err = max_rel_err.max(rel);
+        assert!(
+            abs <= tol || rel <= tol,
+            "gradcheck failed for {}: analytic {a} vs numeric {n} (abs {abs}, rel {rel})",
+            store.name(id)
+        );
+    }
+    store.zero_grads();
+    GradCheckReport { max_abs_err, max_rel_err }
+}
+
+/// Convenience: checks every parameter currently registered in the store.
+pub fn check_all_params(
+    store: &mut ParamStore,
+    eps: f32,
+    tol: f32,
+    build: impl Fn(&mut Graph, &ParamStore) -> Var,
+) {
+    let ids: Vec<ParamId> = store.ids().collect();
+    for id in ids {
+        check_param(store, id, eps, tol, &build);
+    }
+}

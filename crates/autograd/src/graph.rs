@@ -1,0 +1,822 @@
+//! The computation tape: [`Graph`], [`Var`] handles, ops and their adjoints.
+//!
+//! Nodes are appended in construction order, which is a topological order of
+//! the DAG, so `backward` is a single reverse sweep over the tape — no
+//! explicit sorting. Ops are an enum rather than boxed closures (DESIGN.md
+//! §5.1): cheaper, inspectable in tests, and `match`-exhaustive so a new op
+//! cannot silently ship without an adjoint.
+
+use crate::param::{ParamId, ParamStore};
+use agnn_tensor::{ops, Matrix};
+use rand::Rng;
+use std::rc::Rc;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// How a tape node was produced; parents are earlier tape positions.
+/// Some payloads (scalars recorded at forward time) are not needed by the
+/// adjoints but are kept for debuggability of tape dumps.
+#[derive(Clone, Debug)]
+#[allow(dead_code)]
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    AddRowBroadcast(Var, Var),
+    MulRowBroadcast(Var, Var),
+    MulColBroadcast(Var, Var),
+    Concat(Vec<Var>),
+    GatherRows(Var, Rc<Vec<usize>>),
+    SegmentMeanRows(Var, usize),
+    SegmentSumRows(Var, usize),
+    SegmentSumRowsVar(Var, Rc<Vec<usize>>),
+    SegmentMeanRowsVar(Var, Rc<Vec<usize>>),
+    RepeatRows(Var, usize),
+    LeakyRelu(Var, f32),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    Ln(Var),
+    SqrtEps(Var, f32),
+    Square(Var),
+    Abs(Var),
+    Neg(Var),
+    Dropout(Var, Rc<Matrix>),
+    SumAll(Var),
+    MeanAll(Var),
+    SumRows(Var),
+    SumCols(Var),
+    SegmentSoftmaxCol(Var, usize),
+    Reshape(Var, usize, usize),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    requires_grad: bool,
+}
+
+enum Binding {
+    Full(ParamId, Var),
+    Rows(ParamId, Rc<Vec<usize>>, Var),
+}
+
+/// A single forward pass: build ops, call [`Graph::backward`], then flush
+/// parameter gradients with [`Graph::grads_into`].
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    bindings: Vec<Binding>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        debug_assert!(value.all_finite() || !cfg!(debug_assertions), "non-finite value entering tape");
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v` (after `backward`), if any flowed.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// The value of a `1 × 1` node as a scalar.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar: node is {:?}", m.shape());
+        m.get(0, 0)
+    }
+
+    // --- leaves -------------------------------------------------------------
+
+    /// A constant leaf: no gradient is tracked through it.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// A leaf carrying a parameter's full value; its gradient is flushed back
+    /// by [`Graph::grads_into`].
+    pub fn param_full(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.value(id).clone(), Op::Leaf, true);
+        self.bindings.push(Binding::Full(id, v));
+        v
+    }
+
+    /// A leaf carrying selected *rows* of a parameter (embedding lookup).
+    /// Gradients scatter-add back into the parameter's gradient rows, so the
+    /// full table is never cloned onto the tape.
+    pub fn param_rows(&mut self, store: &ParamStore, id: ParamId, rows: Rc<Vec<usize>>) -> Var {
+        let gathered = store.value(id).gather_rows(&rows);
+        let v = self.push(gathered, Op::Leaf, true);
+        self.bindings.push(Binding::Rows(id, rows, v));
+        v
+    }
+
+    /// A trainable leaf not tied to the store (used by gradcheck tests).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    // --- ops ----------------------------------------------------------------
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::matmul(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::add(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::sub(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise (Hadamard) `a ⊙ b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::mul(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Mul(a, b), rg)
+    }
+
+    /// `s · a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = ops::scale(self.value(a), s);
+        let rg = self.rg(a);
+        self.push(value, Op::Scale(a, s), rg)
+    }
+
+    /// `a + s` elementwise.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = ops::map(self.value(a), |x| x + s);
+        let rg = self.rg(a);
+        self.push(value, Op::AddScalar(a, s), rg)
+    }
+
+    /// Adds the `1 × n` row vector `row` to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let value = ops::add_row_broadcast(self.value(a), self.value(row));
+        let rg = self.rg(a) || self.rg(row);
+        self.push(value, Op::AddRowBroadcast(a, row), rg)
+    }
+
+    /// Multiplies every row of `a` elementwise by the `1 × n` row vector.
+    pub fn mul_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let value = ops::mul_row_broadcast(self.value(a), self.value(row));
+        let rg = self.rg(a) || self.rg(row);
+        self.push(value, Op::MulRowBroadcast(a, row), rg)
+    }
+
+    /// Multiplies row `i` of `a` by the scalar `col[i]` of an `m × 1` column.
+    pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let value = ops::mul_col_broadcast(self.value(a), self.value(col));
+        let rg = self.rg(a) || self.rg(col);
+        self.push(value, Op::MulColBroadcast(a, col), rg)
+    }
+
+    /// Horizontal concatenation `[a₁; a₂; …]` along columns.
+    pub fn concat(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let value = Matrix::hconcat(&mats);
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(value, Op::Concat(parts.to_vec()), rg)
+    }
+
+    /// Gathers rows of `a` by index (rows may repeat).
+    pub fn gather_rows(&mut self, a: Var, rows: Rc<Vec<usize>>) -> Var {
+        let value = self.value(a).gather_rows(&rows);
+        let rg = self.rg(a);
+        self.push(value, Op::GatherRows(a, rows), rg)
+    }
+
+    /// Mean over each consecutive group of `g` rows.
+    pub fn segment_mean_rows(&mut self, a: Var, g: usize) -> Var {
+        let value = ops::segment_mean_rows(self.value(a), g);
+        let rg = self.rg(a);
+        self.push(value, Op::SegmentMeanRows(a, g), rg)
+    }
+
+    /// Sum over each consecutive group of `g` rows.
+    pub fn segment_sum_rows(&mut self, a: Var, g: usize) -> Var {
+        let value = ops::segment_sum_rows(self.value(a), g);
+        let rg = self.rg(a);
+        self.push(value, Op::SegmentSumRows(a, g), rg)
+    }
+
+    /// Sums rows over *variable-length* segments. `offsets` has `n+1`
+    /// monotone entries with `offsets[n] == a.rows()`; segment `i` covers
+    /// rows `offsets[i]..offsets[i+1]` (possibly empty → zero row).
+    ///
+    /// This is the ragged-pooling primitive for per-node attribute lists.
+    pub fn segment_sum_rows_var(&mut self, a: Var, offsets: Rc<Vec<usize>>) -> Var {
+        let value = segment_reduce_var(self.value(a), &offsets, false);
+        let rg = self.rg(a);
+        self.push(value, Op::SegmentSumRowsVar(a, offsets), rg)
+    }
+
+    /// Means rows over variable-length segments (empty segments → zero row).
+    pub fn segment_mean_rows_var(&mut self, a: Var, offsets: Rc<Vec<usize>>) -> Var {
+        let value = segment_reduce_var(self.value(a), &offsets, true);
+        let rg = self.rg(a);
+        self.push(value, Op::SegmentMeanRowsVar(a, offsets), rg)
+    }
+
+    /// Repeats each row `g` times.
+    pub fn repeat_rows(&mut self, a: Var, g: usize) -> Var {
+        let value = ops::repeat_rows(self.value(a), g);
+        let rg = self.rg(a);
+        self.push(value, Op::RepeatRows(a, g), rg)
+    }
+
+    /// LeakyReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let value = ops::leaky_relu(self.value(a), slope);
+        let rg = self.rg(a);
+        self.push(value, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = ops::relu(self.value(a));
+        let rg = self.rg(a);
+        self.push(value, Op::Relu(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = ops::sigmoid(self.value(a));
+        let rg = self.rg(a);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = ops::tanh(self.value(a));
+        let rg = self.rg(a);
+        self.push(value, Op::Tanh(a), rg)
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = ops::map(self.value(a), f32::exp);
+        let rg = self.rg(a);
+        self.push(value, Op::Exp(a), rg)
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = ops::map(self.value(a), f32::ln);
+        let rg = self.rg(a);
+        self.push(value, Op::Ln(a), rg)
+    }
+
+    /// Elementwise `sqrt(x + eps)`; the epsilon keeps the adjoint finite at 0.
+    pub fn sqrt_eps(&mut self, a: Var, eps: f32) -> Var {
+        assert!(eps >= 0.0, "sqrt_eps: negative eps {eps}");
+        let value = ops::map(self.value(a), |x| (x + eps).sqrt());
+        let rg = self.rg(a);
+        self.push(value, Op::SqrtEps(a, eps), rg)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = ops::map(self.value(a), |x| x * x);
+        let rg = self.rg(a);
+        self.push(value, Op::Square(a), rg)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let value = ops::map(self.value(a), f32::abs);
+        let rg = self.rg(a);
+        self.push(value, Op::Abs(a), rg)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = ops::scale(self.value(a), -1.0);
+        let rg = self.rg(a);
+        self.push(value, Op::Neg(a), rg)
+    }
+
+    /// Inverted dropout: zeroes each element with probability `p` and scales
+    /// survivors by `1/(1-p)` so the expectation is unchanged.
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout: p={p} outside [0,1)");
+        if p == 0.0 {
+            return a;
+        }
+        let keep = 1.0 - p;
+        let (r, c) = self.value(a).shape();
+        let mask = Matrix::from_fn(r, c, |_, _| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 });
+        self.dropout_with_mask(a, Rc::new(mask))
+    }
+
+    /// Dropout with an explicit mask (used by tests and masked-reconstruction
+    /// baselines that must reuse a mask).
+    pub fn dropout_with_mask(&mut self, a: Var, mask: Rc<Matrix>) -> Var {
+        let value = ops::mul(self.value(a), &mask);
+        let rg = self.rg(a);
+        self.push(value, Op::Dropout(a, mask), rg)
+    }
+
+    /// Sum of all elements as a `1 × 1` node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![ops::sum_all(self.value(a))]);
+        let rg = self.rg(a);
+        self.push(value, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements as a `1 × 1` node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![ops::mean_all(self.value(a))]);
+        let rg = self.rg(a);
+        self.push(value, Op::MeanAll(a), rg)
+    }
+
+    /// Column sums as a `1 × n` node.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let value = ops::sum_rows(self.value(a));
+        let rg = self.rg(a);
+        self.push(value, Op::SumRows(a), rg)
+    }
+
+    /// Row sums as an `m × 1` node.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let value = ops::sum_cols(self.value(a));
+        let rg = self.rg(a);
+        self.push(value, Op::SumCols(a), rg)
+    }
+
+    /// Softmax over each consecutive group of `g` entries of a column vector
+    /// (attention over fixed fan-out neighborhoods).
+    pub fn segment_softmax_col(&mut self, a: Var, g: usize) -> Var {
+        let value = ops::segment_softmax_col(self.value(a), g);
+        let rg = self.rg(a);
+        self.push(value, Op::SegmentSoftmaxCol(a, g), rg)
+    }
+
+    /// Reshape preserving row-major element order.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let value = self.value(a).reshape(rows, cols);
+        let rg = self.rg(a);
+        self.push(value, Op::Reshape(a, rows, cols), rg)
+    }
+
+    // --- backward -----------------------------------------------------------
+
+    fn accum(&mut self, v: Var, delta: Matrix) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(g) => ops::axpy(g, 1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Runs the reverse sweep from a `1 × 1` loss node, accumulating
+    /// gradients on every node that requires them.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward: loss must be 1x1, got {:?}", self.value(loss).shape());
+        assert!(self.rg(loss), "backward: loss does not depend on any trainable leaf");
+        self.nodes[loss.0].grad = Some(Matrix::ones(1, 1));
+
+        for i in (0..=loss.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else { continue };
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    if self.rg(a) {
+                        let da = ops::matmul_nt(&grad, self.value(b));
+                        self.accum(a, da);
+                    }
+                    if self.rg(b) {
+                        let db = ops::matmul_tn(self.value(a), &grad);
+                        self.accum(b, db);
+                    }
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, grad.clone());
+                    self.accum(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, grad.clone());
+                    self.accum(b, ops::scale(&grad, -1.0));
+                }
+                Op::Mul(a, b) => {
+                    if self.rg(a) {
+                        let da = ops::mul(&grad, self.value(b));
+                        self.accum(a, da);
+                    }
+                    if self.rg(b) {
+                        let db = ops::mul(&grad, self.value(a));
+                        self.accum(b, db);
+                    }
+                }
+                Op::Scale(a, s) => self.accum(a, ops::scale(&grad, s)),
+                Op::AddScalar(a, _) => self.accum(a, grad),
+                Op::AddRowBroadcast(a, row) => {
+                    self.accum(a, grad.clone());
+                    if self.rg(row) {
+                        self.accum(row, ops::sum_rows(&grad));
+                    }
+                }
+                Op::MulRowBroadcast(a, row) => {
+                    if self.rg(a) {
+                        let da = ops::mul_row_broadcast(&grad, self.value(row));
+                        self.accum(a, da);
+                    }
+                    if self.rg(row) {
+                        let prod = ops::mul(&grad, self.value(a));
+                        self.accum(row, ops::sum_rows(&prod));
+                    }
+                }
+                Op::MulColBroadcast(a, col) => {
+                    if self.rg(a) {
+                        let da = ops::mul_col_broadcast(&grad, self.value(col));
+                        self.accum(a, da);
+                    }
+                    if self.rg(col) {
+                        let prod = ops::mul(&grad, self.value(a));
+                        self.accum(col, ops::sum_cols(&prod));
+                    }
+                }
+                Op::Concat(parts) => {
+                    let widths: Vec<usize> = parts.iter().map(|&p| self.value(p).cols()).collect();
+                    let pieces = grad.hsplit(&widths);
+                    for (part, piece) in parts.into_iter().zip(pieces) {
+                        self.accum(part, piece);
+                    }
+                }
+                Op::GatherRows(a, rows) => {
+                    if self.rg(a) {
+                        let mut da = Matrix::zeros(self.value(a).rows(), self.value(a).cols());
+                        da.scatter_add_rows(&rows, &grad);
+                        self.accum(a, da);
+                    }
+                }
+                Op::SegmentMeanRows(a, g) => {
+                    let da = ops::scale(&ops::repeat_rows(&grad, g), 1.0 / g as f32);
+                    self.accum(a, da);
+                }
+                Op::SegmentSumRows(a, g) => {
+                    self.accum(a, ops::repeat_rows(&grad, g));
+                }
+                Op::SegmentSumRowsVar(a, offsets) => {
+                    let da = scatter_segments_var(&grad, &offsets, self.value(a).rows(), false);
+                    self.accum(a, da);
+                }
+                Op::SegmentMeanRowsVar(a, offsets) => {
+                    let da = scatter_segments_var(&grad, &offsets, self.value(a).rows(), true);
+                    self.accum(a, da);
+                }
+                Op::RepeatRows(a, g) => {
+                    self.accum(a, ops::segment_sum_rows(&grad, g));
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = self.value(a);
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(grad.as_slice())
+                            .map(|(&xv, &gv)| if xv >= 0.0 { gv } else { slope * gv })
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Relu(a) => {
+                    let x = self.value(a);
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(grad.as_slice())
+                            .map(|(&xv, &gv)| if xv > 0.0 { gv } else { 0.0 })
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = Matrix::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.as_slice()
+                            .iter()
+                            .zip(grad.as_slice())
+                            .map(|(&yv, &gv)| gv * yv * (1.0 - yv))
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = Matrix::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.as_slice()
+                            .iter()
+                            .zip(grad.as_slice())
+                            .map(|(&yv, &gv)| gv * (1.0 - yv * yv))
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Exp(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = ops::mul(&grad, y);
+                    self.accum(a, da);
+                }
+                Op::Ln(a) => {
+                    let x = self.value(a);
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice().iter().zip(grad.as_slice()).map(|(&xv, &gv)| gv / xv).collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::SqrtEps(a, _) => {
+                    let y = &self.nodes[i].value;
+                    let da = Matrix::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.as_slice()
+                            .iter()
+                            .zip(grad.as_slice())
+                            .map(|(&yv, &gv)| gv * 0.5 / yv.max(1e-12))
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Square(a) => {
+                    let x = self.value(a);
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice().iter().zip(grad.as_slice()).map(|(&xv, &gv)| gv * 2.0 * xv).collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Abs(a) => {
+                    let x = self.value(a);
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(grad.as_slice())
+                            .map(|(&xv, &gv)| if xv >= 0.0 { gv } else { -gv })
+                            .collect(),
+                    );
+                    self.accum(a, da);
+                }
+                Op::Neg(a) => self.accum(a, ops::scale(&grad, -1.0)),
+                Op::Dropout(a, mask) => {
+                    let da = ops::mul(&grad, &mask);
+                    self.accum(a, da);
+                }
+                Op::SumAll(a) => {
+                    let (r, c) = self.value(a).shape();
+                    self.accum(a, Matrix::full(r, c, grad.get(0, 0)));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.value(a).shape();
+                    let n = (r * c).max(1) as f32;
+                    self.accum(a, Matrix::full(r, c, grad.get(0, 0) / n));
+                }
+                Op::SumRows(a) => {
+                    let (r, c) = self.value(a).shape();
+                    let da = ops::add_row_broadcast(&Matrix::zeros(r, c), &grad);
+                    self.accum(a, da);
+                }
+                Op::SumCols(a) => {
+                    let (r, c) = self.value(a).shape();
+                    let da = ops::mul_col_broadcast(&Matrix::ones(r, c), &grad);
+                    self.accum(a, da);
+                }
+                Op::SegmentSoftmaxCol(a, g) => {
+                    // For each group with outputs y and incoming grad gr:
+                    // da_j = y_j * (gr_j - sum_k gr_k y_k)
+                    let y = &self.nodes[i].value;
+                    let rows = y.rows();
+                    let mut da = Matrix::zeros(rows, 1);
+                    for start in (0..rows).step_by(g) {
+                        let mut dotsum = 0.0f32;
+                        for j in start..start + g {
+                            dotsum += grad.get(j, 0) * y.get(j, 0);
+                        }
+                        for j in start..start + g {
+                            da.set(j, 0, y.get(j, 0) * (grad.get(j, 0) - dotsum));
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::Reshape(a, _, _) => {
+                    let (r, c) = self.value(a).shape();
+                    self.accum(a, grad.reshape(r, c));
+                }
+            }
+        }
+    }
+
+    /// Flushes accumulated leaf gradients back into the parameter store
+    /// (adding on top of whatever is already there, so gradients accumulate
+    /// across micro-batches until the optimizer zeroes them).
+    pub fn grads_into(&self, store: &mut ParamStore) {
+        for binding in &self.bindings {
+            match binding {
+                Binding::Full(id, v) => {
+                    if let Some(g) = self.grad(*v) {
+                        store.accumulate_grad(*id, g);
+                    }
+                }
+                Binding::Rows(id, rows, v) => {
+                    if let Some(g) = self.grad(*v) {
+                        store.accumulate_grad_rows(*id, rows, g);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward kernel shared by the variable-segment ops.
+fn segment_reduce_var(a: &Matrix, offsets: &[usize], mean: bool) -> Matrix {
+    assert!(offsets.len() >= 2 || (offsets.len() == 1 && a.rows() == 0), "segment offsets too short: {}", offsets.len());
+    let n = offsets.len() - 1;
+    assert_eq!(*offsets.last().expect("non-empty offsets"), a.rows(), "offsets end {} != {} rows", offsets.last().unwrap(), a.rows());
+    let cols = a.cols();
+    let mut out = Matrix::zeros(n, cols);
+    for i in 0..n {
+        let (lo, hi) = (offsets[i], offsets[i + 1]);
+        assert!(lo <= hi, "offsets not monotone at {i}: {lo} > {hi}");
+        if lo == hi {
+            continue;
+        }
+        let orow = out.row_mut(i);
+        for r in lo..hi {
+            for (o, &v) in orow.iter_mut().zip(a.row(r)) {
+                *o += v;
+            }
+        }
+        if mean {
+            let inv = 1.0 / (hi - lo) as f32;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Backward kernel: broadcast each grad row back over its segment.
+fn scatter_segments_var(grad: &Matrix, offsets: &[usize], in_rows: usize, mean: bool) -> Matrix {
+    let mut da = Matrix::zeros(in_rows, grad.cols());
+    let n = offsets.len() - 1;
+    for i in 0..n {
+        let (lo, hi) = (offsets[i], offsets[i + 1]);
+        if lo == hi {
+            continue;
+        }
+        let scale = if mean { 1.0 / (hi - lo) as f32 } else { 1.0 };
+        for r in lo..hi {
+            let dst = da.row_mut(r);
+            for (o, &g) in dst.iter_mut().zip(grad.row(i)) {
+                *o += scale * g;
+            }
+        }
+    }
+    da
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(r: usize, c: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(r, c, v.to_vec())
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1
+        let mut g = Graph::new();
+        let a = g.leaf(m(2, 2, &[1., 2., 3., 4.]));
+        let b = g.leaf(m(2, 2, &[5., 6., 7., 8.]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        // dA[i][k] = sum_j B[k][j] = row sums of B
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[11., 15., 11., 15.]);
+        // dB[k][j] = sum_i A[i][k] = col sums of A
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(1, 2, &[1., 2.]));
+        let c = g.constant(m(1, 2, &[3., 4.]));
+        let s = g.mul(a, c);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert!(g.grad(c).is_none());
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[3., 4.]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        // loss = sum(a + a) → da = 2
+        let mut g = Graph::new();
+        let a = g.leaf(m(1, 2, &[1., 1.]));
+        let s = g.add(a, a);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[2., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be 1x1")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(1, 2, &[1., 2.]));
+        g.backward(a);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(1, 3, &[1., 2., 3.]));
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let d = g.dropout(a, 0.0, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn segment_softmax_grad_sums_to_zero() {
+        // Softmax grad within a group is orthogonal to the all-ones vector.
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::col_vector(vec![0.2, -0.3, 1.0, 0.5]));
+        let s = g.segment_softmax_col(a, 2);
+        let w = g.constant(Matrix::col_vector(vec![1.0, 0.0, 0.0, 2.0]));
+        let prod = g.mul(s, w);
+        let loss = g.sum_all(prod);
+        g.backward(loss);
+        let da = g.grad(a).unwrap();
+        assert!((da.get(0, 0) + da.get(1, 0)).abs() < 1e-5);
+        assert!((da.get(2, 0) + da.get(3, 0)).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,35 @@
+//! The twelve baselines of Table 2, re-implemented on the same substrate as
+//! AGNN so comparisons isolate the *algorithmic* differences the paper
+//! discusses.
+//!
+//! | Group | Models |
+//! |---|---|
+//! | warm start | [`nfm::Nfm`], [`diffnet::DiffNet`], [`danser::Danser`], [`srmgcnn::SRmgcnn`], [`gcmc::GcMc`] |
+//! | normal cold start | [`stargcn::StarGcn`], [`metahin::MetaHin`], [`igmc::Igmc`] |
+//! | strict cold start | [`dropoutnet::DropoutNet`], [`llae::Llae`], [`hers::Hers`], [`metaemb::MetaEmb`] |
+//!
+//! Each implementation keeps the mechanism the paper's analysis hinges on —
+//! e.g. STAR-GCN convolves the *interaction* graph (so a strict cold node
+//! has nothing to convolve), LLAE regresses a user's *entire behaviour
+//! vector* from attributes (so its outputs live on the wrong scale for
+//! rating prediction), MetaEmb *generates* ID embeddings from attributes
+//! (so it stays competitive under strict cold start). All baselines receive
+//! the same attribute information as AGNN, per §4.1.4.
+
+pub mod common;
+pub mod danser;
+pub mod diffnet;
+pub mod dropoutnet;
+pub mod gcmc;
+pub mod hers;
+pub mod igmc;
+pub mod llae;
+pub mod metaemb;
+pub mod mf;
+pub mod metahin;
+pub mod nfm;
+pub mod registry;
+pub mod srmgcnn;
+pub mod stargcn;
+
+pub use registry::{build_baseline, BaselineKind};

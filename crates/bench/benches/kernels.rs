@@ -1,0 +1,121 @@
+//! Microbenchmarks of the substrate kernels that dominate training
+//! (DESIGN.md §5): matmul, autograd tape overhead, proximity scoring,
+//! graph construction, and one gated-GNN layer.
+
+use agnn_autograd::{Graph, ParamStore};
+use agnn_core::config::GnnKind;
+use agnn_core::gnn::GnnLayer;
+use agnn_graph::{CandidatePools, PoolConfig, ProximityMode};
+use agnn_tensor::{init, ops, SparseVec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[32usize, 128, 256] {
+        let a = init::normal(n, n, 1.0, &mut rng);
+        let b = init::normal(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_autograd_overhead(c: &mut Criterion) {
+    // Forward-only math vs full tape forward+backward on an identical MLP
+    // pass: the difference is the tape's bookkeeping + adjoint cost.
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = init::normal(128, 40, 1.0, &mut rng);
+    let w1 = init::xavier_uniform(40, 40, &mut rng);
+    let w2 = init::xavier_uniform(40, 1, &mut rng);
+
+    c.bench_function("forward_raw", |b| {
+        b.iter(|| {
+            let h = ops::leaky_relu(&ops::matmul(black_box(&x), &w1), 0.01);
+            let y = ops::matmul(&h, &w2);
+            black_box(ops::sum_all(&y))
+        })
+    });
+
+    let mut store = ParamStore::new();
+    let w1_id = store.add("w1", w1.clone());
+    let w2_id = store.add("w2", w2.clone());
+    c.bench_function("forward_backward_tape", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let w1v = g.param_full(&store, w1_id);
+            let w2v = g.param_full(&store, w2_id);
+            let h0 = g.matmul(xv, w1v);
+            let h = g.leaky_relu(h0, 0.01);
+            let y = g.matmul(h, w2v);
+            let l = g.sum_all(y);
+            g.backward(l);
+            g.grads_into(&mut store);
+            store.zero_grads();
+        })
+    });
+}
+
+fn random_attrs(n: usize, dim: usize, per_node: usize, rng: &mut StdRng) -> Vec<SparseVec> {
+    (0..n)
+        .map(|_| {
+            SparseVec::multi_hot(dim, (0..per_node).map(|_| rng.gen_range(0..dim as u32)))
+        })
+        .collect()
+}
+
+fn bench_proximity_and_pools(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let attrs = random_attrs(500, 60, 5, &mut rng);
+    c.bench_function("proximity_pools_500", |b| {
+        b.iter(|| {
+            CandidatePools::build(
+                black_box(&attrs),
+                None,
+                PoolConfig { top_percent: 5.0, mode: ProximityMode::AttributeOnly, ..PoolConfig::default() },
+            )
+        })
+    });
+
+    let pools = CandidatePools::build(
+        &attrs,
+        None,
+        PoolConfig { top_percent: 5.0, mode: ProximityMode::AttributeOnly, ..PoolConfig::default() },
+    );
+    c.bench_function("dynamic_sampling_128x10", |b| {
+        let mut srng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            for node in 0..128u32 {
+                black_box(pools.sample_neighbors(node % 500, 10, &mut srng));
+            }
+        })
+    });
+}
+
+fn bench_gated_gnn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let layer = GnnLayer::new(&mut store, "g", 40, GnnKind::Gated, 0.01, &mut rng);
+    let target = init::normal(128, 40, 0.5, &mut rng);
+    let neighbors = init::normal(1280, 40, 0.5, &mut rng);
+    c.bench_function("gated_gnn_layer_128x10x40", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let t = g.constant(target.clone());
+            let n = g.constant(neighbors.clone());
+            black_box(layer.forward(&mut g, &store, t, n, 10))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_autograd_overhead, bench_proximity_and_pools, bench_gated_gnn
+}
+criterion_main!(benches);

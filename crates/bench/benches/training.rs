@@ -1,0 +1,68 @@
+//! End-to-end training benches: one AGNN epoch at two dataset sizes
+//! (the §5.2 linear-scaling claim at Criterion precision) and one epoch of
+//! the cheapest/most expensive baselines for context.
+
+use agnn_baselines::common::BaselineConfig;
+use agnn_baselines::{build_baseline, BaselineKind};
+use agnn_core::model::RatingModel;
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_agnn_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agnn_train_scaling");
+    group.sample_size(10);
+    for &scale in &[0.06f64, 0.12] {
+        let data = Preset::Ml100k.generate(scale, 5);
+        let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 5));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("scale_{scale}")), &scale, |b, _| {
+            b.iter(|| {
+                let mut model = Agnn::new(AgnnConfig { epochs: 1, seed: 5, ..AgnnConfig::default() });
+                black_box(model.fit(&data, &split))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_epochs(c: &mut Criterion) {
+    let data = Preset::Ml100k.generate(0.08, 6);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 6));
+    let mut group = c.benchmark_group("baseline_one_epoch");
+    group.sample_size(10);
+    for kind in [BaselineKind::Nfm, BaselineKind::StarGcn, BaselineKind::MetaEmb] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut model = build_baseline(k, BaselineConfig { epochs: 1, seed: 6, ..BaselineConfig::default() });
+                black_box(model.fit(&data, &split))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnn_depth_ablation(c: &mut Criterion) {
+    // DESIGN.md §5: cost of stacking gated-GNN hops (receptive field vs
+    // compute — fanout^layers sampled nodes per target).
+    let data = Preset::Ml100k.generate(0.06, 7);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 7));
+    let mut group = c.benchmark_group("gnn_depth");
+    group.sample_size(10);
+    for layers in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, &l| {
+            b.iter(|| {
+                let mut model = Agnn::new(AgnnConfig { epochs: 1, gnn_layers: l, fanout: 5, seed: 7, ..AgnnConfig::default() });
+                black_box(model.fit(&data, &split))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_agnn_epoch, bench_baseline_epochs, bench_gnn_depth_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Minimal CLI parsing shared by the experiment binaries.
+
+use agnn_data::Preset;
+
+/// Parsed harness options.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Multiplier on the per-dataset default scales (1.0 = harness default,
+    /// *not* paper-full-size; see [`HarnessArgs::dataset_scale`]).
+    pub scale: f64,
+    /// Training epochs for every model.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Datasets to run (defaults to all three).
+    pub datasets: Vec<Preset>,
+    /// Output directory for JSON rows.
+    pub out_dir: String,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: 1.0, epochs: 8, seed: 7, datasets: Preset::ALL.to_vec(), out_dir: "results".into() }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments; panics with usage on error.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let _bin = argv.next();
+        while let Some(flag) = argv.next() {
+            let mut value = || argv.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+            match flag.as_str() {
+                "--scale" => out.scale = value().parse().expect("--scale takes a float"),
+                "--epochs" => out.epochs = value().parse().expect("--epochs takes an integer"),
+                "--seed" => out.seed = value().parse().expect("--seed takes an integer"),
+                "--out-dir" => out.out_dir = value(),
+                "--datasets" => {
+                    out.datasets = value()
+                        .split(',')
+                        .map(|s| Preset::from_name(s).unwrap_or_else(|| panic!("unknown dataset {s}")))
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale F] [--epochs N] [--seed N] [--datasets ml-100k,ml-1m,yelp] [--out-dir DIR]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(out.scale > 0.0, "--scale must be positive");
+        out
+    }
+
+    /// Default generator scale per dataset, tuned so the full experiment
+    /// suite finishes on a single core. The paper's full sizes are
+    /// `--scale` ≈ 2.9/12.5/20 respectively.
+    pub fn dataset_scale(&self, preset: Preset) -> f64 {
+        let base = match preset {
+            Preset::Ml100k => 0.35,
+            Preset::Ml1m => 0.08,
+            Preset::Yelp => 0.09,
+        };
+        (base * self.scale).min(1.0)
+    }
+
+    /// Generates a dataset at its harness scale.
+    pub fn generate(&self, preset: Preset) -> agnn_data::Dataset {
+        preset.generate(self.dataset_scale(preset), self.seed)
+    }
+
+    /// Learning rate used for *every* model on a dataset (per-dataset
+    /// tuning, applied uniformly so Table 2 compares models, not budgets).
+    /// The sparse social-attribute Yelp set needs the hotter rate.
+    pub fn lr_for(&self, preset: Preset) -> f32 {
+        match preset {
+            Preset::Yelp => 4e-3,
+            _ => 2e-3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> HarnessArgs {
+        HarnessArgs::parse(std::iter::once("bin".to_string()).chain(s.split_whitespace().map(String::from)))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.epochs, 8);
+        assert_eq!(a.datasets.len(), 3);
+        assert!((a.scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse("--scale 0.5 --epochs 3 --seed 9 --datasets ml-100k,yelp");
+        assert_eq!(a.epochs, 3);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.datasets, vec![Preset::Ml100k, Preset::Yelp]);
+        assert!(a.dataset_scale(Preset::Ml100k) < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        let _ = parse("--bogus 1");
+    }
+
+    #[test]
+    fn scale_clamped_to_one() {
+        let a = parse("--scale 100");
+        assert!(a.dataset_scale(Preset::Yelp) <= 1.0);
+    }
+}

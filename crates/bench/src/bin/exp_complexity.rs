@@ -1,0 +1,58 @@
+//! §5.2 — complexity analysis: training time per epoch should scale
+//! linearly in the number of non-zero interactions |R⁺| (at fixed fan-out
+//! and D), and roughly linearly in D.
+
+use agnn_bench::runner::{log_json, paper_split};
+use agnn_bench::HarnessArgs;
+use agnn_core::model::RatingModel;
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::{ColdStartKind, Preset};
+
+fn main() {
+    let args = HarnessArgs::parse(std::env::args());
+
+    println!("== §5.2 — per-epoch training time vs |R+| (D = 40) ==");
+    println!("{:>9} {:>12} {:>16} {:>18}", "scale", "|R+| train", "sec/epoch", "us per rating");
+    let mut per_rating = Vec::new();
+    for mult in [0.5, 0.75, 1.0, 1.5] {
+        let scale = (args.dataset_scale(Preset::Ml100k) * mult).min(1.0);
+        let data = Preset::Ml100k.generate(scale, args.seed);
+        let split = paper_split(&data, ColdStartKind::StrictItem, args.seed);
+        let cfg = AgnnConfig { epochs: 2, seed: args.seed, lr: args.lr_for(Preset::Ml100k), ..AgnnConfig::default() };
+        let mut model = Agnn::new(cfg);
+        let report = model.fit(&data, &split);
+        let sec_per_epoch = report.train_seconds / 2.0;
+        let us = sec_per_epoch / split.train.len() as f64 * 1e6;
+        per_rating.push(us);
+        println!("{:>9.3} {:>12} {:>16.2} {:>18.1}", scale, split.train.len(), sec_per_epoch, us);
+        log_json(&args.out_dir, "complexity", &serde_json::json!({
+            "sweep": "ratings", "scale": scale, "train_ratings": split.train.len(),
+            "sec_per_epoch": sec_per_epoch, "us_per_rating": us,
+        }));
+    }
+    let spread = per_rating.iter().cloned().fold(f64::MIN, f64::max)
+        / per_rating.iter().cloned().fold(f64::MAX, f64::min);
+    println!("per-rating cost spread across sizes: {spread:.2}x (≈1 ⇒ linear in |R+|)\n");
+
+    println!("== §5.2 — per-epoch training time vs D (fixed data) ==");
+    println!("{:>6} {:>16}", "D", "sec/epoch");
+    let data = Preset::Ml100k.generate(args.dataset_scale(Preset::Ml100k), args.seed);
+    let split = paper_split(&data, ColdStartKind::StrictItem, args.seed);
+    for d in [10usize, 20, 40, 80] {
+        let cfg = AgnnConfig {
+            embed_dim: d,
+            vae_latent_dim: (d / 2).max(2),
+            epochs: 2,
+            seed: args.seed,
+            lr: args.lr_for(Preset::Ml100k),
+            ..AgnnConfig::default()
+        };
+        let mut model = Agnn::new(cfg);
+        let report = model.fit(&data, &split);
+        let sec_per_epoch = report.train_seconds / 2.0;
+        println!("{:>6} {:>16.2}", d, sec_per_epoch);
+        log_json(&args.out_dir, "complexity", &serde_json::json!({
+            "sweep": "dimension", "D": d, "sec_per_epoch": sec_per_epoch,
+        }));
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 8 — performance vs the strict-cold-start ratio {10%, 30%, 50%},
+//! AGNN against the three strongest baselines (DiffNet, STAR-GCN, MetaEmb).
+
+use agnn_baselines::common::BaselineConfig;
+use agnn_baselines::{build_baseline, BaselineKind};
+use agnn_bench::runner::{log_json, run_cell};
+use agnn_bench::HarnessArgs;
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::{ColdStartKind, Split, SplitConfig};
+
+fn main() {
+    let args = HarnessArgs::parse(std::env::args());
+    let ratios = [0.1f64, 0.3, 0.5];
+    let baselines = [BaselineKind::DiffNet, BaselineKind::StarGcn, BaselineKind::MetaEmb];
+    for &preset in &args.datasets {
+        let data = args.generate(preset);
+        for scenario in [ColdStartKind::StrictItem, ColdStartKind::StrictUser] {
+            println!("== Fig. 8 — {} {} (RMSE vs cold ratio) ==", preset.name(), scenario.abbrev());
+            print!("{:>7}", "ratio");
+            for b in baselines {
+                print!("{:>11}", b.label());
+            }
+            println!("{:>11}", "AGNN");
+            for ratio in ratios {
+                let split = Split::create(&data, SplitConfig { kind: scenario, test_fraction: ratio, seed: args.seed });
+                split.validate();
+                print!("{:>6}%", (ratio * 100.0) as u32);
+                for kind in baselines {
+                    let bcfg = BaselineConfig { epochs: args.epochs, seed: args.seed, lr: args.lr_for(preset), ..BaselineConfig::default() };
+                    let mut model = build_baseline(kind, bcfg);
+                    let cell = run_cell(model.as_mut(), &data, &split, scenario);
+                    log_json(&args.out_dir, "fig8", &serde_json::json!({
+                        "dataset": preset.name(), "scenario": scenario.abbrev(), "ratio": ratio,
+                        "model": kind.label(), "rmse": cell.rmse, "mae": cell.mae,
+                    }));
+                    print!("{:>11.4}", cell.rmse);
+                }
+                let mut agnn = Agnn::new(AgnnConfig { epochs: args.epochs, seed: args.seed, lr: args.lr_for(preset), ..AgnnConfig::default() });
+                let cell = run_cell(&mut agnn, &data, &split, scenario);
+                log_json(&args.out_dir, "fig8", &serde_json::json!({
+                    "dataset": preset.name(), "scenario": scenario.abbrev(), "ratio": ratio,
+                    "model": "AGNN", "rmse": cell.rmse, "mae": cell.mae,
+                }));
+                println!("{:>11.4}", cell.rmse);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Table 2 — main comparison: 12 baselines + AGNN, ICS/UCS/WS × 3 datasets,
+//! RMSE and MAE, with the paper's improvement row and paired-t significance
+//! markers (`*` p<0.01, `†` p<0.05) against the best baseline.
+
+use agnn_baselines::common::BaselineConfig;
+use agnn_baselines::{build_baseline, BaselineKind};
+use agnn_bench::runner::{log_json, paper_split, run_cell, CellResult};
+use agnn_bench::table::{improvement_row, render_metric_table};
+use agnn_bench::HarnessArgs;
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::{ColdStartKind, Preset};
+use agnn_metrics::paired_t_test;
+
+const SCENARIOS: [ColdStartKind; 3] =
+    [ColdStartKind::StrictItem, ColdStartKind::StrictUser, ColdStartKind::WarmStart];
+
+fn main() {
+    let args = HarnessArgs::parse(std::env::args());
+    let started = std::time::Instant::now();
+
+    for &preset in &args.datasets {
+        let data = args.generate(preset);
+        eprintln!("[table2] {} generated: {:?} ({:.1}s)", preset.name(), data.stats(), started.elapsed().as_secs_f64());
+
+        // results[scenario][model] = CellResult
+        let mut labels: Vec<String> = Vec::new();
+        let mut cells: Vec<Vec<Option<CellResult>>> = Vec::new();
+
+        fn row_for(
+            labels: &mut Vec<String>,
+            cells: &mut Vec<Vec<Option<CellResult>>>,
+            label: String,
+        ) -> usize {
+            if let Some(pos) = labels.iter().position(|l| *l == label) {
+                pos
+            } else {
+                labels.push(label);
+                cells.push(vec![None, None, None]);
+                labels.len() - 1
+            }
+        }
+
+        for (si, &scenario) in SCENARIOS.iter().enumerate() {
+            let split = paper_split(&data, scenario, args.seed);
+            let bcfg = BaselineConfig { epochs: args.epochs, seed: args.seed, lr: args.lr_for(preset), ..BaselineConfig::default() };
+            for kind in BaselineKind::ALL {
+                if preset == Preset::Yelp && !kind.scales_to_yelp() {
+                    let r = row_for(&mut labels, &mut cells, kind.label().to_string());
+                    cells[r][si] = None;
+                    continue;
+                }
+                let mut model = build_baseline(kind, bcfg);
+                let cell = run_cell(model.as_mut(), &data, &split, scenario);
+                eprintln!(
+                    "[table2] {} {} {}: rmse {:.4} mae {:.4} ({:.1}s train)",
+                    preset.name(),
+                    scenario.abbrev(),
+                    cell.spec.model,
+                    cell.rmse,
+                    cell.mae,
+                    cell.report.train_seconds
+                );
+                log_json(&args.out_dir, "table2", &cell.json_row());
+                let r = row_for(&mut labels, &mut cells, cell.spec.model.clone());
+                cells[r][si] = Some(cell);
+            }
+            let acfg = AgnnConfig { epochs: args.epochs, seed: args.seed, lr: args.lr_for(preset), ..AgnnConfig::default() };
+            let mut agnn = Agnn::new(acfg);
+            let cell = run_cell(&mut agnn, &data, &split, scenario);
+            eprintln!(
+                "[table2] {} {} AGNN: rmse {:.4} mae {:.4} ({:.1}s train)",
+                preset.name(),
+                scenario.abbrev(),
+                cell.rmse,
+                cell.mae,
+                cell.report.train_seconds
+            );
+            log_json(&args.out_dir, "table2", &cell.json_row());
+            let r = row_for(&mut labels, &mut cells, "AGNN".to_string());
+            cells[r][si] = Some(cell);
+        }
+
+        // Render RMSE and MAE tables with improvement + significance rows.
+        let columns: Vec<String> = SCENARIOS.iter().map(|s| s.abbrev().to_string()).collect();
+        for metric in ["RMSE", "MAE"] {
+            let pick = |c: &CellResult| if metric == "RMSE" { c.rmse } else { c.mae };
+            let mut rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+            for (label, row) in labels.iter().zip(&cells) {
+                rows.push((label.clone(), row.iter().map(|c| c.as_ref().map(&pick)).collect()));
+            }
+            // Improvement of AGNN over the best baseline.
+            let agnn_idx = labels.iter().position(|l| l == "AGNN").expect("AGNN row");
+            let baseline_rows: Vec<Vec<Option<f64>>> =
+                rows.iter().enumerate().filter(|&(i, _)| i != agnn_idx).map(|(_, r)| r.1.clone()).collect();
+            let imp = improvement_row(&rows[agnn_idx].1, &baseline_rows);
+            // Significance of AGNN vs best baseline per column.
+            let mut sig_marks = Vec::new();
+            for (si, _) in SCENARIOS.iter().enumerate() {
+                let agnn_cell = cells[agnn_idx][si].as_ref();
+                let best_base = cells
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != agnn_idx)
+                    .filter_map(|(_, row)| row[si].as_ref())
+                    .min_by(|a, b| pick(a).partial_cmp(&pick(b)).expect("finite"));
+                let mark = match (agnn_cell, best_base) {
+                    (Some(a), Some(b)) => {
+                        let (ea, eb) = if metric == "RMSE" {
+                            (a.accumulator.squared_errors(), b.accumulator.squared_errors())
+                        } else {
+                            (a.accumulator.absolute_errors(), b.accumulator.absolute_errors())
+                        };
+                        if ea.len() == eb.len() {
+                            paired_t_test(ea, eb).significance.marker().to_string()
+                        } else {
+                            "?".to_string()
+                        }
+                    }
+                    _ => String::new(),
+                };
+                sig_marks.push(mark);
+            }
+            println!(
+                "\n{}",
+                render_metric_table(&format!("Table 2 ({metric}) — {}", preset.name()), &columns, &rows)
+            );
+            print!("{:<14}", "Improvement");
+            for v in &imp {
+                match v {
+                    Some(p) => print!("{:>11.2}%", p),
+                    None => print!("{:>12}", "-"),
+                }
+            }
+            println!();
+            print!("{:<14}", "Significance");
+            for m in &sig_marks {
+                print!("{:>12}", if m.is_empty() { "n.s." } else { m.as_str() });
+            }
+            println!();
+        }
+    }
+    eprintln!("[table2] total {:.1}s", started.elapsed().as_secs_f64());
+}

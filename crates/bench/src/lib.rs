@@ -1,0 +1,28 @@
+//! Experiment harness for the AGNN reproduction.
+//!
+//! One binary per table/figure (see DESIGN.md §4):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `exp_table1` | Table 1 (dataset statistics) |
+//! | `exp_table2` | Table 2 (main comparison, 13 systems × 3 datasets × ICS/UCS/WS) |
+//! | `exp_table3` | Table 3 (ablation study) |
+//! | `exp_table4` | Table 4 (replacement study) |
+//! | `exp_fig5`   | Fig. 5 (latent dimension sweep) |
+//! | `exp_fig6`   | Fig. 6 (λ sweep) |
+//! | `exp_fig7`   | Fig. 7 (candidate threshold `p` sweep) |
+//! | `exp_fig8`   | Fig. 8 (strict-cold-start ratio sweep) |
+//! | `exp_fig9`   | Fig. 9 (training curves) |
+//! | `exp_complexity` | §5.2 (linear scaling in interactions / D) |
+//!
+//! All binaries accept `--scale <f>` (multiplies the per-dataset default
+//! scales), `--epochs <n>`, `--seed <n>`, and `--datasets a,b,c`; each
+//! prints a paper-shaped table to stdout and appends JSON rows to
+//! `results/<exp>.jsonl`.
+
+pub mod args;
+pub mod runner;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use runner::{run_cell, CellResult, CellSpec};

@@ -1,0 +1,137 @@
+//! Fit/evaluate driver for one experiment cell, with JSON logging.
+
+use agnn_core::model::{evaluate, RatingModel, TrainReport};
+use agnn_data::{ColdStartKind, Dataset, Split, SplitConfig};
+use agnn_metrics::EvalAccumulator;
+use serde::Serialize;
+use std::io::Write;
+
+/// Identity of one (model, dataset, scenario) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellSpec {
+    /// Model label as the paper prints it.
+    pub model: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Scenario label (`ICS`/`UCS`/`WS`).
+    pub scenario: String,
+}
+
+/// Result of one cell.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Cell identity.
+    pub spec: CellSpec,
+    /// RMSE on the held-out set.
+    pub rmse: f64,
+    /// MAE on the held-out set.
+    pub mae: f64,
+    /// Per-example errors, retained for significance testing.
+    pub accumulator: EvalAccumulator,
+    /// The training report (loss curves, wall-clock).
+    pub report: TrainReport,
+}
+
+/// Fits a model on the given split and evaluates it.
+pub fn run_cell(
+    model: &mut (impl RatingModel + ?Sized),
+    dataset: &Dataset,
+    split: &Split,
+    scenario: ColdStartKind,
+) -> CellResult {
+    let report = model.fit(dataset, split);
+    let accumulator = evaluate(model, dataset, &split.test);
+    let r = accumulator.finish();
+    CellResult {
+        spec: CellSpec {
+            model: model.name(),
+            dataset: dataset.name.clone(),
+            scenario: scenario.abbrev().to_string(),
+        },
+        rmse: r.rmse,
+        mae: r.mae,
+        accumulator,
+        report,
+    }
+}
+
+/// Creates the paper-default 20% split for a scenario (seeded).
+pub fn paper_split(dataset: &Dataset, kind: ColdStartKind, seed: u64) -> Split {
+    let split = Split::create(dataset, SplitConfig::paper_default(kind, seed));
+    split.validate();
+    split
+}
+
+/// Appends JSON rows to `<out_dir>/<exp>.jsonl` (one per call).
+pub fn log_json(out_dir: &str, exp: &str, row: &impl Serialize) {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = format!("{out_dir}/{exp}.jsonl");
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&path).expect("open results file");
+    let line = serde_json::to_string(row).expect("serialize result row");
+    writeln!(file, "{line}").expect("write results row");
+}
+
+/// Serializable summary row for the JSON logs.
+#[derive(Serialize)]
+pub struct JsonRow<'a> {
+    /// Cell identity.
+    #[serde(flatten)]
+    pub spec: &'a CellSpec,
+    /// RMSE.
+    pub rmse: f64,
+    /// MAE.
+    pub mae: f64,
+    /// Test-set size.
+    pub n: usize,
+    /// Training seconds.
+    pub train_seconds: f64,
+}
+
+impl CellResult {
+    /// JSON row view of this result.
+    pub fn json_row(&self) -> JsonRow<'_> {
+        JsonRow {
+            spec: &self.spec,
+            rmse: self.rmse,
+            mae: self.mae,
+            n: self.accumulator.len(),
+            train_seconds: self.report.train_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_data::Preset;
+
+    struct Mean(f32);
+    impl RatingModel for Mean {
+        fn name(&self) -> String {
+            "Mean".into()
+        }
+        fn fit(&mut self, _d: &Dataset, s: &Split) -> TrainReport {
+            self.0 = s.train_mean();
+            TrainReport::default()
+        }
+        fn predict_batch(&self, pairs: &[(u32, u32)]) -> Vec<f32> {
+            vec![self.0; pairs.len()]
+        }
+    }
+
+    #[test]
+    fn cell_runs_and_logs() {
+        let data = Preset::Ml100k.generate(0.06, 3);
+        let split = paper_split(&data, ColdStartKind::WarmStart, 3);
+        let mut m = Mean(0.0);
+        let cell = run_cell(&mut m, &data, &split, ColdStartKind::WarmStart);
+        assert_eq!(cell.spec.scenario, "WS");
+        assert!(cell.rmse > 0.0);
+        let dir = std::env::temp_dir().join("agnn-bench-test");
+        let dir = dir.to_str().unwrap();
+        log_json(dir, "unit", &cell.json_row());
+        let content = std::fs::read_to_string(format!("{dir}/unit.jsonl")).unwrap();
+        assert!(content.contains("\"model\":\"Mean\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

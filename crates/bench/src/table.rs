@@ -1,0 +1,79 @@
+//! Paper-shaped plain-text table rendering.
+
+/// Renders a table: a header row, then rows of (label, cells); the best
+/// (minimum) value per column is marked with `*` like the paper's bold.
+pub fn render_metric_table(title: &str, columns: &[String], rows: &[(String, Vec<Option<f64>>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let label_w = rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(10)).max().unwrap_or(10) + 2;
+    let cell_w = 12usize;
+    out.push_str(&format!("{:label_w$}", ""));
+    for c in columns {
+        out.push_str(&format!("{c:>cell_w$}"));
+    }
+    out.push('\n');
+    // Column minima for highlighting.
+    let mins: Vec<Option<f64>> = (0..columns.len())
+        .map(|j| {
+            rows.iter()
+                .filter_map(|(_, cells)| cells.get(j).copied().flatten())
+                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+        })
+        .collect();
+    for (label, cells) in rows {
+        out.push_str(&format!("{label:label_w$}"));
+        for (j, cell) in cells.iter().enumerate() {
+            match cell {
+                Some(v) => {
+                    let mark = if mins[j].is_some_and(|m| (v - m).abs() < 1e-9) { "*" } else { " " };
+                    out.push_str(&format!("{:>w$}{mark}", format!("{v:.4}"), w = cell_w - 1));
+                }
+                None => out.push_str(&format!("{:>cell_w$}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an improvement row: percentage gain of `ours` over the best
+/// `baseline` value per column (negative = we lose).
+pub fn improvement_row(ours: &[Option<f64>], baselines: &[Vec<Option<f64>>]) -> Vec<Option<f64>> {
+    (0..ours.len())
+        .map(|j| {
+            let our = ours[j]?;
+            let best = baselines
+                .iter()
+                .filter_map(|row| row.get(j).copied().flatten())
+                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))?;
+            Some((best - our) / best * 100.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_marks_minimum() {
+        let cols = vec!["ICS".to_string(), "WS".to_string()];
+        let rows = vec![
+            ("A".to_string(), vec![Some(1.10), Some(0.95)]),
+            ("B".to_string(), vec![Some(1.05), None]),
+        ];
+        let t = render_metric_table("demo", &cols, &rows);
+        assert!(t.contains("1.0500*"), "{t}");
+        assert!(t.contains("0.9500*"), "{t}");
+        assert!(t.contains('-'), "{t}");
+    }
+
+    #[test]
+    fn improvement_math() {
+        let ours = vec![Some(0.9), Some(1.2)];
+        let base = vec![vec![Some(1.0), Some(1.0)], vec![Some(1.1), Some(1.1)]];
+        let imp = improvement_row(&ours, &base);
+        assert!((imp[0].unwrap() - 10.0).abs() < 1e-9);
+        assert!((imp[1].unwrap() + 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! The `generate` / `train` / `predict` subcommands.
+
+use crate::opts::{parse_pairs, Opts};
+use agnn_baselines::common::BaselineConfig;
+use agnn_baselines::{build_baseline, BaselineKind};
+use agnn_core::model::{evaluate, RatingModel};
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::{ColdStartKind, Dataset, Preset, Split, SplitConfig};
+use serde::Serialize;
+
+/// CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Runs the CLI against parsed options; returns the text to print.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    match opts.command.as_str() {
+        "generate" => generate(opts),
+        "train" => train(opts),
+        "predict" => predict(opts),
+        other => Err(CliError(format!(
+            "unknown subcommand {other:?}; expected generate | train | predict"
+        ))),
+    }
+}
+
+fn load_dataset(opts: &Opts) -> Result<Dataset, CliError> {
+    let path = opts.required("data")?;
+    let text = std::fs::read_to_string(path)?;
+    let data: Dataset = serde_json::from_str(&text)?;
+    data.validate();
+    Ok(data)
+}
+
+fn scenario(opts: &Opts) -> Result<ColdStartKind, CliError> {
+    Ok(match opts.get("scenario").unwrap_or("ws") {
+        "ws" | "warm" => ColdStartKind::WarmStart,
+        "ics" | "item" => ColdStartKind::StrictItem,
+        "ucs" | "user" => ColdStartKind::StrictUser,
+        other => return Err(CliError(format!("unknown --scenario {other:?} (ws | ics | ucs)"))),
+    })
+}
+
+fn build_model(opts: &Opts) -> Result<Box<dyn RatingModel + Send>, CliError> {
+    let name = opts.get("model").unwrap_or("agnn");
+    let epochs: usize = opts.parse_or("epochs", 8usize)?;
+    let seed: u64 = opts.parse_or("seed", 7u64)?;
+    let lr: f32 = opts.parse_or("lr", 2e-3f32)?;
+    if name.eq_ignore_ascii_case("agnn") {
+        return Ok(Box::new(Agnn::new(AgnnConfig { epochs, seed, lr, ..AgnnConfig::default() })));
+    }
+    for kind in BaselineKind::ALL {
+        if kind.label().eq_ignore_ascii_case(name) {
+            let cfg = BaselineConfig { epochs, seed, lr, ..BaselineConfig::default() };
+            return Ok(build_baseline(kind, cfg));
+        }
+    }
+    Err(CliError(format!(
+        "unknown --model {name:?}; expected agnn or one of {:?}",
+        BaselineKind::ALL.map(|k| k.label())
+    )))
+}
+
+fn generate(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["preset", "scale", "seed", "out"])?;
+    let preset = Preset::from_name(opts.get("preset").unwrap_or("ml-100k"))
+        .ok_or_else(|| CliError("unknown --preset (ml-100k | ml-1m | yelp)".into()))?;
+    let scale: f64 = opts.parse_or("scale", 0.2f64)?;
+    let seed: u64 = opts.parse_or("seed", 7u64)?;
+    let data = preset.generate(scale, seed);
+    let stats = data.stats();
+    let out = opts.required("out")?;
+    std::fs::write(out, serde_json::to_string(&data)?)?;
+    Ok(format!(
+        "wrote {out}: {} users, {} items, {} ratings (sparsity {:.2}%)",
+        stats.users,
+        stats.items,
+        stats.ratings,
+        stats.sparsity * 100.0
+    ))
+}
+
+#[derive(Serialize)]
+struct TrainReportJson {
+    model: String,
+    scenario: String,
+    rmse: f64,
+    mae: f64,
+    n: usize,
+    train_seconds: f64,
+    epoch_pred_loss: Vec<f64>,
+    epoch_recon_loss: Vec<f64>,
+}
+
+fn train(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report"])?;
+    let data = load_dataset(opts)?;
+    let kind = scenario(opts)?;
+    let frac: f64 = opts.parse_or("test-fraction", 0.2f64)?;
+    let seed: u64 = opts.parse_or("seed", 7u64)?;
+    let split = Split::create(&data, SplitConfig { kind, test_fraction: frac, seed });
+    split.validate();
+    let mut model = build_model(opts)?;
+    let report = model.fit(&data, &split);
+    let result = evaluate(model.as_ref(), &data, &split.test).finish();
+    let json = TrainReportJson {
+        model: model.name(),
+        scenario: kind.abbrev().to_string(),
+        rmse: result.rmse,
+        mae: result.mae,
+        n: result.n,
+        train_seconds: report.train_seconds,
+        epoch_pred_loss: report.epochs.iter().map(|e| e.prediction).collect(),
+        epoch_recon_loss: report.epochs.iter().map(|e| e.reconstruction).collect(),
+    };
+    if let Some(path) = opts.get("report") {
+        std::fs::write(path, serde_json::to_string_pretty(&json)?)?;
+    }
+    Ok(format!(
+        "{} on {} [{}]: RMSE {:.4}  MAE {:.4}  (n = {}, {:.1}s train)",
+        json.model, data.name, json.scenario, json.rmse, json.mae, json.n, json.train_seconds
+    ))
+}
+
+fn predict(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "pairs"])?;
+    let data = load_dataset(opts)?;
+    let kind = scenario(opts)?;
+    let frac: f64 = opts.parse_or("test-fraction", 0.2f64)?;
+    let seed: u64 = opts.parse_or("seed", 7u64)?;
+    let split = Split::create(&data, SplitConfig { kind, test_fraction: frac, seed });
+    let pairs = parse_pairs(opts.required("pairs")?)?;
+    for &(u, i) in &pairs {
+        if u as usize >= data.num_users || i as usize >= data.num_items {
+            return Err(CliError(format!("pair {u}:{i} out of range ({} users, {} items)", data.num_users, data.num_items)));
+        }
+    }
+    let mut model = build_model(opts)?;
+    model.fit(&data, &split);
+    let preds = model.predict_batch(&pairs);
+    let mut out = String::new();
+    for (&(u, i), p) in pairs.iter().zip(preds) {
+        out.push_str(&format!("user {u} item {i}: {:.2}\n", data.clamp_rating(p)));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Opts;
+
+    fn opts(s: &str) -> Opts {
+        Opts::parse(std::iter::once("agnn".into()).chain(s.split_whitespace().map(String::from))).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("agnn-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn generate_then_train_then_predict_roundtrip() {
+        let data_path = tmp("roundtrip.json");
+        let msg = run(&opts(&format!("generate --preset ml-100k --scale 0.05 --seed 3 --out {data_path}"))).unwrap();
+        assert!(msg.contains("users"), "{msg}");
+
+        let report_path = tmp("report.json");
+        let msg = run(&opts(&format!(
+            "train --data {data_path} --model agnn --scenario ics --epochs 1 --report {report_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("RMSE"), "{msg}");
+        let report: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert_eq!(report["model"], "AGNN");
+        assert!(report["rmse"].as_f64().unwrap().is_finite());
+
+        let msg = run(&opts(&format!(
+            "predict --data {data_path} --model agnn --scenario ics --epochs 1 --pairs 0:1,2:3"
+        )))
+        .unwrap();
+        assert!(msg.lines().count() == 2, "{msg}");
+    }
+
+    #[test]
+    fn train_works_for_baseline_names() {
+        let data_path = tmp("baseline.json");
+        run(&opts(&format!("generate --preset ml-100k --scale 0.05 --seed 4 --out {data_path}"))).unwrap();
+        let msg = run(&opts(&format!("train --data {data_path} --model NFM --scenario ws --epochs 1"))).unwrap();
+        assert!(msg.starts_with("NFM"), "{msg}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&opts("explode")).is_err());
+        assert!(run(&opts("train --data /nonexistent.json")).is_err());
+        let data_path = tmp("err.json");
+        run(&opts(&format!("generate --preset ml-100k --scale 0.05 --seed 5 --out {data_path}"))).unwrap();
+        assert!(run(&opts(&format!("train --data {data_path} --model bogus"))).is_err());
+        assert!(run(&opts(&format!("train --data {data_path} --scenario bogus"))).is_err());
+        assert!(run(&opts(&format!("predict --data {data_path} --pairs 99999:0 --epochs 1"))).is_err());
+    }
+}

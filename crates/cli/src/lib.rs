@@ -1,0 +1,18 @@
+//! Library backing the `agnn` command-line tool.
+//!
+//! Three subcommands cover the zero-to-prediction path a downstream user
+//! walks:
+//!
+//! ```text
+//! agnn generate --preset ml-100k --scale 0.2 --seed 7 --out data.json
+//! agnn train    --data data.json --model agnn --scenario ics --epochs 8 --report report.json
+//! agnn predict  --data data.json --model agnn --scenario ics --pairs "0:5,0:12,3:5"
+//! ```
+//!
+//! Datasets travel as JSON (the [`agnn_data::Dataset`] serde form), so users
+//! can bring their own data by emitting the same schema.
+
+pub mod commands;
+pub mod opts;
+
+pub use commands::{run, CliError};

@@ -1,0 +1,21 @@
+//! `agnn` — dataset generation, training, and prediction from the shell.
+
+use agnn_cli::opts::Opts;
+
+fn main() {
+    let opts = match Opts::parse(std::env::args()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: agnn <generate|train|predict> [--flag value ...]");
+            std::process::exit(2);
+        }
+    };
+    match agnn_cli::run(&opts) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Flag parsing for the `agnn` binary (no external CLI crate needed).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opts {
+    /// The subcommand (`generate`, `train`, `predict`).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// Parses `argv` (including the binary name).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let _bin = argv.next();
+        let command = argv.next().ok_or("missing subcommand (generate | train | predict)")?;
+        let mut options = BTreeMap::new();
+        while let Some(flag) = argv.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag}"))?
+                .to_string();
+            let value = argv.next().ok_or_else(|| format!("missing value for --{key}"))?;
+            if options.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate flag --{key}"));
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    /// Required string option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.options.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Flags that were provided but not consumed by the command (typo guard).
+    pub fn assert_known(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key} for `{}`", self.command));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `"0:5,3:12"` into `(user, item)` pairs.
+pub fn parse_pairs(s: &str) -> Result<Vec<(u32, u32)>, String> {
+    s.split(',')
+        .map(|pair| {
+            let (u, i) = pair.split_once(':').ok_or_else(|| format!("pair {pair:?} is not user:item"))?;
+            Ok((
+                u.trim().parse().map_err(|_| format!("bad user id {u:?}"))?,
+                i.trim().parse().map_err(|_| format!("bad item id {i:?}"))?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(s: &str) -> Result<Opts, String> {
+        Opts::parse(std::iter::once("agnn".into()).chain(s.split_whitespace().map(String::from)))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let o = opts("train --data d.json --epochs 4").unwrap();
+        assert_eq!(o.command, "train");
+        assert_eq!(o.required("data").unwrap(), "d.json");
+        assert_eq!(o.parse_or("epochs", 0usize).unwrap(), 4);
+        assert_eq!(o.parse_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(opts("train --data").is_err());
+        assert!(opts("train --data a --data b").is_err());
+        assert!(opts("").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_guard() {
+        let o = opts("train --bogus 1").unwrap();
+        assert!(o.assert_known(&["data"]).is_err());
+        assert!(o.assert_known(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn pair_parsing() {
+        assert_eq!(parse_pairs("0:5, 3:12").unwrap(), vec![(0, 5), (3, 12)]);
+        assert!(parse_pairs("0-5").is_err());
+        assert!(parse_pairs("a:1").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Named constructors for every ablation (Table 3) and replacement
+//! (Table 4) variant, so the experiment harness can enumerate them.
+
+use crate::config::{AgnnConfig, AgnnVariant, ColdStartModule, GnnKind, GraphKind};
+use crate::Agnn;
+use agnn_graph::ProximityMode;
+
+/// A named variant row as the tables print it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VariantName {
+    /// The full model.
+    Full,
+    // --- Table 3 (ablation) ---
+    /// `AGNN_PP`: preference proximity only.
+    PreferenceProximityOnly,
+    /// `AGNN_AP`: attribute proximity only.
+    AttributeProximityOnly,
+    /// `AGNN_-gGNN`: no gated-GNN.
+    NoGatedGnn,
+    /// `AGNN_-agate`: no aggregate gate.
+    NoAggregateGate,
+    /// `AGNN_-fgate`: no filter gate.
+    NoFilterGate,
+    /// `AGNN_-eVAE`: no eVAE.
+    NoEVae,
+    /// `AGNN_VAE`: standard VAE (no approximation term).
+    PlainVae,
+    // --- Table 4 (replacement) ---
+    /// `AGNN_knn`: static kNN graph.
+    KnnGraph,
+    /// `AGNN_cop`: co-purchase graph.
+    CoPurchaseGraph,
+    /// `AGNN_GCN`: GCN aggregation.
+    Gcn,
+    /// `AGNN_GAT`: GAT aggregation.
+    Gat,
+    /// `AGNN_mask`: STAR-GCN mask technique.
+    Mask,
+    /// `AGNN_drop`: DropoutNet dropout technique.
+    Dropout,
+    /// `AGNN_LLAE`: LLAE reconstruction, no gated-GNN.
+    Llae,
+    /// `AGNN_LLAE+`: LLAE reconstruction with gated-GNN.
+    LlaePlus,
+}
+
+impl VariantName {
+    /// The Table 3 rows, in paper order (full model first).
+    pub const TABLE3: [VariantName; 8] = [
+        VariantName::Full,
+        VariantName::PreferenceProximityOnly,
+        VariantName::AttributeProximityOnly,
+        VariantName::NoGatedGnn,
+        VariantName::NoAggregateGate,
+        VariantName::NoFilterGate,
+        VariantName::NoEVae,
+        VariantName::PlainVae,
+    ];
+
+    /// The Table 4 rows, in paper order (full model first).
+    pub const TABLE4: [VariantName; 9] = [
+        VariantName::Full,
+        VariantName::KnnGraph,
+        VariantName::CoPurchaseGraph,
+        VariantName::Gcn,
+        VariantName::Gat,
+        VariantName::Mask,
+        VariantName::Dropout,
+        VariantName::Llae,
+        VariantName::LlaePlus,
+    ];
+
+    /// The row label the paper uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            VariantName::Full => "AGNN",
+            VariantName::PreferenceProximityOnly => "AGNN_PP",
+            VariantName::AttributeProximityOnly => "AGNN_AP",
+            VariantName::NoGatedGnn => "AGNN_-gGNN",
+            VariantName::NoAggregateGate => "AGNN_-agate",
+            VariantName::NoFilterGate => "AGNN_-fgate",
+            VariantName::NoEVae => "AGNN_-eVAE",
+            VariantName::PlainVae => "AGNN_VAE",
+            VariantName::KnnGraph => "AGNN_knn",
+            VariantName::CoPurchaseGraph => "AGNN_cop",
+            VariantName::Gcn => "AGNN_GCN",
+            VariantName::Gat => "AGNN_GAT",
+            VariantName::Mask => "AGNN_mask",
+            VariantName::Dropout => "AGNN_drop",
+            VariantName::Llae => "AGNN_LLAE",
+            VariantName::LlaePlus => "AGNN_LLAE+",
+        }
+    }
+
+    /// The variant switches realizing this row.
+    pub fn variant(self) -> AgnnVariant {
+        let base = AgnnVariant::default();
+        match self {
+            VariantName::Full => base,
+            VariantName::PreferenceProximityOnly => AgnnVariant { graph: GraphKind::Dynamic(ProximityMode::PreferenceOnly), ..base },
+            VariantName::AttributeProximityOnly => AgnnVariant { graph: GraphKind::Dynamic(ProximityMode::AttributeOnly), ..base },
+            VariantName::NoGatedGnn => AgnnVariant { gnn: GnnKind::None, ..base },
+            VariantName::NoAggregateGate => AgnnVariant { gnn: GnnKind::GatedNoAggregateGate, ..base },
+            VariantName::NoFilterGate => AgnnVariant { gnn: GnnKind::GatedNoFilterGate, ..base },
+            VariantName::NoEVae => AgnnVariant { cold: ColdStartModule::None, ..base },
+            VariantName::PlainVae => AgnnVariant { cold: ColdStartModule::Vae, ..base },
+            VariantName::KnnGraph => AgnnVariant { graph: GraphKind::StaticKnn, ..base },
+            VariantName::CoPurchaseGraph => AgnnVariant { graph: GraphKind::CoPurchase, ..base },
+            VariantName::Gcn => AgnnVariant { gnn: GnnKind::Gcn, ..base },
+            VariantName::Gat => AgnnVariant { gnn: GnnKind::Gat, ..base },
+            VariantName::Mask => AgnnVariant { cold: ColdStartModule::Mask, ..base },
+            VariantName::Dropout => AgnnVariant { cold: ColdStartModule::Dropout, ..base },
+            VariantName::Llae => AgnnVariant { cold: ColdStartModule::Llae, gnn: GnnKind::None, ..base },
+            VariantName::LlaePlus => AgnnVariant { cold: ColdStartModule::LlaePlus, ..base },
+        }
+    }
+
+    /// Builds the model with this variant applied to a base config.
+    pub fn build(self, base: AgnnConfig) -> Agnn {
+        Agnn::new(AgnnConfig { variant: self.variant(), ..base })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_validates() {
+        for v in VariantName::TABLE3.into_iter().chain(VariantName::TABLE4) {
+            let _ = v.build(AgnnConfig::default());
+        }
+    }
+
+    #[test]
+    fn llae_variant_has_no_gnn() {
+        assert_eq!(VariantName::Llae.variant().gnn, GnnKind::None);
+        assert_eq!(VariantName::LlaePlus.variant().gnn, GnnKind::Gated);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = VariantName::TABLE3
+            .into_iter()
+            .chain(VariantName::TABLE4)
+            .map(VariantName::label)
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 16); // 8 + 9 with AGNN shared
+    }
+}

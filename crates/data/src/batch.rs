@@ -1,0 +1,112 @@
+//! Mini-batch iteration over rating triples.
+
+use crate::dataset::Rating;
+use rand::prelude::*;
+
+/// Yields shuffled mini-batches of ratings, one epoch at a time.
+///
+/// The iterator reshuffles at the start of each [`BatchIter::epoch`] call, so
+/// a training loop is simply:
+///
+/// ```
+/// use agnn_data::batch::BatchIter;
+/// use agnn_data::Rating;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ratings = vec![Rating { user: 0, item: 0, value: 5.0 }; 10];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut batches = BatchIter::new(&ratings, 4);
+/// for _epoch in 0..2 {
+///     for batch in batches.epoch(&mut rng) {
+///         assert!(!batch.is_empty() && batch.len() <= 4);
+///     }
+/// }
+/// ```
+pub struct BatchIter<'a> {
+    ratings: &'a [Rating],
+    batch_size: usize,
+    order: Vec<u32>,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates an iterator over `ratings` with the given batch size.
+    pub fn new(ratings: &'a [Rating], batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self { ratings, batch_size, order: (0..ratings.len() as u32).collect() }
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.ratings.len().div_ceil(self.batch_size)
+    }
+
+    /// Reshuffles and returns this epoch's batches.
+    pub fn epoch(&mut self, rng: &mut impl Rng) -> impl Iterator<Item = Vec<Rating>> + '_ {
+        self.order.shuffle(rng);
+        let ratings = self.ratings;
+        self.order
+            .chunks(self.batch_size)
+            .map(move |chunk| chunk.iter().map(|&i| ratings[i as usize]).collect())
+    }
+}
+
+/// Splits a batch into the parallel arrays the models consume.
+pub fn unzip_batch(batch: &[Rating]) -> (Vec<usize>, Vec<usize>, Vec<f32>) {
+    let users = batch.iter().map(|r| r.user as usize).collect();
+    let items = batch.iter().map(|r| r.item as usize).collect();
+    let values = batch.iter().map(|r| r.value).collect();
+    (users, items, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ratings(n: usize) -> Vec<Rating> {
+        (0..n).map(|i| Rating { user: i as u32, item: 0, value: 3.0 }).collect()
+    }
+
+    #[test]
+    fn covers_every_rating_once_per_epoch() {
+        let rs = ratings(23);
+        let mut it = BatchIter::new(&rs, 5);
+        assert_eq!(it.batches_per_epoch(), 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let seen: Vec<u32> = it.epoch(&mut rng).flatten().map(|r| r.user).collect();
+        assert_eq!(seen.len(), 23);
+        let set: std::collections::BTreeSet<u32> = seen.into_iter().collect();
+        assert_eq!(set.len(), 23);
+    }
+
+    #[test]
+    fn shuffles_between_epochs() {
+        let rs = ratings(50);
+        let mut it = BatchIter::new(&rs, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let e1: Vec<u32> = it.epoch(&mut rng).flatten().map(|r| r.user).collect();
+        let e2: Vec<u32> = it.epoch(&mut rng).flatten().map(|r| r.user).collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn unzip_parallel_arrays() {
+        let batch = vec![
+            Rating { user: 1, item: 2, value: 3.0 },
+            Rating { user: 4, item: 5, value: 1.0 },
+        ];
+        let (u, i, v) = unzip_batch(&batch);
+        assert_eq!(u, vec![1, 4]);
+        assert_eq!(i, vec![2, 5]);
+        assert_eq!(v, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_ratings_yield_no_batches() {
+        let rs: Vec<Rating> = vec![];
+        let mut it = BatchIter::new(&rs, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(it.epoch(&mut rng).count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The in-memory dataset shared by every model and experiment.
+
+use crate::schema::AttributeSchema;
+use agnn_tensor::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// One explicit rating.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User id in `0..num_users`.
+    pub user: u32,
+    /// Item id in `0..num_items`.
+    pub item: u32,
+    /// Rating value on the dataset's scale.
+    pub value: f32,
+}
+
+/// A complete dataset: ids, attributes, ratings and (optionally) the planted
+/// ground truth used by diagnostic tests.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"ml-100k-like"`.
+    pub name: String,
+    /// Number of users `M`.
+    pub num_users: usize,
+    /// Number of items `N`.
+    pub num_items: usize,
+    /// User attribute schema.
+    pub user_schema: AttributeSchema,
+    /// Item attribute schema.
+    pub item_schema: AttributeSchema,
+    /// Per-user multi-hot attribute encodings.
+    pub user_attrs: Vec<SparseVec>,
+    /// Per-item multi-hot attribute encodings.
+    pub item_attrs: Vec<SparseVec>,
+    /// All explicit ratings.
+    pub ratings: Vec<Rating>,
+    /// Inclusive rating scale, e.g. `(1.0, 5.0)`.
+    pub rating_scale: (f32, f32),
+}
+
+/// Table-1-style summary statistics.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// `#Users`.
+    pub users: usize,
+    /// `#Items`.
+    pub items: usize,
+    /// `#Ratings`.
+    pub ratings: usize,
+    /// Fraction of empty cells in the rating matrix.
+    pub sparsity: f64,
+}
+
+impl Dataset {
+    /// Summary statistics (the paper's Table 1 row).
+    pub fn stats(&self) -> DatasetStats {
+        let cells = self.num_users as f64 * self.num_items as f64;
+        DatasetStats {
+            users: self.num_users,
+            items: self.num_items,
+            ratings: self.ratings.len(),
+            sparsity: if cells == 0.0 { 0.0 } else { 1.0 - self.ratings.len() as f64 / cells },
+        }
+    }
+
+    /// Mean rating over all interactions (the global bias `μ` seed).
+    pub fn global_mean(&self) -> f32 {
+        if self.ratings.is_empty() {
+            return 0.0;
+        }
+        self.ratings.iter().map(|r| r.value).sum::<f32>() / self.ratings.len() as f32
+    }
+
+    /// Clamps a prediction onto the rating scale (standard for RMSE evals).
+    pub fn clamp_rating(&self, v: f32) -> f32 {
+        v.clamp(self.rating_scale.0, self.rating_scale.1)
+    }
+
+    /// Per-user rating vectors over items (the *preference proximity* input;
+    /// built from the given rating subset, normally the training split).
+    pub fn user_preference_vectors(&self, ratings: &[Rating]) -> Vec<SparseVec> {
+        let mut pairs: Vec<Vec<(u32, f32)>> = vec![Vec::new(); self.num_users];
+        for r in ratings {
+            pairs[r.user as usize].push((r.item, r.value));
+        }
+        pairs
+            .into_iter()
+            .map(|p| SparseVec::from_pairs(self.num_items, p))
+            .collect()
+    }
+
+    /// Per-item rated-by vectors over users (item-side preference proximity).
+    pub fn item_preference_vectors(&self, ratings: &[Rating]) -> Vec<SparseVec> {
+        let mut pairs: Vec<Vec<(u32, f32)>> = vec![Vec::new(); self.num_items];
+        for r in ratings {
+            pairs[r.item as usize].push((r.user, r.value));
+        }
+        pairs
+            .into_iter()
+            .map(|p| SparseVec::from_pairs(self.num_users, p))
+            .collect()
+    }
+
+    /// Ratings as `(user, item, value)` triples (graph-construction input).
+    pub fn rating_triples(ratings: &[Rating]) -> Vec<(u32, u32, f32)> {
+        ratings.iter().map(|r| (r.user, r.item, r.value)).collect()
+    }
+
+    /// Validates internal consistency; called by tests and after generation.
+    pub fn validate(&self) {
+        assert_eq!(self.user_attrs.len(), self.num_users, "user_attrs length");
+        assert_eq!(self.item_attrs.len(), self.num_items, "item_attrs length");
+        for a in &self.user_attrs {
+            assert_eq!(a.dim(), self.user_schema.total_dim(), "user attr dim");
+        }
+        for a in &self.item_attrs {
+            assert_eq!(a.dim(), self.item_schema.total_dim(), "item attr dim");
+        }
+        let (lo, hi) = self.rating_scale;
+        for r in &self.ratings {
+            assert!((r.user as usize) < self.num_users, "rating user {} out of range", r.user);
+            assert!((r.item as usize) < self.num_items, "rating item {} out of range", r.item);
+            assert!(r.value >= lo && r.value <= hi, "rating {} outside scale [{lo},{hi}]", r.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeSchema;
+
+    fn toy() -> Dataset {
+        let user_schema = AttributeSchema::new(vec![("g", 2)]);
+        let item_schema = AttributeSchema::new(vec![("c", 3)]);
+        Dataset {
+            name: "toy".into(),
+            num_users: 2,
+            num_items: 3,
+            user_attrs: vec![user_schema.encode(&[vec![0]]), user_schema.encode(&[vec![1]])],
+            item_attrs: vec![
+                item_schema.encode(&[vec![0]]),
+                item_schema.encode(&[vec![1]]),
+                item_schema.encode(&[vec![2]]),
+            ],
+            user_schema,
+            item_schema,
+            ratings: vec![
+                Rating { user: 0, item: 0, value: 5.0 },
+                Rating { user: 0, item: 2, value: 3.0 },
+                Rating { user: 1, item: 2, value: 1.0 },
+            ],
+            rating_scale: (1.0, 5.0),
+        }
+    }
+
+    #[test]
+    fn stats_and_mean() {
+        let d = toy();
+        d.validate();
+        let s = d.stats();
+        assert_eq!((s.users, s.items, s.ratings), (2, 3, 3));
+        assert!((s.sparsity - 0.5).abs() < 1e-12);
+        assert!((d.global_mean() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preference_vectors() {
+        let d = toy();
+        let up = d.user_preference_vectors(&d.ratings);
+        assert_eq!(up.len(), 2);
+        assert_eq!(up[0].get(0), 5.0);
+        assert_eq!(up[0].get(2), 3.0);
+        assert_eq!(up[1].nnz(), 1);
+        let ip = d.item_preference_vectors(&d.ratings);
+        assert_eq!(ip[2].get(0), 3.0);
+        assert_eq!(ip[2].get(1), 1.0);
+        assert!(ip[1].is_empty());
+    }
+
+    #[test]
+    fn clamp_respects_scale() {
+        let d = toy();
+        assert_eq!(d.clamp_rating(7.3), 5.0);
+        assert_eq!(d.clamp_rating(-2.0), 1.0);
+        assert_eq!(d.clamp_rating(3.3), 3.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside scale")]
+    fn validate_catches_bad_rating() {
+        let mut d = toy();
+        d.ratings.push(Rating { user: 0, item: 0, value: 9.0 });
+        d.validate();
+    }
+}

@@ -1,0 +1,187 @@
+//! Generator presets mirroring the paper's three datasets (Table 1).
+
+use crate::generator::{FieldSpec, GeneratorConfig, SocialConfig, SyntheticGenerator};
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// The paper's datasets. `scale = 1.0` reproduces the published statistics;
+/// smaller scales shrink users/items linearly and ratings quadratically so
+/// the matrix *density* (Table 1's sparsity column) is preserved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preset {
+    /// MovieLens-100K-like: 943 users, 1,682 items, 100,000 ratings.
+    Ml100k,
+    /// MovieLens-1M-like: 6,040 users, 3,883 items, 1,000,209 ratings.
+    Ml1m,
+    /// Yelp-2017-like: 23,549 users, 17,139 items, 941,742 ratings; social
+    /// links serve as user attributes.
+    Yelp,
+}
+
+impl Preset {
+    /// All presets, in the order the paper's tables list them.
+    pub const ALL: [Preset; 3] = [Preset::Ml100k, Preset::Ml1m, Preset::Yelp];
+
+    /// Dataset name as printed by the harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Ml100k => "ML-100K",
+            Preset::Ml1m => "ML-1M",
+            Preset::Yelp => "Yelp",
+        }
+    }
+
+    /// Parses a harness CLI name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "ml-100k" | "ml100k" => Some(Preset::Ml100k),
+            "ml-1m" | "ml1m" => Some(Preset::Ml1m),
+            "yelp" => Some(Preset::Yelp),
+            _ => None,
+        }
+    }
+
+    /// Published full-scale statistics `(users, items, ratings)`.
+    pub fn paper_stats(self) -> (usize, usize, usize) {
+        match self {
+            Preset::Ml100k => (943, 1_682, 100_000),
+            Preset::Ml1m => (6_040, 3_883, 1_000_209),
+            Preset::Yelp => (23_549, 17_139, 941_742),
+        }
+    }
+
+    /// The generator configuration at the given scale.
+    ///
+    /// Movie attributes follow the paper: categories, stars, directors,
+    /// writers, countries for items; gender, age, occupation for users.
+    /// Attribute-pool sizes scale with the item count the way cast/crew
+    /// pools do in the real extended datasets.
+    pub fn config(self, scale: f64) -> GeneratorConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1], got {scale}");
+        let (u0, i0, r0) = self.paper_stats();
+        let num_users = ((u0 as f64 * scale).round() as usize).max(30);
+        let num_items = ((i0 as f64 * scale).round() as usize).max(30);
+        let mut num_ratings = ((r0 as f64 * scale * scale).round() as usize).max(500);
+        // Never ask for more ratings than 60% of the matrix (tiny scales).
+        num_ratings = num_ratings.min(num_users * num_items * 6 / 10);
+
+        let person_pool = |per_item: usize| (num_items * per_item / 3).clamp(20, 4000);
+        match self {
+            Preset::Ml100k | Preset::Ml1m => GeneratorConfig {
+                name: format!("{}-like(x{scale})", self.name()),
+                num_users,
+                num_items,
+                num_ratings,
+                user_fields: vec![
+                    FieldSpec::new("gender", 2, 1),
+                    FieldSpec::new("age", 7, 1),
+                    FieldSpec::new("occupation", 21, 1),
+                ],
+                item_fields: vec![
+                    FieldSpec::new("category", 18, 3),
+                    FieldSpec::new("star", person_pool(3), 3),
+                    FieldSpec::new("director", person_pool(1), 1),
+                    FieldSpec::new("writer", person_pool(1), 2),
+                    FieldSpec::new("country", 24, 1),
+                ],
+                latent_dim: 8,
+                attribute_signal: 0.7,
+                interaction_strength: 0.5,
+                latent_scale: 1.3,
+                bias_std: 0.35,
+                noise_std: 0.6,
+                global_mean: 3.6,
+                rating_scale: (1.0, 5.0),
+                round_to_integers: true,
+                popularity_exponent: 0.9,
+                activity_exponent: 0.7,
+                social: None,
+            },
+            Preset::Yelp => GeneratorConfig {
+                name: format!("Yelp-like(x{scale})"),
+                num_users,
+                num_items,
+                num_ratings,
+                user_fields: vec![],
+                item_fields: vec![
+                    FieldSpec::new("category", 80, 3),
+                    FieldSpec::new("state", 20, 1),
+                    FieldSpec::new("city", 120, 1),
+                ],
+                latent_dim: 8,
+                attribute_signal: 0.65,
+                interaction_strength: 0.5,
+                latent_scale: 1.2,
+                bias_std: 0.4,
+                noise_std: 0.7,
+                global_mean: 3.7,
+                rating_scale: (1.0, 5.0),
+                round_to_integers: true,
+                popularity_exponent: 1.0,
+                activity_exponent: 0.9,
+                social: Some(SocialConfig {
+                    communities: (num_users / 120).max(8),
+                    links_per_user: 12,
+                    within_prob: 0.85,
+                }),
+            },
+        }
+    }
+
+    /// Generates the dataset at `scale` from `seed`.
+    pub fn generate(self, scale: f64, seed: u64) -> Dataset {
+        SyntheticGenerator::new(self.config(scale)).generate(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_table1() {
+        for p in Preset::ALL {
+            let cfg = p.config(1.0);
+            let (u, i, r) = p.paper_stats();
+            assert_eq!(cfg.num_users, u);
+            assert_eq!(cfg.num_items, i);
+            assert_eq!(cfg.num_ratings, r);
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let full = Preset::Ml100k.config(1.0);
+        let half = Preset::Ml100k.config(0.5);
+        let density = |c: &crate::generator::GeneratorConfig| {
+            c.num_ratings as f64 / (c.num_users as f64 * c.num_items as f64)
+        };
+        let d1 = density(&full);
+        let d2 = density(&half);
+        assert!((d1 - d2).abs() / d1 < 0.05, "density {d1} vs {d2}");
+    }
+
+    #[test]
+    fn small_scale_generates_quickly_and_validates() {
+        let d = Preset::Ml100k.generate(0.15, 7);
+        d.validate();
+        let s = d.stats();
+        assert!(s.users >= 100 && s.items >= 200, "{s:?}");
+        assert!(s.sparsity > 0.8, "sparsity {}", s.sparsity);
+    }
+
+    #[test]
+    fn yelp_preset_uses_social_attrs() {
+        let d = Preset::Yelp.generate(0.02, 8);
+        assert_eq!(d.user_schema.total_dim(), d.num_users);
+        d.validate();
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Attribute schemas and multi-hot encoding (§3.1 of the paper).
+
+use agnn_tensor::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// One categorical attribute field, e.g. `gender` (2 values) or
+/// `occupation` (21 values). Multi-valued fields (movie genres) simply set
+/// several bits within their range.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttributeField {
+    /// Field name, for diagnostics.
+    pub name: String,
+    /// Number of distinct values.
+    pub cardinality: usize,
+}
+
+/// A concatenation of attribute fields defining the multi-hot encoding
+/// `a ∈ R^K` of the paper's §3.1 example.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttributeSchema {
+    fields: Vec<AttributeField>,
+    offsets: Vec<usize>,
+    total_dim: usize,
+}
+
+impl AttributeSchema {
+    /// Builds a schema from `(name, cardinality)` pairs.
+    pub fn new(fields: Vec<(&str, usize)>) -> Self {
+        let fields: Vec<AttributeField> = fields
+            .into_iter()
+            .map(|(name, cardinality)| {
+                assert!(cardinality > 0, "field {name} has zero cardinality");
+                AttributeField { name: name.to_string(), cardinality }
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(fields.len());
+        let mut acc = 0usize;
+        for f in &fields {
+            offsets.push(acc);
+            acc += f.cardinality;
+        }
+        Self { fields, offsets, total_dim: acc }
+    }
+
+    /// Total encoding dimension `K`.
+    pub fn total_dim(&self) -> usize {
+        self.total_dim
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[AttributeField] {
+        &self.fields
+    }
+
+    /// Offset of field `f` within the concatenated encoding.
+    pub fn offset(&self, f: usize) -> usize {
+        self.offsets[f]
+    }
+
+    /// Global encoding index for value `v` of field `f`.
+    pub fn index(&self, f: usize, v: usize) -> u32 {
+        assert!(v < self.fields[f].cardinality, "value {v} out of field {} (cardinality {})", self.fields[f].name, self.fields[f].cardinality);
+        (self.offsets[f] + v) as u32
+    }
+
+    /// Encodes per-field value lists into one multi-hot [`SparseVec`].
+    ///
+    /// `values[f]` lists the active values of field `f` (one for one-hot
+    /// fields, several for multi-valued fields, empty for missing data).
+    pub fn encode(&self, values: &[Vec<usize>]) -> SparseVec {
+        assert_eq!(values.len(), self.fields.len(), "encode: {} value lists for {} fields", values.len(), self.fields.len());
+        let indices = values
+            .iter()
+            .enumerate()
+            .flat_map(|(f, vs)| vs.iter().map(move |&v| self.index(f, v)));
+        SparseVec::multi_hot(self.total_dim, indices)
+    }
+
+    /// Decodes a multi-hot vector back into per-field value lists
+    /// (inverse of [`AttributeSchema::encode`]; diagnostics and tests).
+    pub fn decode(&self, vec: &SparseVec) -> Vec<Vec<usize>> {
+        assert_eq!(vec.dim(), self.total_dim, "decode: vector dim {} != schema dim {}", vec.dim(), self.total_dim);
+        let mut out = vec![Vec::new(); self.fields.len()];
+        for &idx in vec.indices() {
+            let f = match self.offsets.binary_search(&(idx as usize)) {
+                Ok(exact) => exact,
+                Err(ins) => ins - 1,
+            };
+            out[f].push(idx as usize - self.offsets[f]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user_schema() -> AttributeSchema {
+        AttributeSchema::new(vec![("gender", 2), ("age", 7), ("occupation", 21)])
+    }
+
+    #[test]
+    fn dims_and_offsets() {
+        let s = user_schema();
+        assert_eq!(s.total_dim(), 30);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 2);
+        assert_eq!(s.offset(2), 9);
+        assert_eq!(s.index(2, 20), 29);
+    }
+
+    #[test]
+    fn encode_matches_paper_example() {
+        // a_u = [0,1][1,0,...,0][0,1,0,...,0] → indices {1, 2, 10}
+        let s = user_schema();
+        let v = s.encode(&[vec![1], vec![0], vec![1]]);
+        assert_eq!(v.indices(), &[1, 2, 10]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = AttributeSchema::new(vec![("genre", 5), ("country", 3)]);
+        let values = vec![vec![0, 4], vec![2]];
+        let v = s.encode(&values);
+        assert_eq!(s.decode(&v), values);
+    }
+
+    #[test]
+    fn empty_field_allowed() {
+        let s = user_schema();
+        let v = s.encode(&[vec![], vec![3], vec![]]);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of field")]
+    fn value_out_of_cardinality_panics() {
+        let s = user_schema();
+        let _ = s.index(0, 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Train/test splits for warm start and strict cold start (§4.1.4).
+//!
+//! * **Warm start (WS)** — a random 20% of *interactions* is held out.
+//! * **Strict item cold start (ICS)** — a random 20% of *items* is held out:
+//!   every rating touching a held-out item moves to the test set, so those
+//!   items appear in training with **zero** interactions (only attributes).
+//! * **Strict user cold start (UCS)** — symmetric over users.
+//!
+//! Fig. 8 varies the held-out fraction over {10%, 30%, 50%}.
+
+use crate::dataset::{Dataset, Rating};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which evaluation scenario a split realizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColdStartKind {
+    /// Classic warm-start rating prediction.
+    WarmStart,
+    /// Strict cold start over users (UCS columns).
+    StrictUser,
+    /// Strict cold start over items (ICS columns).
+    StrictItem,
+}
+
+impl ColdStartKind {
+    /// Table-header abbreviation (`WS` / `UCS` / `ICS`).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ColdStartKind::WarmStart => "WS",
+            ColdStartKind::StrictUser => "UCS",
+            ColdStartKind::StrictItem => "ICS",
+        }
+    }
+}
+
+/// Split parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Scenario.
+    pub kind: ColdStartKind,
+    /// Held-out fraction (paper default 0.2; Fig. 8 sweeps 0.1/0.3/0.5).
+    pub test_fraction: f64,
+    /// RNG seed for the split itself.
+    pub seed: u64,
+}
+
+impl SplitConfig {
+    /// The paper's default 20% split for a scenario.
+    pub fn paper_default(kind: ColdStartKind, seed: u64) -> Self {
+        Self { kind, test_fraction: 0.2, seed }
+    }
+}
+
+/// A realized split.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Split {
+    /// Scenario this split realizes.
+    pub kind: ColdStartKind,
+    /// Training ratings.
+    pub train: Vec<Rating>,
+    /// Held-out ratings.
+    pub test: Vec<Rating>,
+    /// Users with zero training interactions by construction (UCS).
+    pub cold_users: BTreeSet<u32>,
+    /// Items with zero training interactions by construction (ICS).
+    pub cold_items: BTreeSet<u32>,
+}
+
+impl Split {
+    /// Creates a split of `dataset` per `config`.
+    pub fn create(dataset: &Dataset, config: SplitConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.test_fraction) && config.test_fraction > 0.0,
+            "test_fraction {} outside (0,1)",
+            config.test_fraction
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        match config.kind {
+            ColdStartKind::WarmStart => {
+                let mut idx: Vec<usize> = (0..dataset.ratings.len()).collect();
+                idx.shuffle(&mut rng);
+                let n_test = ((dataset.ratings.len() as f64) * config.test_fraction).round() as usize;
+                let test_set: BTreeSet<usize> = idx.into_iter().take(n_test).collect();
+                let (mut train, mut test) = (Vec::new(), Vec::new());
+                for (i, r) in dataset.ratings.iter().enumerate() {
+                    if test_set.contains(&i) {
+                        test.push(*r);
+                    } else {
+                        train.push(*r);
+                    }
+                }
+                Split { kind: config.kind, train, test, cold_users: BTreeSet::new(), cold_items: BTreeSet::new() }
+            }
+            ColdStartKind::StrictUser => {
+                let cold = choose_cold(dataset.num_users, config.test_fraction, &mut rng);
+                let (train, test) = partition(&dataset.ratings, |r| cold.contains(&r.user));
+                Split { kind: config.kind, train, test, cold_users: cold, cold_items: BTreeSet::new() }
+            }
+            ColdStartKind::StrictItem => {
+                let cold = choose_cold(dataset.num_items, config.test_fraction, &mut rng);
+                let (train, test) = partition(&dataset.ratings, |r| cold.contains(&r.item));
+                Split { kind: config.kind, train, test, cold_users: BTreeSet::new(), cold_items: cold }
+            }
+        }
+    }
+
+    /// Checks the strict-cold-start invariant: no training rating touches a
+    /// cold node, and (for cold-start splits) every test rating does.
+    pub fn validate(&self) {
+        for r in &self.train {
+            assert!(!self.cold_users.contains(&r.user), "train rating touches cold user {}", r.user);
+            assert!(!self.cold_items.contains(&r.item), "train rating touches cold item {}", r.item);
+        }
+        match self.kind {
+            ColdStartKind::WarmStart => {}
+            ColdStartKind::StrictUser => {
+                for r in &self.test {
+                    assert!(self.cold_users.contains(&r.user), "UCS test rating on warm user {}", r.user);
+                }
+            }
+            ColdStartKind::StrictItem => {
+                for r in &self.test {
+                    assert!(self.cold_items.contains(&r.item), "ICS test rating on warm item {}", r.item);
+                }
+            }
+        }
+    }
+
+    /// Mean rating of the training split.
+    pub fn train_mean(&self) -> f32 {
+        if self.train.is_empty() {
+            return 0.0;
+        }
+        self.train.iter().map(|r| r.value).sum::<f32>() / self.train.len() as f32
+    }
+}
+
+fn choose_cold(n: usize, fraction: f64, rng: &mut StdRng) -> BTreeSet<u32> {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(rng);
+    let k = ((n as f64) * fraction).round() as usize;
+    ids.into_iter().take(k).collect()
+}
+
+fn partition(ratings: &[Rating], is_test: impl Fn(&Rating) -> bool) -> (Vec<Rating>, Vec<Rating>) {
+    let (mut train, mut test) = (Vec::new(), Vec::new());
+    for r in ratings {
+        if is_test(r) {
+            test.push(*r);
+        } else {
+            train.push(*r);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+
+    fn data() -> Dataset {
+        Preset::Ml100k.generate(0.1, 11)
+    }
+
+    #[test]
+    fn warm_start_fractions() {
+        let d = data();
+        let s = Split::create(&d, SplitConfig::paper_default(ColdStartKind::WarmStart, 1));
+        s.validate();
+        let frac = s.test.len() as f64 / d.ratings.len() as f64;
+        assert!((frac - 0.2).abs() < 0.01, "test fraction {frac}");
+        assert_eq!(s.train.len() + s.test.len(), d.ratings.len());
+    }
+
+    #[test]
+    fn strict_item_removes_all_cold_interactions() {
+        let d = data();
+        let s = Split::create(&d, SplitConfig::paper_default(ColdStartKind::StrictItem, 2));
+        s.validate();
+        assert!(!s.cold_items.is_empty());
+        assert!((s.cold_items.len() as f64 / d.num_items as f64 - 0.2).abs() < 0.02);
+        // Every cold item has zero train interactions.
+        for r in &s.train {
+            assert!(!s.cold_items.contains(&r.item));
+        }
+    }
+
+    #[test]
+    fn strict_user_symmetric() {
+        let d = data();
+        let s = Split::create(&d, SplitConfig::paper_default(ColdStartKind::StrictUser, 3));
+        s.validate();
+        assert!((s.cold_users.len() as f64 / d.num_users as f64 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn splits_deterministic_per_seed() {
+        let d = data();
+        let a = Split::create(&d, SplitConfig::paper_default(ColdStartKind::StrictItem, 5));
+        let b = Split::create(&d, SplitConfig::paper_default(ColdStartKind::StrictItem, 5));
+        assert_eq!(a.cold_items, b.cold_items);
+        assert_eq!(a.train, b.train);
+        let c = Split::create(&d, SplitConfig::paper_default(ColdStartKind::StrictItem, 6));
+        assert_ne!(a.cold_items, c.cold_items);
+    }
+
+    #[test]
+    fn fig8_fractions_scale() {
+        let d = data();
+        for frac in [0.1, 0.3, 0.5] {
+            let s = Split::create(
+                &d,
+                SplitConfig { kind: ColdStartKind::StrictUser, test_fraction: frac, seed: 9 },
+            );
+            s.validate();
+            let got = s.cold_users.len() as f64 / d.num_users as f64;
+            assert!((got - frac).abs() < 0.03, "asked {frac}, got {got}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1)")]
+    fn rejects_bad_fraction() {
+        let d = data();
+        let _ = Split::create(&d, SplitConfig { kind: ColdStartKind::WarmStart, test_fraction: 1.5, seed: 0 });
+    }
+}

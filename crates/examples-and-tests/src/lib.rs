@@ -1,0 +1,4 @@
+//! Host package for the repository-root `examples/` and `tests/`
+//! directories (a Cargo workspace needs a package to own them).
+//!
+//! Run the examples with e.g. `cargo run --release --example quickstart`.

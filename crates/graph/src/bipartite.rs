@@ -1,0 +1,95 @@
+//! The user–item interaction graph used by interaction-graph baselines.
+
+use crate::csr::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// Bipartite rating graph with both adjacency directions materialized.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    user_items: CsrGraph,
+    item_users: CsrGraph,
+}
+
+impl BipartiteGraph {
+    /// Builds from `(user, item, rating)` triples.
+    pub fn from_ratings(num_users: usize, num_items: usize, ratings: &[(u32, u32, f32)]) -> Self {
+        let ui: Vec<(u32, u32, f32)> = ratings.to_vec();
+        let iu: Vec<(u32, u32, f32)> = ratings.iter().map(|&(u, i, r)| (i, u, r)).collect();
+        Self {
+            user_items: CsrGraph::from_edges_rect(num_users, num_items, &ui),
+            item_users: CsrGraph::from_edges_rect(num_items, num_users, &iu),
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.user_items.num_nodes()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.item_users.num_nodes()
+    }
+
+    /// Number of ratings.
+    pub fn num_ratings(&self) -> usize {
+        self.user_items.num_edges()
+    }
+
+    /// Items rated by `user` with ratings.
+    pub fn items_of(&self, user: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.user_items.edges_of(user)
+    }
+
+    /// Users who rated `item` with ratings.
+    pub fn users_of(&self, item: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.item_users.edges_of(item)
+    }
+
+    /// Number of ratings by `user`.
+    pub fn user_degree(&self, user: u32) -> usize {
+        self.user_items.degree(user)
+    }
+
+    /// Number of ratings on `item`.
+    pub fn item_degree(&self, item: u32) -> usize {
+        self.item_users.degree(item)
+    }
+
+    /// Fraction of the rating matrix that is *empty* (the paper's Table 1
+    /// "Sparsity" column).
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.num_users() as f64 * self.num_items() as f64;
+        if cells == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.num_ratings() as f64 / cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_ratings(2, 3, &[(0, 0, 5.0), (0, 2, 3.0), (1, 2, 1.0)])
+    }
+
+    #[test]
+    fn both_directions_consistent() {
+        let g = toy();
+        assert_eq!(g.num_ratings(), 3);
+        let items: Vec<_> = g.items_of(0).collect();
+        assert_eq!(items, vec![(0, 5.0), (2, 3.0)]);
+        let users: Vec<_> = g.users_of(2).collect();
+        assert_eq!(users, vec![(0, 3.0), (1, 1.0)]);
+        assert_eq!(g.user_degree(1), 1);
+        assert_eq!(g.item_degree(1), 0);
+    }
+
+    #[test]
+    fn sparsity_matches_definition() {
+        let g = toy();
+        assert!((g.sparsity() - (1.0 - 3.0 / 6.0)).abs() < 1e-12);
+    }
+}

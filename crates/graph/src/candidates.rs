@@ -1,0 +1,240 @@
+//! Candidate pools and the dynamic graph-construction strategy (§3.3.1).
+
+use crate::proximity::{score_all_candidates, ScoredCandidates};
+use crate::sampling::sample_weighted_with_replacement;
+use agnn_tensor::SparseVec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which proximity signals feed the pool scores (ablations AGNN_PP/AGNN_AP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProximityMode {
+    /// Preference + attribute proximity (the full model).
+    Both,
+    /// Preference proximity only (`AGNN_PP`).
+    PreferenceOnly,
+    /// Attribute proximity only (`AGNN_AP`).
+    AttributeOnly,
+}
+
+/// Pool construction hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Paper's `p`: keep the top `p%` of nodes per pool (default 5).
+    pub top_percent: f32,
+    /// Which proximity signals are combined.
+    pub mode: ProximityMode,
+    /// Inverted-index bucket subsampling cap (scalability knob, not in the
+    /// paper; ∞ recovers exact top-`p%`).
+    pub bucket_cap: usize,
+    /// Pools are never truncated below this many candidates (so small `p` on
+    /// small datasets still leaves something to sample).
+    pub min_pool: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self { top_percent: 5.0, mode: ProximityMode::Both, bucket_cap: 512, min_pool: 10 }
+    }
+}
+
+/// Per-node candidate pools over one node class (all users, or all items).
+///
+/// This is the "dynamic graph construction" object: the pool is fixed after
+/// construction, but each training round draws a fresh fixed-fan-out
+/// neighborhood from it, proportionally to proximity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CandidatePools {
+    pools: Vec<ScoredCandidates>,
+    config: PoolConfig,
+}
+
+impl CandidatePools {
+    /// Scores candidates (inverted-index pruned) and keeps the top `p%`.
+    ///
+    /// `attrs[n]` is node `n`'s multi-hot attribute encoding; `prefs[n]` its
+    /// historical rating vector (zero/absent for strict cold start nodes).
+    pub fn build(attrs: &[SparseVec], prefs: Option<&[SparseVec]>, config: PoolConfig) -> Self {
+        assert!(config.top_percent > 0.0, "top_percent must be positive, got {}", config.top_percent);
+        let (use_attr, use_pref) = match config.mode {
+            ProximityMode::Both => (true, true),
+            ProximityMode::PreferenceOnly => (false, true),
+            ProximityMode::AttributeOnly => (true, false),
+        };
+        let prefs = if use_pref { prefs } else { None };
+        let mut pools = score_all_candidates(attrs, prefs, use_attr, use_pref || prefs.is_some(), config.bucket_cap);
+        let n = attrs.len();
+        let keep = (((config.top_percent as f64 / 100.0) * n as f64).ceil() as usize).max(config.min_pool);
+        for pool in &mut pools {
+            pool.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            pool.truncate(keep);
+        }
+        Self { pools, config }
+    }
+
+    /// Builds directly from pre-scored pools (tests, custom constructions).
+    pub fn from_scored(pools: Vec<ScoredCandidates>, config: PoolConfig) -> Self {
+        Self { pools, config }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The configuration used to build the pools.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// A node's candidate pool, best-first.
+    pub fn pool(&self, node: u32) -> &[(u32, f32)] {
+        &self.pools[node as usize]
+    }
+
+    /// Draws `fanout` neighbors for `node`, proportional to proximity, with
+    /// replacement (the paper re-samples every round; fan-out is fixed so
+    /// neighborhoods batch densely — DESIGN.md §5.2).
+    ///
+    /// Isolated nodes (empty pool) fall back to self-loops: the gated-GNN
+    /// then aggregates the node's own embedding, which reduces Eq. 13 to a
+    /// plain residual unit.
+    pub fn sample_neighbors(&self, node: u32, fanout: usize, rng: &mut impl Rng) -> Vec<usize> {
+        let pool = self.pool(node);
+        if pool.is_empty() {
+            return vec![node as usize; fanout];
+        }
+        // Additive smoothing: min–max-normalized scores give the weakest
+        // candidate weight exactly 0; a small floor keeps the paper's
+        // "top-ranked samples have higher probability" behaviour while still
+        // letting every pool member appear occasionally (neighborhood
+        // diversity is the point of the dynamic strategy).
+        let smoothed: Vec<(u32, f32)> = pool.iter().map(|&(c, w)| (c, w + 0.1)).collect();
+        sample_weighted_with_replacement(&smoothed, fanout, rng)
+            .into_iter()
+            .map(|id| id as usize)
+            .collect()
+    }
+
+    /// Deterministic top-`fanout` neighborhood (used at evaluation time so
+    /// repeated evaluations agree; falls back like `sample_neighbors`).
+    pub fn top_neighbors(&self, node: u32, fanout: usize) -> Vec<usize> {
+        let pool = self.pool(node);
+        if pool.is_empty() {
+            return vec![node as usize; fanout];
+        }
+        (0..fanout).map(|i| pool[i % pool.len()].0 as usize).collect()
+    }
+
+    /// Static kNN graph from the same scores (replacement study `AGNN_knn`):
+    /// the fixed top-`k` per node, no per-round resampling.
+    pub fn to_knn_pools(&self, k: usize) -> CandidatePools {
+        let pools = self
+            .pools
+            .iter()
+            .map(|pool| {
+                let mut p: ScoredCandidates = pool.iter().take(k).map(|&(c, _)| (c, 1.0)).collect();
+                p.shrink_to_fit();
+                p
+            })
+            .collect();
+        CandidatePools { pools, config: self.config }
+    }
+
+    /// Mean pool size (diagnostics / Table 1 style stats).
+    pub fn mean_pool_size(&self) -> f64 {
+        if self.pools.is_empty() {
+            return 0.0;
+        }
+        self.pools.iter().map(Vec::len).sum::<usize>() as f64 / self.pools.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mh(dim: usize, idx: &[u32]) -> SparseVec {
+        SparseVec::multi_hot(dim, idx.iter().copied())
+    }
+
+    fn toy_pools(top_percent: f32) -> CandidatePools {
+        // 6 nodes in two attribute communities {0,1,2} and {3,4,5}.
+        let attrs = vec![
+            mh(8, &[0, 1]),
+            mh(8, &[0, 1]),
+            mh(8, &[0, 2]),
+            mh(8, &[4, 5]),
+            mh(8, &[4, 5]),
+            mh(8, &[4, 6]),
+        ];
+        CandidatePools::build(
+            &attrs,
+            None,
+            PoolConfig { top_percent, mode: ProximityMode::AttributeOnly, bucket_cap: 64, min_pool: 1 },
+        )
+    }
+
+    #[test]
+    fn pools_respect_communities() {
+        let pools = toy_pools(100.0);
+        for n in 0..3u32 {
+            for &(c, _) in pools.pool(n) {
+                assert!(c < 3, "node {n} pooled cross-community candidate {c}");
+            }
+        }
+        assert!(pools.mean_pool_size() >= 1.0);
+    }
+
+    #[test]
+    fn top_percent_truncates() {
+        let all = toy_pools(100.0);
+        let few = toy_pools(20.0);
+        // 20% of 6 nodes → ceil(1.2) = 2 per pool, min_pool=1.
+        assert!(few.pool(0).len() <= 2);
+        assert!(all.pool(0).len() >= few.pool(0).len());
+    }
+
+    #[test]
+    fn sample_neighbors_draws_from_pool() {
+        let pools = toy_pools(100.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ns = pools.sample_neighbors(0, 8, &mut rng);
+        assert_eq!(ns.len(), 8);
+        assert!(ns.iter().all(|&n| n == 1 || n == 2));
+    }
+
+    #[test]
+    fn isolated_node_self_loops() {
+        let attrs = vec![mh(4, &[0]), mh(4, &[1])];
+        let pools = CandidatePools::build(
+            &attrs,
+            None,
+            PoolConfig { top_percent: 50.0, mode: ProximityMode::AttributeOnly, bucket_cap: 8, min_pool: 1 },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pools.sample_neighbors(0, 3, &mut rng), vec![0, 0, 0]);
+        assert_eq!(pools.top_neighbors(1, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn dynamic_sampling_varies_static_knn_does_not() {
+        let pools = toy_pools(100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<Vec<usize>> = (0..10).map(|_| pools.sample_neighbors(0, 2, &mut rng)).collect();
+        let distinct: std::collections::BTreeSet<_> = draws.iter().collect();
+        assert!(distinct.len() > 1, "dynamic sampling never varied: {draws:?}");
+
+        let knn = pools.to_knn_pools(1);
+        assert_eq!(knn.pool(0).len(), 1);
+        assert_eq!(knn.top_neighbors(0, 3).len(), 3);
+    }
+
+    #[test]
+    fn eval_neighborhood_deterministic() {
+        let pools = toy_pools(100.0);
+        assert_eq!(pools.top_neighbors(0, 4), pools.top_neighbors(0, 4));
+    }
+}

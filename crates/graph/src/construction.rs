@@ -1,0 +1,161 @@
+//! Static graph constructions used by the baselines and the replacement
+//! study: attribute kNN graphs (sRMGCNN, HERS, `AGNN_knn`) and
+//! co-engagement graphs (DANSER, `AGNN_cop`).
+
+use crate::bipartite::BipartiteGraph;
+use crate::csr::CsrGraph;
+use crate::proximity::InvertedIndex;
+use agnn_tensor::SparseVec;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// k-nearest-neighbor graph in attribute space (cosine similarity), the
+/// construction RMGCNN/HERS use (paper §4.1.4, K = 10 there).
+pub fn knn_attribute_graph(attrs: &[SparseVec], k: usize, bucket_cap: usize) -> CsrGraph {
+    let index = InvertedIndex::build(attrs);
+    let edges: Vec<(u32, u32, f32)> = (0..attrs.len() as u32)
+        .into_par_iter()
+        .flat_map_iter(|node| {
+            let cands = index.candidates_of(node, &attrs[node as usize], bucket_cap);
+            let mut scored: Vec<(u32, f32)> = cands
+                .into_iter()
+                .map(|c| (c, attrs[node as usize].cosine_similarity(&attrs[c as usize])))
+                .collect();
+            scored.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(k);
+            scored.into_iter().map(move |(c, w)| (node, c, w)).collect::<Vec<_>>()
+        })
+        .collect();
+    CsrGraph::from_edges(attrs.len(), &edges)
+}
+
+/// Item–item graph weighted by the number of common raters (DANSER's
+/// "co-clicked" similarity). Edges below `min_common` raters are dropped and
+/// each node keeps its `top_k` strongest edges.
+pub fn item_coengagement_graph(bip: &BipartiteGraph, min_common: usize, top_k: usize) -> CsrGraph {
+    coengagement(bip.num_items(), bip.num_users(), |u| bip.items_of(u as u32), min_common, top_k)
+}
+
+/// User–user graph weighted by the number of co-rated items (used when a
+/// dataset has no social links).
+pub fn user_coengagement_graph(bip: &BipartiteGraph, min_common: usize, top_k: usize) -> CsrGraph {
+    coengagement(bip.num_users(), bip.num_items(), |i| bip.users_of(i as u32), min_common, top_k)
+}
+
+fn coengagement<'a, I>(
+    n_nodes: usize,
+    n_pivots: usize,
+    edges_of_pivot: impl Fn(usize) -> I + Sync,
+    min_common: usize,
+    top_k: usize,
+) -> CsrGraph
+where
+    I: Iterator<Item = (u32, f32)> + 'a,
+{
+    // counts[a] : map b -> #pivots engaging both a and b (a < b kept once).
+    // BTreeMap keeps iteration deterministic (HashMap order would leak into
+    // edge order, pool order and ultimately sampled neighborhoods).
+    let mut counts: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); n_nodes];
+    for pivot in 0..n_pivots {
+        let members: Vec<u32> = edges_of_pivot(pivot).map(|(n, _)| n).collect();
+        // Quadratic in per-pivot degree; heavy pivots are capped to bound
+        // worst-case cost on power-law data.
+        const PIVOT_CAP: usize = 64;
+        let members = if members.len() > PIVOT_CAP { &members[..PIVOT_CAP] } else { &members[..] };
+        for (ai, &a) in members.iter().enumerate() {
+            for &b in &members[ai + 1..] {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                *counts[lo as usize].entry(hi).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut adjacency: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_nodes];
+    for (a, row) in counts.into_iter().enumerate() {
+        for (b, c) in row {
+            if (c as usize) >= min_common {
+                adjacency[a].push((b, c as f32));
+                adjacency[b as usize].push((a as u32, c as f32));
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for (a, mut row) in adjacency.into_iter().enumerate() {
+        // Weight-descending with id tiebreak: fully deterministic top-k.
+        row.sort_unstable_by(|x, y| {
+            y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then(x.0.cmp(&y.0))
+        });
+        row.truncate(top_k);
+        edges.extend(row.into_iter().map(|(b, w)| (a as u32, b, w)));
+    }
+    CsrGraph::from_edges(n_nodes, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mh(dim: usize, idx: &[u32]) -> SparseVec {
+        SparseVec::multi_hot(dim, idx.iter().copied())
+    }
+
+    #[test]
+    fn knn_graph_connects_similar() {
+        let attrs = vec![mh(6, &[0, 1]), mh(6, &[0, 1]), mh(6, &[0, 5]), mh(6, &[3, 4])];
+        let g = knn_attribute_graph(&attrs, 2, 64);
+        assert!(g.neighbors(0).contains(&1));
+        // node 3 shares nothing → isolated.
+        assert_eq!(g.degree(3), 0);
+        // k bound respected.
+        for n in 0..4 {
+            assert!(g.degree(n) <= 2);
+        }
+    }
+
+    #[test]
+    fn knn_orders_by_similarity() {
+        let attrs = vec![mh(6, &[0, 1, 2]), mh(6, &[0, 1, 2]), mh(6, &[0, 4, 5])];
+        let g = knn_attribute_graph(&attrs, 1, 64);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn coengagement_counts_common_raters() {
+        // users 0,1 both rate items 0 and 1; user 2 rates items 1 and 2.
+        let bip = BipartiteGraph::from_ratings(
+            3,
+            3,
+            &[(0, 0, 5.0), (0, 1, 4.0), (1, 0, 3.0), (1, 1, 2.0), (2, 1, 5.0), (2, 2, 1.0)],
+        );
+        let g = item_coengagement_graph(&bip, 1, 10);
+        // items 0 and 1 share two raters.
+        let w01 = g
+            .edges_of(0)
+            .find(|&(n, _)| n == 1)
+            .map(|(_, w)| w)
+            .expect("edge 0-1 exists");
+        assert_eq!(w01, 2.0);
+        // items 1 and 2 share one rater.
+        assert!(g.edges_of(1).any(|(n, w)| n == 2 && w == 1.0));
+        // items 0 and 2 share none.
+        assert!(!g.edges_of(0).any(|(n, _)| n == 2));
+    }
+
+    #[test]
+    fn min_common_filters() {
+        let bip = BipartiteGraph::from_ratings(2, 2, &[(0, 0, 5.0), (0, 1, 4.0), (1, 0, 3.0)]);
+        let strict = item_coengagement_graph(&bip, 2, 10);
+        assert_eq!(strict.num_edges(), 0);
+        let loose = item_coengagement_graph(&bip, 1, 10);
+        assert_eq!(loose.num_edges(), 2);
+    }
+
+    #[test]
+    fn user_side_mirrors_item_side() {
+        let bip = BipartiteGraph::from_ratings(3, 1, &[(0, 0, 5.0), (1, 0, 4.0), (2, 0, 3.0)]);
+        let g = user_coengagement_graph(&bip, 1, 10);
+        // All three users co-rate item 0 → triangle.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+    }
+}

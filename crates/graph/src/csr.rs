@@ -1,0 +1,151 @@
+//! Compressed sparse row adjacency for static graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// A weighted directed graph in CSR form. Undirected graphs store both arcs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl CsrGraph {
+    /// Builds from `(src, dst, weight)` edges over `n` nodes.
+    ///
+    /// Parallel edges are kept as-is (callers that need them merged should
+    /// pre-aggregate). Edge order within a row follows insertion order.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f32)]) -> Self {
+        Self::from_edges_rect(n, n, edges)
+    }
+
+    /// Builds a *rectangular* adjacency: sources in `0..n_src`, destinations
+    /// in `0..n_dst` (bipartite graphs store one of these per direction).
+    pub fn from_edges_rect(n_src: usize, n_dst: usize, edges: &[(u32, u32, f32)]) -> Self {
+        let n = n_src;
+        let mut degree = vec![0usize; n];
+        for &(s, d, _) in edges {
+            assert!(
+                (s as usize) < n_src && (d as usize) < n_dst,
+                "edge ({s},{d}) out of {n_src}x{n_dst} nodes"
+            );
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().expect("non-empty") + d);
+        }
+        let m = edges.len();
+        let mut targets = vec![0u32; m];
+        let mut weights = vec![0f32; m];
+        let mut cursor = offsets.clone();
+        for &(s, d, w) in edges {
+            let pos = cursor[s as usize];
+            targets[pos] = d;
+            weights[pos] = w;
+            cursor[s as usize] += 1;
+        }
+        Self { offsets, targets, weights }
+    }
+
+    /// Builds an undirected graph: every `(a, b, w)` also inserts `(b, a, w)`.
+    pub fn undirected_from_edges(n: usize, edges: &[(u32, u32, f32)]) -> Self {
+        let mut both = Vec::with_capacity(edges.len() * 2);
+        for &(a, b, w) in edges {
+            both.push((a, b, w));
+            if a != b {
+                both.push((b, a, w));
+            }
+        }
+        Self::from_edges(n, &both)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `node`.
+    pub fn degree(&self, node: u32) -> usize {
+        let n = node as usize;
+        self.offsets[n + 1] - self.offsets[n]
+    }
+
+    /// Neighbor ids of `node`.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        let n = node as usize;
+        &self.targets[self.offsets[n]..self.offsets[n + 1]]
+    }
+
+    /// Edge weights aligned with [`CsrGraph::neighbors`].
+    pub fn weights(&self, node: u32) -> &[f32] {
+        let n = node as usize;
+        &self.weights[self.offsets[n]..self.offsets[n + 1]]
+    }
+
+    /// Neighbor/weight pairs of `node`.
+    pub fn edges_of(&self, node: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.neighbors(node).iter().copied().zip(self.weights(node).iter().copied())
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (0, 2, 2.0), (2, 3, 3.0)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.weights(0), &[1.0, 2.0]);
+        assert_eq!(g.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn undirected_doubles_arcs() {
+        let g = CsrGraph::undirected_from_edges(3, &[(0, 1, 1.0), (1, 2, 0.5)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_not_doubled() {
+        let g = CsrGraph::undirected_from_edges(2, &[(0, 0, 1.0)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_out_of_range() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph construction for AGNN and its baselines.
+//!
+//! The paper's input layer (§3.3.1) builds *homogeneous attribute graphs*
+//! over users and over items instead of the usual user–item bipartite graph:
+//!
+//! 1. per-pair **preference proximity** (cosine over historical rating
+//!    vectors) and **attribute proximity** (cosine over multi-hot attribute
+//!    encodings), each min–max normalized and summed (Eq. 1);
+//! 2. a per-node **candidate pool** holding the top `p%` most-proximate
+//!    nodes;
+//! 3. **dynamic sampling**: each training round draws a fixed fan-out of
+//!    neighbors from the pool with probability proportional to proximity.
+//!
+//! Scoring all `n²` pairs is infeasible at Yelp scale, so candidates are
+//! generated from inverted indexes (nodes sharing an attribute value / item
+//! raters sharing a rater) — pairs that share nothing have cosine similarity
+//! exactly 0 and can never enter a top-`p%` pool, so the pruning is lossless
+//! up to bucket subsampling caps.
+//!
+//! The crate also provides the constructions the baselines need: static kNN
+//! attribute graphs (sRMGCNN/HERS), co-engagement graphs (DANSER), and the
+//! CSR bipartite interaction graph (GC-MC, STAR-GCN, IGMC).
+
+pub mod bipartite;
+pub mod candidates;
+pub mod construction;
+pub mod csr;
+pub mod proximity;
+pub mod sampling;
+
+pub use bipartite::BipartiteGraph;
+pub use candidates::{CandidatePools, PoolConfig, ProximityMode};
+pub use csr::CsrGraph;

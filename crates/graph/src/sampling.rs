@@ -1,0 +1,112 @@
+//! Weighted sampling utilities for dynamic neighborhood construction.
+
+use rand::Rng;
+
+/// Draws `k` ids from `(id, weight)` pairs with replacement, with probability
+/// proportional to weight.
+///
+/// Non-positive weights are treated as a small floor so that a pool whose
+/// scores all min-max-normalized to zero still samples uniformly rather than
+/// panicking.
+pub fn sample_weighted_with_replacement(pool: &[(u32, f32)], k: usize, rng: &mut impl Rng) -> Vec<u32> {
+    assert!(!pool.is_empty(), "sample_weighted_with_replacement: empty pool");
+    const FLOOR: f32 = 1e-6;
+    let cumulative: Vec<f32> = pool
+        .iter()
+        .scan(0.0f32, |acc, &(_, w)| {
+            *acc += w.max(FLOOR);
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("non-empty pool");
+    (0..k)
+        .map(|_| {
+            let x = rng.gen::<f32>() * total;
+            let idx = cumulative.partition_point(|&c| c < x).min(pool.len() - 1);
+            pool[idx].0
+        })
+        .collect()
+}
+
+/// Draws up to `k` *distinct* ids, weight-proportional (A-Res reservoir
+/// variant). Returns fewer than `k` if the pool is smaller.
+pub fn sample_weighted_distinct(pool: &[(u32, f32)], k: usize, rng: &mut impl Rng) -> Vec<u32> {
+    if pool.len() <= k {
+        return pool.iter().map(|&(id, _)| id).collect();
+    }
+    // Efraimidis–Spirakis: key = u^(1/w); take the k largest keys.
+    const FLOOR: f32 = 1e-6;
+    let mut keyed: Vec<(f64, u32)> = pool
+        .iter()
+        .map(|&(id, w)| {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            (u.powf(1.0 / w.max(FLOOR) as f64), id)
+        })
+        .collect();
+    keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    keyed.truncate(k);
+    keyed.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Uniformly samples `k` indices from `0..n` with replacement.
+pub fn sample_uniform_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(n > 0, "sample_uniform_indices: empty range");
+    (0..k).map(|_| rng.gen_range(0..n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn with_replacement_prefers_heavy() {
+        let pool = [(0u32, 1.0f32), (1, 99.0)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = sample_weighted_with_replacement(&pool, 1000, &mut rng);
+        let heavy = draws.iter().filter(|&&d| d == 1).count();
+        assert!(heavy > 900, "heavy drawn {heavy}/1000");
+    }
+
+    #[test]
+    fn zero_weights_sample_uniformly() {
+        let pool = [(0u32, 0.0f32), (1, 0.0)];
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = sample_weighted_with_replacement(&pool, 400, &mut rng);
+        let zeros = draws.iter().filter(|&&d| d == 0).count();
+        assert!((100..300).contains(&zeros), "zeros {zeros}/400");
+    }
+
+    #[test]
+    fn distinct_returns_unique() {
+        let pool: Vec<(u32, f32)> = (0..20).map(|i| (i, 1.0 + i as f32)).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_weighted_distinct(&pool, 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let set: std::collections::BTreeSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn distinct_small_pool_returns_all() {
+        let pool = [(3u32, 1.0f32), (7, 2.0)];
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = sample_weighted_distinct(&pool, 10, &mut rng);
+        assert_eq!(s, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = sample_weighted_with_replacement(&[], 1, &mut rng);
+    }
+
+    #[test]
+    fn uniform_indices_in_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = sample_uniform_indices(5, 100, &mut rng);
+        assert!(s.iter().all(|&i| i < 5));
+    }
+}

@@ -1,0 +1,139 @@
+//! RMSE / MAE (the paper's Eqs. 17 and 18).
+
+use serde::{Deserialize, Serialize};
+
+/// Rooted mean square error over `(prediction, truth)` pairs.
+///
+/// # Panics
+/// Panics on empty input — an empty test set is an experiment bug, not a
+/// zero-error model.
+pub fn rmse(pairs: &[(f32, f32)]) -> f64 {
+    assert!(!pairs.is_empty(), "rmse of empty prediction set");
+    let sse: f64 = pairs.iter().map(|&(p, t)| ((p - t) as f64).powi(2)).sum();
+    (sse / pairs.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pairs: &[(f32, f32)]) -> f64 {
+    assert!(!pairs.is_empty(), "mae of empty prediction set");
+    let sae: f64 = pairs.iter().map(|&(p, t)| ((p - t) as f64).abs()).sum();
+    sae / pairs.len() as f64
+}
+
+/// Final scores for one (model, dataset, scenario) cell.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Rooted mean squared error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Number of test points.
+    pub n: usize,
+}
+
+/// Streaming accumulator that also retains per-example errors for the
+/// significance test.
+#[derive(Clone, Debug, Default)]
+pub struct EvalAccumulator {
+    squared_errors: Vec<f64>,
+    absolute_errors: Vec<f64>,
+}
+
+impl EvalAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction.
+    pub fn push(&mut self, prediction: f32, truth: f32) {
+        let e = (prediction - truth) as f64;
+        self.squared_errors.push(e * e);
+        self.absolute_errors.push(e.abs());
+    }
+
+    /// Number of recorded predictions.
+    pub fn len(&self) -> usize {
+        self.squared_errors.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.squared_errors.is_empty()
+    }
+
+    /// Per-example squared errors (paired-t-test input for RMSE claims).
+    pub fn squared_errors(&self) -> &[f64] {
+        &self.squared_errors
+    }
+
+    /// Per-example absolute errors (paired-t-test input for MAE claims).
+    pub fn absolute_errors(&self) -> &[f64] {
+        &self.absolute_errors
+    }
+
+    /// Finalizes into an [`EvalResult`].
+    ///
+    /// # Panics
+    /// Panics if nothing was recorded.
+    pub fn finish(&self) -> EvalResult {
+        assert!(!self.is_empty(), "finishing empty evaluation");
+        let n = self.len();
+        EvalResult {
+            rmse: (self.squared_errors.iter().sum::<f64>() / n as f64).sqrt(),
+            mae: self.absolute_errors.iter().sum::<f64>() / n as f64,
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_mae_hand_values() {
+        let pairs = [(3.0f32, 4.0f32), (5.0, 3.0)];
+        assert!((rmse(&pairs) - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!((mae(&pairs) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_score_zero() {
+        let pairs = [(2.0f32, 2.0f32), (4.5, 4.5)];
+        assert_eq!(rmse(&pairs), 0.0);
+        assert_eq!(mae(&pairs), 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_direct() {
+        let pairs = [(1.0f32, 2.0f32), (3.0, 3.5), (0.0, -1.0)];
+        let mut acc = EvalAccumulator::new();
+        for &(p, t) in &pairs {
+            acc.push(p, t);
+        }
+        let r = acc.finish();
+        assert!((r.rmse - rmse(&pairs)).abs() < 1e-12);
+        assert!((r.mae - mae(&pairs)).abs() < 1e-12);
+        assert_eq!(r.n, 3);
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        // RMSE ≥ MAE always (Jensen).
+        let pairs = [(1.0f32, 3.0f32), (2.0, 2.1), (5.0, 1.0)];
+        assert!(rmse(&pairs) >= mae(&pairs));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rmse_panics() {
+        let _ = rmse(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_finish_panics() {
+        let _ = EvalAccumulator::new().finish();
+    }
+}

@@ -1,0 +1,9 @@
+//! Evaluation metrics (Eqs. 17–18) and the paired significance test the
+//! paper's Table 2 stars (`*` p<0.01, `†` p<0.05) rely on.
+
+pub mod eval;
+pub mod ranking;
+pub mod ttest;
+
+pub use eval::{mae, rmse, EvalAccumulator, EvalResult};
+pub use ttest::{paired_t_test, Significance, TTestResult};

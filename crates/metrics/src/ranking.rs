@@ -1,0 +1,213 @@
+//! Top-N ranking metrics — HR@K, Precision/Recall@K, NDCG@K, MRR.
+//!
+//! The paper evaluates rating prediction (RMSE/MAE), but §4.1.4 notes that
+//! several baselines were "designed for top-N recommendation and revised to
+//! optimize RMSE". This module provides the standard ranking metrics so the
+//! library also serves the top-N use case (an extension beyond the paper's
+//! evaluation; exercised by `examples/` and the test-suite).
+//!
+//! All metrics take a *ranked candidate list* (best first) and the set of
+//! relevant items; list order is the model's, relevance is ground truth.
+
+use std::collections::BTreeSet;
+
+/// Hit ratio @ K: 1 if any relevant item appears in the top K.
+pub fn hit_ratio_at_k(ranked: &[u32], relevant: &BTreeSet<u32>, k: usize) -> f64 {
+    assert!(k > 0, "hit_ratio_at_k: k must be positive");
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    ranked.iter().take(k).any(|i| relevant.contains(i)) as u8 as f64
+}
+
+/// Precision @ K: fraction of the top K that is relevant.
+pub fn precision_at_k(ranked: &[u32], relevant: &BTreeSet<u32>, k: usize) -> f64 {
+    assert!(k > 0, "precision_at_k: k must be positive");
+    let hits = ranked.iter().take(k).filter(|i| relevant.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall @ K: fraction of the relevant set found in the top K.
+pub fn recall_at_k(ranked: &[u32], relevant: &BTreeSet<u32>, k: usize) -> f64 {
+    assert!(k > 0, "recall_at_k: k must be positive");
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|i| relevant.contains(i)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// NDCG @ K with binary relevance: DCG over the ideal DCG.
+pub fn ndcg_at_k(ranked: &[u32], relevant: &BTreeSet<u32>, k: usize) -> f64 {
+    assert!(k > 0, "ndcg_at_k: k must be positive");
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, i)| relevant.contains(i))
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k)).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    dcg / ideal
+}
+
+/// Mean reciprocal rank of the first relevant item (0 if none ranked).
+pub fn reciprocal_rank(ranked: &[u32], relevant: &BTreeSet<u32>) -> f64 {
+    ranked
+        .iter()
+        .position(|i| relevant.contains(i))
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+/// Aggregates ranking metrics over many users.
+#[derive(Clone, Debug, Default)]
+pub struct RankingAccumulator {
+    hr: Vec<f64>,
+    precision: Vec<f64>,
+    recall: Vec<f64>,
+    ndcg: Vec<f64>,
+    mrr: Vec<f64>,
+}
+
+/// Averaged ranking scores.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankingResult {
+    /// Mean hit ratio @ K.
+    pub hr: f64,
+    /// Mean precision @ K.
+    pub precision: f64,
+    /// Mean recall @ K.
+    pub recall: f64,
+    /// Mean NDCG @ K.
+    pub ndcg: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Number of users aggregated.
+    pub n: usize,
+}
+
+impl RankingAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one user's ranked list against their relevant set.
+    pub fn push(&mut self, ranked: &[u32], relevant: &BTreeSet<u32>, k: usize) {
+        self.hr.push(hit_ratio_at_k(ranked, relevant, k));
+        self.precision.push(precision_at_k(ranked, relevant, k));
+        self.recall.push(recall_at_k(ranked, relevant, k));
+        self.ndcg.push(ndcg_at_k(ranked, relevant, k));
+        self.mrr.push(reciprocal_rank(ranked, relevant));
+    }
+
+    /// Number of users recorded.
+    pub fn len(&self) -> usize {
+        self.hr.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hr.is_empty()
+    }
+
+    /// Averages into a [`RankingResult`].
+    ///
+    /// # Panics
+    /// Panics on an empty accumulator.
+    pub fn finish(&self) -> RankingResult {
+        assert!(!self.is_empty(), "finishing empty ranking evaluation");
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        RankingResult {
+            hr: mean(&self.hr),
+            precision: mean(&self.precision),
+            recall: mean(&self.recall),
+            ndcg: mean(&self.ndcg),
+            mrr: mean(&self.mrr),
+            n: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranked = [1, 2, 3, 4, 5];
+        let relevant = rel(&[1, 2]);
+        assert_eq!(hit_ratio_at_k(&ranked, &relevant, 5), 1.0);
+        assert_eq!(recall_at_k(&ranked, &relevant, 5), 1.0);
+        assert!((ndcg_at_k(&ranked, &relevant, 5) - 1.0).abs() < 1e-12);
+        assert_eq!(reciprocal_rank(&ranked, &relevant), 1.0);
+        assert!((precision_at_k(&ranked, &relevant, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_scores_zero() {
+        let ranked = [9, 8, 7];
+        let relevant = rel(&[1]);
+        assert_eq!(hit_ratio_at_k(&ranked, &relevant, 3), 0.0);
+        assert_eq!(ndcg_at_k(&ranked, &relevant, 3), 0.0);
+        assert_eq!(reciprocal_rank(&ranked, &relevant), 0.0);
+    }
+
+    #[test]
+    fn position_matters_for_ndcg_and_mrr() {
+        let relevant = rel(&[5]);
+        let first = ndcg_at_k(&[5, 1, 2], &relevant, 3);
+        let last = ndcg_at_k(&[1, 2, 5], &relevant, 3);
+        assert!(first > last, "{first} vs {last}");
+        assert!(reciprocal_rank(&[1, 2, 5], &relevant) - 1.0 / 3.0 < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_ndcg() {
+        // Relevant at positions 0 and 2 of 3, two relevant total:
+        // DCG = 1/log2(2) + 1/log2(4) = 1 + 0.5; IDCG = 1 + 1/log2(3).
+        let v = ndcg_at_k(&[1, 9, 2], &rel(&[1, 2]), 3);
+        let expected = 1.5 / (1.0 + 1.0 / 3f64.log2());
+        assert!((v - expected).abs() < 1e-12, "{v} vs {expected}");
+    }
+
+    #[test]
+    fn empty_relevant_set_is_zero_not_nan() {
+        let empty = BTreeSet::new();
+        assert_eq!(hit_ratio_at_k(&[1, 2], &empty, 2), 0.0);
+        assert_eq!(recall_at_k(&[1, 2], &empty, 2), 0.0);
+        assert_eq!(ndcg_at_k(&[1, 2], &empty, 2), 0.0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = RankingAccumulator::new();
+        acc.push(&[1, 2], &rel(&[1]), 2); // hit
+        acc.push(&[3, 4], &rel(&[9]), 2); // miss
+        let r = acc.finish();
+        assert_eq!(r.n, 2);
+        assert!((r.hr - 0.5).abs() < 1e-12);
+        assert!((r.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ranking")]
+    fn empty_finish_panics() {
+        let _ = RankingAccumulator::new().finish();
+    }
+
+    #[test]
+    fn short_ranked_list_handled() {
+        // K larger than the candidate list.
+        let relevant = rel(&[1]);
+        assert_eq!(hit_ratio_at_k(&[1], &relevant, 10), 1.0);
+        assert!((precision_at_k(&[1], &relevant, 10) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Seeded weight initializers.
+//!
+//! Every initializer takes the RNG by `&mut impl Rng` so that the experiment
+//! harness can derive all randomness from a single seed.
+
+use crate::Matrix;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Uniform in `[-bound, bound]`.
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(bound >= 0.0, "uniform: negative bound {bound}");
+    if bound == 0.0 {
+        return Matrix::zeros(rows, cols);
+    }
+    let dist = Uniform::new_inclusive(-bound, bound);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+}
+
+/// Gaussian with the given standard deviation.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(std >= 0.0, "normal: negative std {std}");
+    if std == 0.0 {
+        return Matrix::zeros(rows, cols);
+    }
+    let dist = Normal::new(0.0f32, std).expect("finite std");
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+}
+
+/// Glorot/Xavier uniform: `U[-sqrt(6/(fan_in+fan_out)), +...]`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, bound, rng)
+}
+
+/// He/Kaiming normal: `N(0, sqrt(2/fan_in))`, for (leaky-)ReLU stacks.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    normal(rows, cols, (2.0 / rows.max(1) as f32).sqrt(), rng)
+}
+
+/// A standard-normal sample matrix (for VAE reparameterization noise).
+pub fn standard_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    normal(rows, cols, 1.0, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(4, 5, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(4, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = xavier_uniform(4, 5, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let m = uniform(10, 10, 0.3, &mut StdRng::seed_from_u64(1));
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.3));
+        let z = uniform(3, 3, 0.0, &mut StdRng::seed_from_u64(1));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normal_std_roughly_matches() {
+        let m = normal(100, 100, 2.0, &mut StdRng::seed_from_u64(2));
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let small = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(3));
+        let big = xavier_uniform(400, 400, &mut StdRng::seed_from_u64(3));
+        let max_small = small.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let max_big = big.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        assert!(max_big < max_small);
+    }
+}

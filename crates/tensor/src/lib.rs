@@ -1,0 +1,24 @@
+//! Dense matrix and sparse-vector kernels for the AGNN reproduction.
+//!
+//! This crate is the numeric substrate on which [`agnn-autograd`] builds its
+//! reverse-mode automatic differentiation tape. It deliberately stays small:
+//! a row-major `f32` [`Matrix`], the handful of kernels a recommender-model
+//! training loop needs (matmul, broadcasts, reductions, gathers), seeded
+//! initializers, and a [`sparse::SparseVec`] used for multi-hot attribute
+//! encodings and proximity computation.
+//!
+//! Design notes (see DESIGN.md §5):
+//! * matmul switches to a rayon-parallel kernel above a size threshold;
+//! * all randomness flows through caller-provided [`rand::Rng`]s so every
+//!   experiment in the harness is reproducible from a seed;
+//! * shape errors panic with the offending shapes in the message — in a
+//!   training loop a silent mis-broadcast is far worse than an abort.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod sparse;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use sparse::SparseVec;

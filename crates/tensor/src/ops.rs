@@ -1,0 +1,463 @@
+//! Dense kernels: matmul, elementwise maps, broadcasts and reductions.
+//!
+//! These are plain forward-math functions; the autograd crate pairs each with
+//! its adjoint. Kernels take references and return fresh matrices — the
+//! training-loop hot paths are the matmuls, which go through a
+//! rayon-parallel tile kernel above [`PAR_THRESHOLD`] multiply-accumulate
+//! operations.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Flop threshold above which matmul parallelizes across row blocks.
+pub const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `a (m×k) · b (k×n) → (m×n)`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul: inner dims {}x{} vs {}x{}", m, k, k2, n);
+    let mut out = Matrix::zeros(m, n);
+    if k == 0 {
+        return out; // empty inner dimension: the zero matrix
+    }
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        let bs = b.as_slice();
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(k))
+            .for_each(|(orow, arow)| matmul_row(arow, bs, n, orow));
+    } else {
+        let bs = b.as_slice();
+        for (orow, arow) in out.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(k)) {
+            matmul_row(arow, bs, n, orow);
+        }
+    }
+    out
+}
+
+#[inline]
+fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
+    for (kk, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in orow.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// `aᵀ (k×m) · b (k×n) → (m×n)` without materializing the transpose.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_tn: inner dims {k} vs {k2}");
+    let mut out = Matrix::zeros(m, n);
+    // out[i][j] = sum_k a[k][i] * b[k][j]
+    for kk in 0..k {
+        let arow = a.row(kk);
+        let brow = b.row(kk);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a (m×k) · bᵀ (n×k) → (m×n)` without materializing the transpose.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_nt: inner dims {k} vs {k2}");
+    let mut out = Matrix::zeros(m, n);
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .zip(a.as_slice().par_chunks(k))
+            .for_each(|(orow, arow)| {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot(arow, b.row(j));
+                }
+            });
+    } else {
+        for i in 0..m {
+            let arow = a.row(i);
+            for j in 0..n {
+                out.set(i, j, dot(arow, b.row(j)));
+            }
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Transpose.
+pub fn transpose(a: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    Matrix::from_fn(n, m, |r, c| a.get(c, r))
+}
+
+fn zip_map(a: &Matrix, b: &Matrix, what: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Elementwise sum.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_map(a, b, "add", |x, y| x + y)
+}
+
+/// Elementwise difference.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_map(a, b, "sub", |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product.
+pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_map(a, b, "mul", |x, y| x * y)
+}
+
+/// Elementwise quotient.
+pub fn div(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_map(a, b, "div", |x, y| x / y)
+}
+
+/// In-place `a += scale * b`.
+pub fn axpy(a: &mut Matrix, scale: f32, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "axpy: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += scale * y;
+    }
+}
+
+/// Elementwise map by an arbitrary function.
+pub fn map(a: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+    Matrix::from_vec(a.rows(), a.cols(), a.as_slice().iter().map(|&x| f(x)).collect())
+}
+
+/// Multiplies every element by `s`.
+pub fn scale(a: &Matrix, s: f32) -> Matrix {
+    map(a, |x| x * s)
+}
+
+/// Adds a `1 × n` row vector to every row of an `m × n` matrix.
+pub fn add_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
+    assert_eq!(row.rows(), 1, "add_row_broadcast: rhs must be a row vector, got {:?}", row.shape());
+    assert_eq!(a.cols(), row.cols(), "add_row_broadcast: cols {} vs {}", a.cols(), row.cols());
+    let mut out = a.clone();
+    let r = row.row(0);
+    for orow in out.as_mut_slice().chunks_mut(a.cols()) {
+        for (o, &v) in orow.iter_mut().zip(r) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Multiplies every row of `a` elementwise by a `1 × n` row vector.
+pub fn mul_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
+    assert_eq!(row.rows(), 1, "mul_row_broadcast: rhs must be a row vector, got {:?}", row.shape());
+    assert_eq!(a.cols(), row.cols(), "mul_row_broadcast: cols {} vs {}", a.cols(), row.cols());
+    let mut out = a.clone();
+    let r = row.row(0);
+    for orow in out.as_mut_slice().chunks_mut(a.cols()) {
+        for (o, &v) in orow.iter_mut().zip(r) {
+            *o *= v;
+        }
+    }
+    out
+}
+
+/// Sum of all elements.
+pub fn sum_all(a: &Matrix) -> f32 {
+    a.as_slice().iter().sum()
+}
+
+/// Mean of all elements (0 for an empty matrix).
+pub fn mean_all(a: &Matrix) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum_all(a) / a.len() as f32
+    }
+}
+
+/// Column sums as a `1 × n` row vector.
+pub fn sum_rows(a: &Matrix) -> Matrix {
+    let mut out = vec![0.0f32; a.cols()];
+    for row in a.rows_iter() {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    Matrix::row_vector(out)
+}
+
+/// Row sums as an `m × 1` column vector.
+pub fn sum_cols(a: &Matrix) -> Matrix {
+    Matrix::col_vector(a.rows_iter().map(|r| r.iter().sum()).collect())
+}
+
+/// Averages each consecutive group of `g` rows: `(m·g) × n → m × n`.
+///
+/// This is the fixed-fan-out neighborhood pooling primitive (DESIGN.md §5.2).
+pub fn segment_mean_rows(a: &Matrix, g: usize) -> Matrix {
+    assert!(g > 0, "segment_mean_rows: zero group size");
+    assert_eq!(a.rows() % g, 0, "segment_mean_rows: {} rows not divisible by {}", a.rows(), g);
+    let m = a.rows() / g;
+    let n = a.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let orow = out.row_mut(i);
+        for j in 0..g {
+            for (o, &v) in orow.iter_mut().zip(a.row(i * g + j)) {
+                *o += v;
+            }
+        }
+        for o in orow.iter_mut() {
+            *o /= g as f32;
+        }
+    }
+    out
+}
+
+/// Sums each consecutive group of `g` rows: `(m·g) × n → m × n`.
+pub fn segment_sum_rows(a: &Matrix, g: usize) -> Matrix {
+    assert!(g > 0, "segment_sum_rows: zero group size");
+    assert_eq!(a.rows() % g, 0, "segment_sum_rows: {} rows not divisible by {}", a.rows(), g);
+    let m = a.rows() / g;
+    let n = a.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let orow = out.row_mut(i);
+        for j in 0..g {
+            for (o, &v) in orow.iter_mut().zip(a.row(i * g + j)) {
+                *o += v;
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies each row `i` of an `m × n` matrix by the scalar `col[i]` of an `m × 1` column.
+pub fn mul_col_broadcast(a: &Matrix, col: &Matrix) -> Matrix {
+    assert_eq!(col.cols(), 1, "mul_col_broadcast: rhs must be a column vector, got {:?}", col.shape());
+    assert_eq!(a.rows(), col.rows(), "mul_col_broadcast: rows {} vs {}", a.rows(), col.rows());
+    let mut out = a.clone();
+    for (i, orow) in out.as_mut_slice().chunks_mut(a.cols()).enumerate() {
+        let s = col.get(i, 0);
+        for o in orow.iter_mut() {
+            *o *= s;
+        }
+    }
+    out
+}
+
+/// Repeats each row `g` times: `m × n → (m·g) × n` (adjoint of segment sum).
+pub fn repeat_rows(a: &Matrix, g: usize) -> Matrix {
+    assert!(g > 0, "repeat_rows: zero group size");
+    let mut out = Matrix::zeros(a.rows() * g, a.cols());
+    for i in 0..a.rows() {
+        for j in 0..g {
+            out.row_mut(i * g + j).copy_from_slice(a.row(i));
+        }
+    }
+    out
+}
+
+/// Row-wise softmax (each row sums to 1). Numerically stabilized.
+pub fn softmax_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    for row in out.as_mut_slice().chunks_mut(a.cols().max(1)) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax over each consecutive group of `g` entries of an `(m·g) × 1` column.
+pub fn segment_softmax_col(a: &Matrix, g: usize) -> Matrix {
+    assert_eq!(a.cols(), 1, "segment_softmax_col: expected a column vector, got {:?}", a.shape());
+    assert_eq!(a.rows() % g, 0, "segment_softmax_col: {} rows not divisible by {}", a.rows(), g);
+    let reshaped = a.reshape(a.rows() / g, g);
+    softmax_rows(&reshaped).reshape(a.rows(), 1)
+}
+
+// --- activations -----------------------------------------------------------
+
+/// LeakyReLU with the paper's slope default of 0.01.
+pub fn leaky_relu(a: &Matrix, slope: f32) -> Matrix {
+    map(a, |x| if x >= 0.0 { x } else { slope * x })
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(a: &Matrix) -> Matrix {
+    map(a, sigmoid_scalar)
+}
+
+/// Scalar logistic sigmoid, numerically stable on both tails.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Matrix) -> Matrix {
+    map(a, f32::tanh)
+}
+
+/// ReLU.
+pub fn relu(a: &Matrix) -> Matrix {
+    map(a, |x| x.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_nt_match_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 7 + c * 3) as f32 * 0.1);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + c) as f32 * 0.2 - 0.5);
+        let tn = matmul_tn(&a, &b);
+        let expected = matmul(&transpose(&a), &b);
+        assert!(tn.max_abs_diff(&expected) < 1e-5);
+
+        let c = Matrix::from_fn(5, 3, |r, c| (r as f32 - c as f32) * 0.3);
+        let a2 = Matrix::from_fn(2, 3, |r, c| (r * c) as f32 + 1.0);
+        let nt = matmul_nt(&a2, &c);
+        let expected2 = matmul(&a2, &transpose(&c));
+        assert!(nt.max_abs_diff(&expected2) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Large enough to cross PAR_THRESHOLD.
+        let a = Matrix::from_fn(80, 70, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.1 - 0.5);
+        let b = Matrix::from_fn(70, 90, |r, c| ((r * 11 + c * 7) % 17) as f32 * 0.05 - 0.3);
+        let big = matmul(&a, &b);
+        // Serial reference.
+        let mut refm = Matrix::zeros(80, 90);
+        for i in 0..80 {
+            for j in 0..90 {
+                let mut s = 0.0;
+                for k in 0..70 {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                refm.set(i, j, s);
+            }
+        }
+        assert!(big.max_abs_diff(&refm) < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_ops() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let r = Matrix::row_vector(vec![10., 20.]);
+        assert_eq!(add_row_broadcast(&a, &r).as_slice(), &[11., 22., 13., 24.]);
+        assert_eq!(mul_row_broadcast(&a, &r).as_slice(), &[10., 40., 30., 80.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(sum_all(&a), 21.);
+        assert!((mean_all(&a) - 3.5).abs() < 1e-6);
+        assert_eq!(sum_rows(&a).as_slice(), &[5., 7., 9.]);
+        assert_eq!(sum_cols(&a).as_slice(), &[6., 15.]);
+    }
+
+    #[test]
+    fn segment_mean_and_repeat() {
+        let a = m(4, 2, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let pooled = segment_mean_rows(&a, 2);
+        assert_eq!(pooled.as_slice(), &[2., 3., 6., 7.]);
+        let rep = repeat_rows(&pooled, 2);
+        assert_eq!(rep.rows(), 4);
+        assert_eq!(rep.row(0), rep.row(1));
+        assert_eq!(rep.row(0), &[2., 3.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = m(2, 3, &[1., 2., 3., -1., 0., 100.]);
+        let s = softmax_rows(&a);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large logit dominates without NaN.
+        assert!(s.get(1, 2) > 0.999);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn segment_softmax_groups() {
+        let a = Matrix::col_vector(vec![0., 0., 1., 1.]);
+        let s = segment_softmax_col(&a, 2);
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((s.get(2, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_basic() {
+        let a = m(1, 3, &[-2., 0., 2.]);
+        assert_eq!(leaky_relu(&a, 0.01).as_slice(), &[-0.02, 0., 2.]);
+        assert_eq!(relu(&a).as_slice(), &[0., 0., 2.]);
+        let s = sigmoid(&a);
+        assert!((s.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!(s.get(0, 0) < 0.5 && s.get(0, 2) > 0.5);
+        // Stability on extreme inputs.
+        let extreme = sigmoid(&m(1, 2, &[-100., 100.]));
+        assert!(extreme.all_finite());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 2, &[1., 1.]);
+        axpy(&mut a, 2.0, &m(1, 2, &[3., 4.]));
+        assert_eq!(a.as_slice(), &[7., 9.]);
+    }
+}

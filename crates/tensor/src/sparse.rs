@@ -1,0 +1,205 @@
+//! Sparse vectors for multi-hot attribute encodings.
+//!
+//! The attribute encoding `a ∈ R^K` of the paper (§3.1) is a concatenation of
+//! one-/multi-hot fields, so it is extremely sparse (a handful of non-zeros
+//! out of thousands of dimensions — on the Yelp-like dataset, K is the number
+//! of users). Proximity computation (Eq. 1) over dense vectors would dominate
+//! graph construction, so we store sorted `(index, value)` pairs and compute
+//! cosine similarity by a linear merge.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector with strictly increasing indices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseVec {
+    /// Builds a sparse vector from `(index, value)` pairs.
+    ///
+    /// Pairs may arrive unsorted; duplicate indices are summed. Zero values
+    /// are kept out of the representation.
+    pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (u32, f32)>) -> Self {
+        let mut pairs: Vec<(u32, f32)> = pairs.into_iter().filter(|&(_, v)| v != 0.0).collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f32> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!((i as usize) < dim, "SparseVec: index {i} out of dim {dim}");
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("parallel arrays") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self { dim, indices, values }
+    }
+
+    /// A multi-hot vector: 1.0 at each of `indices`.
+    pub fn multi_hot(dim: usize, indices: impl IntoIterator<Item = u32>) -> Self {
+        Self::from_pairs(dim, indices.into_iter().map(|i| (i, 1.0)))
+    }
+
+    /// The all-zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self { dim, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Logical dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True iff no non-zeros are stored.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterator over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The stored indices, sorted ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Value at logical position `i` (0.0 if not stored).
+    pub fn get(&self, i: u32) -> f32 {
+        match self.indices.binary_search(&i) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Densifies into a `Vec<f32>` of length `dim`.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Sparse dot product by linear merge over the sorted index lists.
+    pub fn dot(&self, other: &SparseVec) -> f32 {
+        assert_eq!(self.dim, other.dim, "SparseVec::dot: dims {} vs {}", self.dim, other.dim);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0f32;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Cosine *similarity* in `[-1, 1]`; 0.0 when either vector is all-zero.
+    pub fn cosine_similarity(&self, other: &SparseVec) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Cosine *distance* `1 − cos`, the paper's Eq. (1) proximity form.
+    pub fn cosine_distance(&self, other: &SparseVec) -> f32 {
+        1.0 - self.cosine_similarity(other)
+    }
+
+    /// Concatenates two sparse vectors (self's dims first).
+    pub fn concat(&self, other: &SparseVec) -> SparseVec {
+        let dim = self.dim + other.dim;
+        let mut indices = self.indices.clone();
+        let mut values = self.values.clone();
+        indices.extend(other.indices.iter().map(|&i| i + self.dim as u32));
+        values.extend_from_slice(&other.values);
+        SparseVec { dim, indices, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_dedups_drops_zeros() {
+        let v = SparseVec::from_pairs(10, vec![(5, 1.0), (2, 2.0), (5, 0.5), (7, 0.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(5), 1.5);
+        assert_eq!(v.get(2), 2.0);
+        assert_eq!(v.get(7), 0.0);
+        assert_eq!(v.indices(), &[2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dim")]
+    fn index_out_of_dim_panics() {
+        let _ = SparseVec::multi_hot(3, [3]);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let a = SparseVec::from_pairs(8, vec![(0, 1.0), (3, -2.0), (7, 0.5)]);
+        let b = SparseVec::from_pairs(8, vec![(3, 4.0), (6, 1.0), (7, 2.0)]);
+        let dense: f32 = a
+            .to_dense()
+            .iter()
+            .zip(b.to_dense())
+            .map(|(x, y)| x * y)
+            .sum();
+        assert!((a.dot(&b) - dense).abs() < 1e-6);
+        assert!((a.dot(&b) - (-8.0 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_bounds_and_zero_handling() {
+        let a = SparseVec::multi_hot(5, [0, 1]);
+        let same = SparseVec::multi_hot(5, [0, 1]);
+        let disjoint = SparseVec::multi_hot(5, [3, 4]);
+        let zero = SparseVec::zeros(5);
+        assert!((a.cosine_similarity(&same) - 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine_similarity(&disjoint), 0.0);
+        assert_eq!(a.cosine_similarity(&zero), 0.0);
+        assert!((a.cosine_distance(&same)).abs() < 1e-6);
+        assert!((a.cosine_distance(&disjoint) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_offsets_indices() {
+        let a = SparseVec::multi_hot(3, [1]);
+        let b = SparseVec::multi_hot(4, [0, 2]);
+        let c = a.concat(&b);
+        assert_eq!(c.dim(), 7);
+        assert_eq!(c.indices(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn multi_hot_norm() {
+        let v = SparseVec::multi_hot(10, [1, 4, 9]);
+        assert!((v.norm() - 3f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Edge-case and failure-injection tests for the tensor kernels.
+
+use agnn_tensor::{init, ops, Matrix, SparseVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn one_by_one_matrices_work_everywhere() {
+    let a = Matrix::full(1, 1, 2.0);
+    let b = Matrix::full(1, 1, 3.0);
+    assert_eq!(ops::matmul(&a, &b).get(0, 0), 6.0);
+    assert_eq!(ops::sum_rows(&a).shape(), (1, 1));
+    assert_eq!(ops::segment_mean_rows(&a, 1).get(0, 0), 2.0);
+    assert_eq!(ops::softmax_rows(&a).get(0, 0), 1.0);
+}
+
+#[test]
+fn single_column_and_single_row_shapes() {
+    let col = Matrix::col_vector(vec![1.0, 2.0, 3.0]);
+    let row = Matrix::row_vector(vec![4.0, 5.0, 6.0]);
+    let outer = ops::matmul(&col, &row);
+    assert_eq!(outer.shape(), (3, 3));
+    assert_eq!(outer.get(2, 0), 12.0);
+    let inner = ops::matmul(&row, &col);
+    assert_eq!(inner.shape(), (1, 1));
+    assert_eq!(inner.get(0, 0), 32.0);
+}
+
+#[test]
+fn empty_matrix_reductions() {
+    let m = Matrix::zeros(0, 4);
+    assert_eq!(ops::sum_all(&m), 0.0);
+    assert_eq!(ops::mean_all(&m), 0.0);
+    assert!(m.is_empty());
+    assert_eq!(m.gather_rows(&[]).shape(), (0, 4));
+}
+
+#[test]
+fn large_magnitudes_stay_finite_through_activations() {
+    let m = Matrix::from_vec(1, 4, vec![1e20, -1e20, 1e-30, -0.0]);
+    assert!(ops::sigmoid(&m).all_finite());
+    assert!(ops::tanh(&m).all_finite());
+    assert!(ops::leaky_relu(&m, 0.01).all_finite());
+    let sm = ops::softmax_rows(&m);
+    assert!(sm.all_finite());
+    let sum: f32 = sm.row(0).iter().sum();
+    assert!((sum - 1.0).abs() < 1e-5);
+}
+
+#[test]
+fn matmul_with_zero_inner_dim() {
+    let a = Matrix::zeros(3, 0);
+    let b = Matrix::zeros(0, 2);
+    let c = ops::matmul(&a, &b);
+    assert_eq!(c.shape(), (3, 2));
+    assert!(c.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn transpose_of_vectors() {
+    let r = Matrix::row_vector(vec![1.0, 2.0]);
+    let t = ops::transpose(&r);
+    assert_eq!(t.shape(), (2, 1));
+    assert_eq!(t.col(0), vec![1.0, 2.0]);
+}
+
+#[test]
+fn segment_ops_with_group_size_one() {
+    let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+    assert_eq!(ops::segment_mean_rows(&m, 1), m);
+    assert_eq!(ops::segment_sum_rows(&m, 1), m);
+    assert_eq!(ops::repeat_rows(&m, 1), m);
+}
+
+#[test]
+fn sparse_vec_degenerate_dims() {
+    let z = SparseVec::zeros(0);
+    assert_eq!(z.dim(), 0);
+    assert_eq!(z.norm(), 0.0);
+    let z2 = SparseVec::zeros(0);
+    assert_eq!(z.dot(&z2), 0.0);
+    assert_eq!(z.cosine_similarity(&z2), 0.0);
+}
+
+#[test]
+fn sparse_single_element_identities() {
+    let a = SparseVec::from_pairs(5, vec![(2, -3.0)]);
+    assert_eq!(a.norm(), 3.0);
+    assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-6);
+    let b = SparseVec::from_pairs(5, vec![(2, 7.0)]);
+    assert!((a.cosine_similarity(&b) + 1.0).abs() < 1e-6); // opposite signs
+}
+
+#[test]
+fn initializers_handle_degenerate_shapes() {
+    let mut rng = StdRng::seed_from_u64(0);
+    assert_eq!(init::xavier_uniform(1, 1, &mut rng).shape(), (1, 1));
+    assert_eq!(init::normal(0, 5, 1.0, &mut rng).shape(), (0, 5));
+    assert_eq!(init::uniform(5, 0, 1.0, &mut rng).shape(), (5, 0));
+}
+
+#[test]
+fn hsplit_degenerate_widths() {
+    let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+    let parts = m.hsplit(&[0, 3, 0]);
+    assert_eq!(parts[0].shape(), (2, 0));
+    assert_eq!(parts[1], m);
+    assert_eq!(parts[2].shape(), (2, 0));
+}
+
+#[test]
+fn scatter_into_zero_rows_is_noop() {
+    let mut acc = Matrix::zeros(3, 2);
+    acc.scatter_add_rows(&[], &Matrix::zeros(0, 2));
+    assert!(acc.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+#[should_panic(expected = "not divisible")]
+fn segment_mean_rejects_ragged() {
+    let m = Matrix::zeros(5, 2);
+    let _ = ops::segment_mean_rows(&m, 2);
+}
+
+#[test]
+#[should_panic(expected = "inner dims")]
+fn matmul_shape_mismatch_panics() {
+    let _ = ops::matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the tensor kernels.
+
+use agnn_tensor::{ops, sparse::SparseVec, stats, Matrix};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..8, 1usize..8)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_noop((m, n) in small_dims(), seed in 0u64..1000) {
+        let a = Matrix::from_fn(m, n, |r, c| ((r * 31 + c * 7 + seed as usize) % 11) as f32 - 5.0);
+        let i = Matrix::eye(n);
+        let out = ops::matmul(&a, &i);
+        prop_assert!(out.max_abs_diff(&a) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((m, k) in small_dims(), n in 1usize..8, seed in 0u64..100) {
+        let f = |s: usize| move |r: usize, c: usize| (((r * 13 + c * 5 + s) % 9) as f32) * 0.5 - 2.0;
+        let a = Matrix::from_fn(m, k, f(seed as usize));
+        let b = Matrix::from_fn(k, n, f(seed as usize + 1));
+        let c = Matrix::from_fn(k, n, f(seed as usize + 2));
+        let lhs = ops::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&ops::matmul(&a, &b), &ops::matmul(&a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_involution((m, n) in small_dims(), a in (0usize..1).prop_flat_map(|_| matrix(3, 4))) {
+        let _ = (m, n);
+        let t = ops::transpose(&ops::transpose(&a));
+        prop_assert_eq!(t, a);
+    }
+
+    #[test]
+    fn add_commutes(a in matrix(4, 3), b in matrix(4, 3)) {
+        prop_assert_eq!(ops::add(&a, &b), ops::add(&b, &a));
+    }
+
+    #[test]
+    fn mul_by_ones_is_identity(a in matrix(3, 5)) {
+        let ones = Matrix::ones(3, 5);
+        prop_assert_eq!(ops::mul(&a, &ones), a);
+    }
+
+    #[test]
+    fn segment_mean_of_repeat_is_identity(a in matrix(4, 3), g in 1usize..5) {
+        let rep = ops::repeat_rows(&a, g);
+        let back = ops::segment_mean_rows(&rep, g);
+        prop_assert!(back.max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(5, 4)) {
+        let s = ops::softmax_rows(&a);
+        for r in 0..5 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn sparse_cosine_symmetric_and_bounded(
+        ia in proptest::collection::btree_set(0u32..50, 0..10),
+        ib in proptest::collection::btree_set(0u32..50, 0..10),
+    ) {
+        let a = SparseVec::multi_hot(50, ia);
+        let b = SparseVec::multi_hot(50, ib);
+        let ab = a.cosine_similarity(&b);
+        let ba = b.cosine_similarity(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((0.0..=2.0).contains(&a.cosine_distance(&b)));
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense(
+        pa in proptest::collection::vec((0u32..30, -5.0f32..5.0), 0..10),
+        pb in proptest::collection::vec((0u32..30, -5.0f32..5.0), 0..10),
+    ) {
+        let a = SparseVec::from_pairs(30, pa);
+        let b = SparseVec::from_pairs(30, pb);
+        let dense: f32 = a.to_dense().iter().zip(b.to_dense()).map(|(x, y)| x * y).sum();
+        prop_assert!((a.dot(&b) - dense).abs() < 1e-3);
+    }
+
+    #[test]
+    fn min_max_output_in_unit_interval(mut xs in proptest::collection::vec(-100.0f32..100.0, 1..20)) {
+        stats::min_max_normalize(&mut xs);
+        prop_assert!(xs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gather_then_scatter_dims(idx in proptest::collection::vec(0usize..6, 1..10)) {
+        let a = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f32);
+        let g = a.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        let mut acc = Matrix::zeros(6, 4);
+        acc.scatter_add_rows(&idx, &g);
+        prop_assert!(acc.all_finite());
+    }
+}

@@ -1,0 +1,100 @@
+//! Bring your own data: build a [`Dataset`] by hand through the public API
+//! — schemas, multi-hot attribute encodings, explicit ratings — then train
+//! AGNN on it. This is the path a downstream user takes to run AGNN on a
+//! real catalog.
+//!
+//! The toy domain: a tiny bookstore. Books carry genre/format/author
+//! attributes, readers carry an age-band and a favourite-genre profile.
+//! Two brand-new books (no ratings anywhere) get recommendations purely
+//! from their attributes.
+//!
+//! ```sh
+//! cargo run --release --example custom_dataset
+//! ```
+
+use agnn_core::model::RatingModel;
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::schema::AttributeSchema;
+use agnn_data::{ColdStartKind, Dataset, Rating, Split, SplitConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- 1. schemas -------------------------------------------------------
+    let user_schema = AttributeSchema::new(vec![("age_band", 4), ("fav_genre", 6)]);
+    let item_schema = AttributeSchema::new(vec![("genre", 6), ("format", 3), ("author", 40)]);
+
+    // --- 2. synthesize a small bookstore ----------------------------------
+    let mut rng = StdRng::seed_from_u64(99);
+    let num_users = 120;
+    let num_items = 200;
+
+    let user_attrs: Vec<_> = (0..num_users)
+        .map(|_| {
+            let age = rng.gen_range(0..4);
+            let fav = rng.gen_range(0..6);
+            user_schema.encode(&[vec![age], vec![fav]])
+        })
+        .collect();
+    let item_attrs: Vec<_> = (0..num_items)
+        .map(|_| {
+            let genre = rng.gen_range(0..6);
+            let format = rng.gen_range(0..3);
+            let author = rng.gen_range(0..40);
+            item_schema.encode(&[vec![genre], vec![format], vec![author]])
+        })
+        .collect();
+
+    // Ratings: readers like their favourite genre (~4.5 stars), tolerate
+    // the rest (~3), with noise.
+    let fav_genres: Vec<usize> = (0..num_users).map(|u| user_attrs[u].indices()[1] as usize - 4).collect();
+    let genres: Vec<usize> = (0..num_items).map(|i| item_attrs[i].indices()[0] as usize).collect();
+    let mut ratings = Vec::new();
+    for u in 0..num_users {
+        for _ in 0..25 {
+            let i = rng.gen_range(0..num_items);
+            let base = if genres[i] == fav_genres[u] { 4.5 } else { 3.0 };
+            let value = (base + rng.gen_range(-1.0f32..1.0)).round().clamp(1.0, 5.0);
+            ratings.push(Rating { user: u as u32, item: i as u32, value });
+        }
+    }
+    ratings.sort_by_key(|r| (r.user, r.item));
+    ratings.dedup_by_key(|r| (r.user, r.item));
+
+    let data = Dataset {
+        name: "bookstore".into(),
+        num_users,
+        num_items,
+        user_schema,
+        item_schema,
+        user_attrs,
+        item_attrs,
+        ratings,
+        rating_scale: (1.0, 5.0),
+    };
+    data.validate();
+    println!("custom dataset: {:?}", data.stats());
+
+    // --- 3. strict item cold start: the two newest books ------------------
+    let split = Split::create(&data, SplitConfig { kind: ColdStartKind::StrictItem, test_fraction: 0.15, seed: 99 });
+    let mut model = Agnn::new(AgnnConfig { epochs: 6, lr: 3e-3, embed_dim: 24, vae_latent_dim: 12, ..AgnnConfig::default() });
+    model.fit(&data, &split);
+    let result = agnn_core::model::evaluate(&model, &data, &split.test).finish();
+    println!("cold-start RMSE {:.3} MAE {:.3} over {} held-out ratings", result.rmse, result.mae, result.n);
+
+    // --- 4. recommend a new book to the right readers ----------------------
+    let new_book = *split.cold_items.iter().next().expect("a cold book");
+    let its_genre = genres[new_book as usize];
+    let mut scored: Vec<(u32, f32)> = (0..num_users as u32)
+        .map(|u| (u, model.predict(u, new_book)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("\nnew book {new_book} (genre {its_genre}); top-5 predicted readers:");
+    let mut genre_matches = 0;
+    for &(u, score) in scored.iter().take(5) {
+        let matches = fav_genres[u as usize] == its_genre;
+        genre_matches += matches as usize;
+        println!("  reader {u}: {:.2} stars (favourite genre matches: {matches})", data.clamp_rating(score));
+    }
+    println!("\n{genre_matches}/5 of the top readers favour this genre — the attribute graph did its job.");
+}

@@ -1,0 +1,36 @@
+//! Explore AGNN's design space: run a handful of Table 3/4 variants on one
+//! split and see which components carry the cold-start performance.
+//!
+//! ```sh
+//! cargo run --release --example variant_explorer
+//! ```
+
+use agnn_core::model::evaluate;
+use agnn_core::variants::VariantName;
+use agnn_core::AgnnConfig;
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+
+fn main() {
+    let data = Preset::Ml100k.generate(0.2, 13);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 13));
+    println!("strict item cold start, {} test ratings\n", split.test.len());
+
+    let variants = [
+        VariantName::Full,
+        VariantName::NoEVae,
+        VariantName::PlainVae,
+        VariantName::NoGatedGnn,
+        VariantName::Gcn,
+        VariantName::KnnGraph,
+        VariantName::Llae,
+    ];
+
+    println!("{:<14}{:>10}{:>10}{:>12}", "variant", "RMSE", "MAE", "train (s)");
+    for v in variants {
+        let mut model = v.build(AgnnConfig { epochs: 5, lr: 2e-3, ..AgnnConfig::default() });
+        let report = agnn_core::model::RatingModel::fit(&mut model, &data, &split);
+        let r = evaluate(&model, &data, &split.test).finish();
+        println!("{:<14}{:>10.4}{:>10.4}{:>12.1}", v.label(), r.rmse, r.mae, report.train_seconds);
+    }
+    println!("\n(lower is better; compare against the paper's Tables 3–4 orderings)");
+}

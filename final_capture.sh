@@ -1,0 +1,6 @@
+#!/bin/sh
+set -x
+cd "$(dirname "$0")"
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -3
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -3
+echo FINAL_CAPTURE_DONE

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs every experiment binary in paper order, logging to results/.
+set -e
+cd "$(dirname "$0")"
+B="cargo run --release -q -p agnn-bench --bin"
+$B exp_table1 > results/table1.txt 2>results/table1.log
+$B exp_table2 -- > results/table2.txt 2>results/table2.log
+$B exp_table3 -- --epochs 6 > results/table3.txt 2>results/table3.log
+$B exp_table4 -- --epochs 6 > results/table4.txt 2>results/table4.log
+$B exp_fig8  -- --epochs 5 > results/fig8.txt  2>results/fig8.log
+$B exp_fig9  -- > results/fig9.txt 2>results/fig9.log
+$B exp_fig5  -- --epochs 5 --scale 0.85 > results/fig5.txt 2>results/fig5.log
+$B exp_fig6  -- --epochs 5 --scale 0.85 > results/fig6.txt 2>results/fig6.log
+$B exp_fig7  -- --epochs 5 --scale 0.85 > results/fig7.txt 2>results/fig7.log
+$B exp_complexity -- > results/complexity.txt 2>results/complexity.log
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,83 @@
+//! Cross-crate checks on the twelve baselines: they all run on every
+//! scenario, and the qualitative orderings the paper's analysis predicts
+//! hold on the synthetic data.
+
+use agnn_baselines::common::BaselineConfig;
+use agnn_baselines::{build_baseline, BaselineKind};
+use agnn_core::model::evaluate;
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+
+fn cfg(epochs: usize) -> BaselineConfig {
+    BaselineConfig { embed_dim: 16, epochs, lr: 3e-3, fanout: 5, ..BaselineConfig::default() }
+}
+
+#[test]
+fn all_baselines_all_scenarios_smoke() {
+    let data = Preset::Ml100k.generate(0.05, 300);
+    for kind in [ColdStartKind::WarmStart, ColdStartKind::StrictItem, ColdStartKind::StrictUser] {
+        let split = Split::create(&data, SplitConfig::paper_default(kind, 300));
+        for b in BaselineKind::ALL {
+            let mut model = build_baseline(b, cfg(1));
+            model.fit(&data, &split);
+            let r = evaluate(model.as_ref(), &data, &split.test).finish();
+            assert!(r.rmse.is_finite(), "{} {:?} non-finite", b.label(), kind);
+        }
+    }
+}
+
+#[test]
+fn llae_is_far_worse_than_everything_else() {
+    // Table 2's most dramatic row: LLAE's behaviour-vector objective is on
+    // the wrong scale for rating prediction.
+    let data = Preset::Ml100k.generate(0.1, 301);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictUser, 301));
+    let mut llae = build_baseline(BaselineKind::Llae, cfg(4));
+    llae.fit(&data, &split);
+    let llae_rmse = evaluate(llae.as_ref(), &data, &split.test).finish().rmse;
+
+    let mut nfm = build_baseline(BaselineKind::Nfm, cfg(4));
+    nfm.fit(&data, &split);
+    let nfm_rmse = evaluate(nfm.as_ref(), &data, &split.test).finish().rmse;
+
+    assert!(
+        llae_rmse > nfm_rmse + 0.5,
+        "LLAE {llae_rmse} should be far worse than NFM {nfm_rmse}"
+    );
+}
+
+#[test]
+fn metaemb_beats_stargcn_on_strict_item_cold_start() {
+    // §4.2: interaction-graph methods lose their signal for strict cold
+    // items; MetaEmb generates embeddings from attributes and holds up.
+    let data = Preset::Ml100k.generate(0.15, 302);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 302));
+
+    let mut meta = build_baseline(BaselineKind::MetaEmb, cfg(6));
+    meta.fit(&data, &split);
+    let meta_rmse = evaluate(meta.as_ref(), &data, &split.test).finish().rmse;
+
+    let mut star = build_baseline(BaselineKind::StarGcn, cfg(6));
+    star.fit(&data, &split);
+    let star_rmse = evaluate(star.as_ref(), &data, &split.test).finish().rmse;
+
+    assert!(
+        meta_rmse < star_rmse * 1.05,
+        "MetaEmb {meta_rmse} should not lose badly to STAR-GCN {star_rmse} on ICS"
+    );
+}
+
+#[test]
+fn stargcn_beats_dropoutnet_on_warm_start() {
+    // STAR-GCN is among the paper's strongest warm-start systems while
+    // DropoutNet trails badly there (its training deliberately corrupts the
+    // preference inputs) — a robust qualitative ordering to pin down.
+    let data = Preset::Ml100k.generate(0.15, 303);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::WarmStart, 303));
+    let mut star = build_baseline(BaselineKind::StarGcn, cfg(6));
+    star.fit(&data, &split);
+    let star_rmse = evaluate(star.as_ref(), &data, &split.test).finish().rmse;
+    let mut dn = build_baseline(BaselineKind::DropoutNet, cfg(6));
+    dn.fit(&data, &split);
+    let dn_rmse = evaluate(dn.as_ref(), &data, &split.test).finish().rmse;
+    assert!(star_rmse < dn_rmse, "STAR-GCN {star_rmse} should beat DropoutNet {dn_rmse} on WS");
+}

@@ -1,0 +1,81 @@
+//! Property-based tests across the data → graph → metrics pipeline.
+
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use agnn_graph::{CandidatePools, PoolConfig, ProximityMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Split invariants hold for arbitrary seeds and fractions.
+    #[test]
+    fn split_invariants(seed in 0u64..5000, frac in 0.05f64..0.6, kind_ix in 0usize..3) {
+        let kind = [ColdStartKind::WarmStart, ColdStartKind::StrictItem, ColdStartKind::StrictUser][kind_ix];
+        let data = Preset::Ml100k.generate(0.04, 9);
+        let split = Split::create(&data, SplitConfig { kind, test_fraction: frac, seed });
+        split.validate();
+        prop_assert_eq!(split.train.len() + split.test.len(), data.ratings.len());
+    }
+
+    /// Candidate pools never contain self-loops or out-of-range nodes, and
+    /// respect the top-p% bound.
+    #[test]
+    fn pool_invariants(seed in 0u64..1000, p in 1.0f32..30.0) {
+        let data = Preset::Ml100k.generate(0.04, seed % 7);
+        let pools = CandidatePools::build(
+            &data.item_attrs,
+            None,
+            PoolConfig { top_percent: p, mode: ProximityMode::AttributeOnly, bucket_cap: 256, min_pool: 5 },
+        );
+        let n = data.num_items;
+        let bound = (((p as f64 / 100.0) * n as f64).ceil() as usize).max(5);
+        for node in 0..n as u32 {
+            let pool = pools.pool(node);
+            prop_assert!(pool.len() <= bound);
+            for &(c, w) in pool {
+                prop_assert!(c != node, "self loop at {node}");
+                prop_assert!((c as usize) < n);
+                prop_assert!(w.is_finite());
+            }
+            // Pools are sorted best-first.
+            for win in pool.windows(2) {
+                prop_assert!(win[0].1 >= win[1].1);
+            }
+        }
+    }
+
+    /// Sampled neighborhoods only ever contain pool members (or the node
+    /// itself as the isolated-node fallback).
+    #[test]
+    fn sampling_stays_in_pool(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let data = Preset::Ml100k.generate(0.04, 3);
+        let pools = CandidatePools::build(
+            &data.user_attrs,
+            None,
+            PoolConfig { top_percent: 10.0, mode: ProximityMode::AttributeOnly, bucket_cap: 256, min_pool: 3 },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for node in (0..data.num_users as u32).step_by(17) {
+            let members: std::collections::BTreeSet<usize> =
+                pools.pool(node).iter().map(|&(c, _)| c as usize).collect();
+            for s in pools.sample_neighbors(node, 6, &mut rng) {
+                prop_assert!(members.contains(&s) || s == node as usize);
+            }
+        }
+    }
+
+    /// RMSE/MAE of clamped predictions are bounded by the rating range.
+    #[test]
+    fn metric_bounds(preds in proptest::collection::vec(-10.0f32..10.0, 1..50)) {
+        let data = Preset::Ml100k.generate(0.04, 1);
+        let mut acc = agnn_metrics::EvalAccumulator::new();
+        for (i, p) in preds.iter().enumerate() {
+            let truth = 1.0 + (i % 5) as f32;
+            acc.push(data.clamp_rating(*p), truth);
+        }
+        let r = acc.finish();
+        prop_assert!(r.rmse <= 4.0 + 1e-6);
+        prop_assert!(r.mae <= r.rmse + 1e-9);
+    }
+}
