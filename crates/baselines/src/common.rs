@@ -4,7 +4,6 @@
 use agnn_autograd::nn::Embedding;
 use agnn_autograd::{Graph, ParamId, ParamStore, Var};
 use agnn_core::interaction::AttrLists;
-use agnn_data::{Dataset, Split};
 use agnn_tensor::{init, Matrix};
 use rand::Rng;
 use std::rc::Rc;
@@ -30,6 +29,23 @@ pub struct BaselineConfig {
 impl Default for BaselineConfig {
     fn default() -> Self {
         Self { embed_dim: 40, epochs: 10, batch_size: 128, lr: 5e-4, fanout: 10, seed: 17 }
+    }
+}
+
+impl BaselineConfig {
+    /// The training-loop slice of these knobs, for the `agnn-train` engine.
+    /// Baselines historically train unclipped, so no gradient clipping;
+    /// models that scale the shared lr (LLAE ×4, DropoutNet ×2) or add
+    /// weight decay do so via the `TrainConfig` builders.
+    pub fn train_config(&self) -> agnn_train::TrainConfig {
+        agnn_train::TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            lr: self.lr,
+            weight_decay: 0.0,
+            grad_clip_norm: None,
+            seed: self.seed,
+        }
     }
 }
 
@@ -99,37 +115,9 @@ impl BiasTerms {
     }
 }
 
-/// Training-interaction degrees and the cold flags derived from them.
-#[derive(Clone, Debug)]
-pub struct Degrees {
-    /// Per-user training-interaction counts.
-    pub user: Vec<usize>,
-    /// Per-item training-interaction counts.
-    pub item: Vec<usize>,
-}
-
-impl Degrees {
-    /// Counts training interactions per node.
-    pub fn from_split(dataset: &Dataset, split: &Split) -> Self {
-        let mut user = vec![0usize; dataset.num_users];
-        let mut item = vec![0usize; dataset.num_items];
-        for r in &split.train {
-            user[r.user as usize] += 1;
-            item[r.item as usize] += 1;
-        }
-        Self { user, item }
-    }
-
-    /// True iff the user had zero training interactions.
-    pub fn user_cold(&self) -> Vec<bool> {
-        self.user.iter().map(|&d| d == 0).collect()
-    }
-
-    /// True iff the item had zero training interactions.
-    pub fn item_cold(&self) -> Vec<bool> {
-        self.item.iter().map(|&d| d == 0).collect()
-    }
-}
+// Degree counting moved into `agnn-data` (AGNN needs it too); re-exported
+// here so existing `crate::common::Degrees` imports keep working.
+pub use agnn_data::Degrees;
 
 /// Static attribute-kNN candidate pools (the construction DiffNet, DANSER,
 /// sRMGCNN and HERS use when no social graph exists, with K = 10 per
@@ -227,14 +215,11 @@ mod tests {
     }
 
     #[test]
-    fn degrees_and_cold_flags() {
+    fn degrees_reexport_still_resolves() {
         let data = Preset::Ml100k.generate(0.06, 5);
         let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 5));
+        // `Degrees` lives in `agnn-data` now; this exercises the compat path.
         let deg = Degrees::from_split(&data, &split);
-        let cold = deg.item_cold();
-        for &i in &split.cold_items {
-            assert!(cold[i as usize], "cold item {i} not flagged");
-        }
         assert_eq!(deg.user.iter().sum::<usize>(), split.train.len());
     }
 

@@ -10,23 +10,22 @@
 
 use crate::common::{batch_neighbors, knn_pools, pools_from_csr, rowwise_dot, warm_col, AttrEmbed, BaselineConfig, BiasTerms, Degrees};
 use agnn_autograd::nn::Embedding;
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
 use agnn_core::config::GnnKind;
 use agnn_core::gnn::GnnLayer;
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_graph::{construction, BipartiteGraph, CandidatePools};
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_emb: Embedding,
     item_emb: Embedding,
     user_attr: AttrEmbed,
@@ -40,6 +39,11 @@ struct Fitted {
     item_attrs: AttrLists,
     user_cold: Vec<bool>,
     item_cold: Vec<bool>,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The DANSER baseline.
@@ -56,36 +60,38 @@ impl Danser {
 
     fn node_embed(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         user_side: bool,
         nodes: &[usize],
     ) -> Var {
         let (emb, attr, lists, cold) = if user_side {
-            (&f.user_emb, &f.user_attr, &f.user_attrs, &f.user_cold)
+            (&m.user_emb, &m.user_attr, &m.user_attrs, &m.user_cold)
         } else {
-            (&f.item_emb, &f.item_attr, &f.item_attrs, &f.item_cold)
+            (&m.item_emb, &m.item_attr, &m.item_attrs, &m.item_cold)
         };
-        let free = emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
+        let free = emb.lookup(g, store, Rc::new(nodes.to_vec()));
         let mask = warm_col(g, cold, nodes);
         let masked = g.mul_col_broadcast(free, mask);
-        let attrs = attr.forward(g, &f.store, lists, nodes);
+        let attrs = attr.forward(g, store, lists, nodes);
         g.add(masked, attrs)
     }
 
     fn side_forward(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         cfg: &BaselineConfig,
         user_side: bool,
         nodes: &[usize],
         rng: Option<&mut StdRng>,
     ) -> Var {
-        let target = Self::node_embed(g, f, user_side, nodes);
-        let pools = if user_side { &f.user_pools } else { &f.item_pools };
+        let target = Self::node_embed(g, store, m, user_side, nodes);
+        let pools = if user_side { &m.user_pools } else { &m.item_pools };
         let neighbor_ids = batch_neighbors(pools, nodes, cfg.fanout, rng);
-        let neighbors = Self::node_embed(g, f, user_side, &neighbor_ids);
-        let gat = if user_side { &f.user_gat } else { &f.item_gat };
-        gat.forward(g, &f.store, target, neighbors, cfg.fanout)
+        let neighbors = Self::node_embed(g, store, m, user_side, &neighbor_ids);
+        let gat = if user_side { &m.user_gat } else { &m.item_gat };
+        gat.forward(g, store, target, neighbors, cfg.fanout)
     }
 }
 
@@ -95,13 +101,17 @@ impl RatingModel for Danser {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let deg = Degrees::from_split(dataset, split);
         let bip = BipartiteGraph::from_ratings(dataset.num_users, dataset.num_items, &Dataset::rating_triples(&split.train));
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let m = Modules {
             user_emb: Embedding::new(&mut store, "da.user", dataset.num_users, cfg.embed_dim, &mut rng),
             item_emb: Embedding::new(&mut store, "da.item", dataset.num_items, cfg.embed_dim, &mut rng),
             user_attr: AttrEmbed::new(&mut store, "da.uattr", dataset.user_schema.total_dim(), cfg.embed_dim, &mut rng),
@@ -115,36 +125,22 @@ impl RatingModel for Danser {
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
             user_cold: deg.user_cold(),
             item_cold: deg.item_cold(),
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let hu = Self::side_forward(&mut g, f, &cfg, true, &users, Some(&mut rng));
-                let hi = Self::side_forward(&mut g, f, &cfg, false, &items, Some(&mut rng));
-                let dot = rowwise_dot(&mut g, hu, hi);
-                let scores = f.biases.apply(&mut g, &f.store, dot, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let hu = Self::side_forward(g, store, &m, &cfg, true, &users, Some(&mut *ctx.rng));
+            let hi = Self::side_forward(g, store, &m, &cfg, false, &items, Some(&mut *ctx.rng));
+            let dot = rowwise_dot(g, hu, hi);
+            let scores = m.biases.apply(g, store, dot, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -156,10 +152,10 @@ impl RatingModel for Danser {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let hu = Self::side_forward(&mut g, f, cfg, true, &users, None);
-            let hi = Self::side_forward(&mut g, f, cfg, false, &items, None);
+            let hu = Self::side_forward(&mut g, &f.store, &f.m, cfg, true, &users, None);
+            let hi = Self::side_forward(&mut g, &f.store, &f.m, cfg, false, &items, None);
             let dot = rowwise_dot(&mut g, hu, hi);
-            let s = f.biases.apply(&mut g, &f.store, dot, &users, &items);
+            let s = f.m.biases.apply(&mut g, &f.store, dot, &users, &items);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

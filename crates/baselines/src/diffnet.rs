@@ -10,21 +10,20 @@
 
 use crate::common::{batch_neighbors, knn_pools, rowwise_dot, warm_col, AttrEmbed, BaselineConfig, BiasTerms, Degrees};
 use agnn_autograd::nn::Embedding;
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_graph::CandidatePools;
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_emb: Embedding,
     item_emb: Embedding,
     user_attr: AttrEmbed,
@@ -35,6 +34,11 @@ struct Fitted {
     item_attrs: AttrLists,
     user_cold: Vec<bool>,
     item_cold: Vec<bool>,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The DiffNet baseline.
@@ -50,28 +54,35 @@ impl DiffNet {
     }
 
     /// Layer-0 user embedding: (cold-masked) free embedding + attributes.
-    fn user_layer0(g: &mut Graph, f: &Fitted, nodes: &[usize]) -> Var {
-        let free = f.user_emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
-        let mask = warm_col(g, &f.user_cold, nodes);
+    fn user_layer0(g: &mut Graph, store: &ParamStore, m: &Modules, nodes: &[usize]) -> Var {
+        let free = m.user_emb.lookup(g, store, Rc::new(nodes.to_vec()));
+        let mask = warm_col(g, &m.user_cold, nodes);
         let masked = g.mul_col_broadcast(free, mask);
-        let attr = f.user_attr.forward(g, &f.store, &f.user_attrs, nodes);
+        let attr = m.user_attr.forward(g, store, &m.user_attrs, nodes);
         g.add(masked, attr)
     }
 
     /// One diffusion layer: `h ← h + mean(neighbors' layer-0 embeddings)`.
-    fn user_final(g: &mut Graph, f: &Fitted, cfg: &BaselineConfig, nodes: &[usize], rng: Option<&mut StdRng>) -> Var {
-        let h0 = Self::user_layer0(g, f, nodes);
-        let neighbor_ids = batch_neighbors(&f.pools, nodes, cfg.fanout, rng);
-        let hn = Self::user_layer0(g, f, &neighbor_ids);
+    fn user_final(
+        g: &mut Graph,
+        store: &ParamStore,
+        m: &Modules,
+        cfg: &BaselineConfig,
+        nodes: &[usize],
+        rng: Option<&mut StdRng>,
+    ) -> Var {
+        let h0 = Self::user_layer0(g, store, m, nodes);
+        let neighbor_ids = batch_neighbors(&m.pools, nodes, cfg.fanout, rng);
+        let hn = Self::user_layer0(g, store, m, &neighbor_ids);
         let agg = g.segment_mean_rows(hn, cfg.fanout);
         g.add(h0, agg)
     }
 
-    fn item_final(g: &mut Graph, f: &Fitted, nodes: &[usize]) -> Var {
-        let free = f.item_emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
-        let mask = warm_col(g, &f.item_cold, nodes);
+    fn item_final(g: &mut Graph, store: &ParamStore, m: &Modules, nodes: &[usize]) -> Var {
+        let free = m.item_emb.lookup(g, store, Rc::new(nodes.to_vec()));
+        let mask = warm_col(g, &m.item_cold, nodes);
         let masked = g.mul_col_broadcast(free, mask);
-        let attr = f.item_attr.forward(g, &f.store, &f.item_attrs, nodes);
+        let attr = m.item_attr.forward(g, store, &m.item_attrs, nodes);
         g.add(masked, attr)
     }
 }
@@ -82,12 +93,16 @@ impl RatingModel for DiffNet {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let deg = Degrees::from_split(dataset, split);
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let m = Modules {
             user_emb: Embedding::new(&mut store, "dn.user", dataset.num_users, cfg.embed_dim, &mut rng),
             item_emb: Embedding::new(&mut store, "dn.item", dataset.num_items, cfg.embed_dim, &mut rng),
             user_attr: AttrEmbed::new(&mut store, "dn.uattr", dataset.user_schema.total_dim(), cfg.embed_dim, &mut rng),
@@ -98,36 +113,22 @@ impl RatingModel for DiffNet {
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
             user_cold: deg.user_cold(),
             item_cold: deg.item_cold(),
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let hu = Self::user_final(&mut g, f, &cfg, &users, Some(&mut rng));
-                let hi = Self::item_final(&mut g, f, &items);
-                let dot = rowwise_dot(&mut g, hu, hi);
-                let scores = f.biases.apply(&mut g, &f.store, dot, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let hu = Self::user_final(g, store, &m, &cfg, &users, Some(&mut *ctx.rng));
+            let hi = Self::item_final(g, store, &m, &items);
+            let dot = rowwise_dot(g, hu, hi);
+            let scores = m.biases.apply(g, store, dot, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -139,10 +140,10 @@ impl RatingModel for DiffNet {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let hu = Self::user_final(&mut g, f, cfg, &users, None);
-            let hi = Self::item_final(&mut g, f, &items);
+            let hu = Self::user_final(&mut g, &f.store, &f.m, cfg, &users, None);
+            let hi = Self::item_final(&mut g, &f.store, &f.m, &items);
             let dot = rowwise_dot(&mut g, hu, hi);
-            let s = f.biases.apply(&mut g, &f.store, dot, &users, &items);
+            let s = f.m.biases.apply(&mut g, &f.store, dot, &users, &items);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

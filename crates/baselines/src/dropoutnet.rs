@@ -12,20 +12,19 @@
 use crate::common::{AttrEmbed, BaselineConfig, Degrees};
 use crate::mf::BiasedMf;
 use agnn_autograd::nn::{Activation, Mlp};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     mf: BiasedMf,
     user_attr: AttrEmbed,
     item_attr: AttrEmbed,
@@ -36,6 +35,11 @@ struct Fitted {
     user_cold: Vec<bool>,
     item_cold: Vec<bool>,
     train_mean: f32,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The DropoutNet baseline.
@@ -53,17 +57,18 @@ impl DropoutNet {
     /// `f = MLP([pref(zeroed for cold/dropped) ; attrs])`.
     fn side_forward(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         user_side: bool,
         nodes: &[usize],
         dropout: Option<(&mut StdRng, f32)>,
     ) -> Var {
         let (emb, attr, lists, cold, head) = if user_side {
-            (&f.mf.user_emb, &f.user_attr, &f.user_attrs, &f.user_cold, &f.user_head)
+            (&m.mf.user_emb, &m.user_attr, &m.user_attrs, &m.user_cold, &m.user_head)
         } else {
-            (&f.mf.item_emb, &f.item_attr, &f.item_attrs, &f.item_cold, &f.item_head)
+            (&m.mf.item_emb, &m.item_attr, &m.item_attrs, &m.item_cold, &m.item_head)
         };
-        let pref = emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
+        let pref = emb.lookup(g, store, Rc::new(nodes.to_vec()));
         let keep: Vec<f32> = match dropout {
             Some((rng, rate)) => nodes
                 .iter()
@@ -73,16 +78,23 @@ impl DropoutNet {
         };
         let keep_col = g.constant(Matrix::col_vector(keep));
         let pref = g.mul_col_broadcast(pref, keep_col);
-        let attrs = attr.forward(g, &f.store, lists, nodes);
+        let attrs = attr.forward(g, store, lists, nodes);
         let cat = g.concat(&[pref, attrs]);
-        head.forward(g, &f.store, cat)
+        head.forward(g, store, cat)
     }
 
-    fn score(g: &mut Graph, f: &Fitted, users: &[usize], items: &[usize], mut dropout: Option<(&mut StdRng, f32)>) -> Var {
-        let hu = Self::side_forward(g, f, true, users, dropout.as_mut().map(|(r, p)| (&mut **r, *p)));
-        let hv = Self::side_forward(g, f, false, items, dropout.as_mut().map(|(r, p)| (&mut **r, *p)));
+    fn score(
+        g: &mut Graph,
+        store: &ParamStore,
+        m: &Modules,
+        users: &[usize],
+        items: &[usize],
+        mut dropout: Option<(&mut StdRng, f32)>,
+    ) -> Var {
+        let hu = Self::side_forward(g, store, m, true, users, dropout.as_mut().map(|(r, p)| (&mut **r, *p)));
+        let hv = Self::side_forward(g, store, m, false, items, dropout.as_mut().map(|(r, p)| (&mut **r, *p)));
         let dot = crate::common::rowwise_dot(g, hu, hv);
-        let mu = g.constant(Matrix::full(users.len(), 1, f.train_mean));
+        let mu = g.constant(Matrix::full(users.len(), 1, m.train_mean));
         g.add(dot, mu)
     }
 }
@@ -93,6 +105,10 @@ impl RatingModel for DropoutNet {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -107,7 +123,8 @@ impl RatingModel for DropoutNet {
         store.set_frozen(mf.user_emb.table, true);
         store.set_frozen(mf.item_emb.table, true);
 
-        let fitted = Fitted {
+        let m = Modules {
+            mf,
             user_attr: AttrEmbed::new(&mut store, "do.uattr", dataset.user_schema.total_dim(), d, &mut rng),
             item_attr: AttrEmbed::new(&mut store, "do.iattr", dataset.item_schema.total_dim(), d, &mut rng),
             user_head: Mlp::new(&mut store, "do.uhead", &[2 * d, d], Activation::Tanh, &mut rng),
@@ -117,34 +134,19 @@ impl RatingModel for DropoutNet {
             user_cold: deg.user_cold(),
             item_cold: deg.item_cold(),
             train_mean: split.train_mean(),
-            mf,
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr * 2.0);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let scores = Self::score(&mut g, f, &users, &items, Some((&mut rng, 0.5)));
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config().with_lr(cfg.lr * 2.0));
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let scores = Self::score(g, store, &m, &users, &items, Some((&mut *ctx.rng, 0.5)));
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -155,7 +157,7 @@ impl RatingModel for DropoutNet {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let s = Self::score(&mut g, f, &users, &items, None);
+            let s = Self::score(&mut g, &f.store, &f.m, &users, &items, None);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out
@@ -189,6 +191,6 @@ mod tests {
         let mut model = DropoutNet::new(cfg);
         model.fit(&data, &split);
         let f = model.fitted.as_ref().unwrap();
-        assert!(f.store.is_frozen(f.mf.user_emb.table));
+        assert!(f.store.is_frozen(f.m.mf.user_emb.table));
     }
 }

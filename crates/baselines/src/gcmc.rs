@@ -8,23 +8,22 @@
 //! neighbors, so its convolution term is exactly zero and prediction falls
 //! back to the dense attribute path + biases.
 
-use crate::common::{rowwise_dot, AttrEmbed, BaselineConfig, BiasTerms, Degrees};
+use crate::common::{rowwise_dot, AttrEmbed, BaselineConfig, BiasTerms};
 use agnn_autograd::nn::{Embedding, Linear};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_graph::BipartiteGraph;
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_emb: Embedding,
     item_emb: Embedding,
     user_conv: Linear,
@@ -35,6 +34,11 @@ struct Fitted {
     bip: BipartiteGraph,
     user_attrs: AttrLists,
     item_attrs: AttrLists,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The GC-MC baseline.
@@ -87,24 +91,25 @@ impl GcMc {
 
     fn side_forward(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         cfg: &BaselineConfig,
         user_side: bool,
         nodes: &[usize],
         rng: Option<&mut StdRng>,
     ) -> Var {
-        let (ids, mask) = rated_neighbor_ids(&f.bip, user_side, nodes, cfg.fanout, rng);
-        let counter_emb = if user_side { &f.item_emb } else { &f.user_emb };
-        let nb = counter_emb.lookup(g, &f.store, Rc::new(ids));
+        let (ids, mask) = rated_neighbor_ids(&m.bip, user_side, nodes, cfg.fanout, rng);
+        let counter_emb = if user_side { &m.item_emb } else { &m.user_emb };
+        let nb = counter_emb.lookup(g, store, Rc::new(ids));
         let pooled = g.segment_mean_rows(nb, cfg.fanout);
         let mask_col = g.constant(Matrix::col_vector(mask));
         let pooled = g.mul_col_broadcast(pooled, mask_col);
-        let conv_w = if user_side { &f.user_conv } else { &f.item_conv };
-        let conv = conv_w.forward(g, &f.store, pooled);
+        let conv_w = if user_side { &m.user_conv } else { &m.item_conv };
+        let conv = conv_w.forward(g, store, pooled);
         let conv = g.leaky_relu(conv, 0.01);
         // Dense side-information path, added after convolution.
-        let (dense, lists) = if user_side { (&f.user_dense, &f.user_attrs) } else { (&f.item_dense, &f.item_attrs) };
-        let attr = dense.forward(g, &f.store, lists, nodes);
+        let (dense, lists) = if user_side { (&m.user_dense, &m.user_attrs) } else { (&m.item_dense, &m.item_attrs) };
+        let attr = dense.forward(g, store, lists, nodes);
         g.add(conv, attr)
     }
 }
@@ -115,12 +120,15 @@ impl RatingModel for GcMc {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let _deg = Degrees::from_split(dataset, split);
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let m = Modules {
             user_emb: Embedding::new(&mut store, "gc.user", dataset.num_users, cfg.embed_dim, &mut rng),
             item_emb: Embedding::new(&mut store, "gc.item", dataset.num_items, cfg.embed_dim, &mut rng),
             user_conv: Linear::new(&mut store, "gc.uconv", cfg.embed_dim, cfg.embed_dim, &mut rng),
@@ -131,36 +139,22 @@ impl RatingModel for GcMc {
             bip: BipartiteGraph::from_ratings(dataset.num_users, dataset.num_items, &Dataset::rating_triples(&split.train)),
             user_attrs: AttrLists::from_sparse(&dataset.user_attrs),
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let hu = Self::side_forward(&mut g, f, &cfg, true, &users, Some(&mut rng));
-                let hi = Self::side_forward(&mut g, f, &cfg, false, &items, Some(&mut rng));
-                let dot = rowwise_dot(&mut g, hu, hi);
-                let scores = f.biases.apply(&mut g, &f.store, dot, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let hu = Self::side_forward(g, store, &m, &cfg, true, &users, Some(&mut *ctx.rng));
+            let hi = Self::side_forward(g, store, &m, &cfg, false, &items, Some(&mut *ctx.rng));
+            let dot = rowwise_dot(g, hu, hi);
+            let scores = m.biases.apply(g, store, dot, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -172,10 +166,10 @@ impl RatingModel for GcMc {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let hu = Self::side_forward(&mut g, f, cfg, true, &users, None);
-            let hi = Self::side_forward(&mut g, f, cfg, false, &items, None);
+            let hu = Self::side_forward(&mut g, &f.store, &f.m, cfg, true, &users, None);
+            let hi = Self::side_forward(&mut g, &f.store, &f.m, cfg, false, &items, None);
             let dot = rowwise_dot(&mut g, hu, hi);
-            let s = f.biases.apply(&mut g, &f.store, dot, &users, &items);
+            let s = f.m.biases.apply(&mut g, &f.store, dot, &users, &items);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

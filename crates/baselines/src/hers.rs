@@ -13,20 +13,19 @@
 
 use crate::common::{batch_neighbors, knn_pools, rowwise_dot, warm_col, BaselineConfig, BiasTerms, Degrees};
 use agnn_autograd::nn::{Embedding, Linear};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_graph::CandidatePools;
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_emb: Embedding,
     item_emb: Embedding,
     user_rel: Linear,
@@ -36,6 +35,11 @@ struct Fitted {
     item_pools: CandidatePools,
     user_cold: Vec<bool>,
     item_cold: Vec<bool>,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The HERS baseline.
@@ -52,26 +56,27 @@ impl Hers {
 
     fn side_forward(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         cfg: &BaselineConfig,
         user_side: bool,
         nodes: &[usize],
         rng: Option<&mut StdRng>,
     ) -> Var {
         let (emb, pools, cold, rel) = if user_side {
-            (&f.user_emb, &f.user_pools, &f.user_cold, &f.user_rel)
+            (&m.user_emb, &m.user_pools, &m.user_cold, &m.user_rel)
         } else {
-            (&f.item_emb, &f.item_pools, &f.item_cold, &f.item_rel)
+            (&m.item_emb, &m.item_pools, &m.item_cold, &m.item_rel)
         };
-        let own = emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
+        let own = emb.lookup(g, store, Rc::new(nodes.to_vec()));
         let own_mask = warm_col(g, cold, nodes);
         let own = g.mul_col_broadcast(own, own_mask);
         let neighbor_ids = batch_neighbors(pools, nodes, cfg.fanout, rng);
-        let nb = emb.lookup(g, &f.store, Rc::new(neighbor_ids.clone()));
+        let nb = emb.lookup(g, store, Rc::new(neighbor_ids.clone()));
         let nb_mask = warm_col(g, cold, &neighbor_ids);
         let nb = g.mul_col_broadcast(nb, nb_mask);
         let ctx = g.segment_mean_rows(nb, cfg.fanout);
-        let ctx = rel.forward(g, &f.store, ctx);
+        let ctx = rel.forward(g, store, ctx);
         let mixed = g.add(own, ctx);
         g.tanh(mixed)
     }
@@ -83,12 +88,16 @@ impl RatingModel for Hers {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let deg = Degrees::from_split(dataset, split);
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let m = Modules {
             user_emb: Embedding::new(&mut store, "he.user", dataset.num_users, cfg.embed_dim, &mut rng),
             item_emb: Embedding::new(&mut store, "he.item", dataset.num_items, cfg.embed_dim, &mut rng),
             user_rel: Linear::new(&mut store, "he.urel", cfg.embed_dim, cfg.embed_dim, &mut rng),
@@ -98,36 +107,22 @@ impl RatingModel for Hers {
             item_pools: knn_pools(&dataset.item_attrs, cfg.fanout),
             user_cold: deg.user_cold(),
             item_cold: deg.item_cold(),
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let hu = Self::side_forward(&mut g, f, &cfg, true, &users, Some(&mut rng));
-                let hi = Self::side_forward(&mut g, f, &cfg, false, &items, Some(&mut rng));
-                let dot = rowwise_dot(&mut g, hu, hi);
-                let scores = f.biases.apply(&mut g, &f.store, dot, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let hu = Self::side_forward(g, store, &m, &cfg, true, &users, Some(&mut *ctx.rng));
+            let hi = Self::side_forward(g, store, &m, &cfg, false, &items, Some(&mut *ctx.rng));
+            let dot = rowwise_dot(g, hu, hi);
+            let scores = m.biases.apply(g, store, dot, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -139,10 +134,10 @@ impl RatingModel for Hers {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let hu = Self::side_forward(&mut g, f, cfg, true, &users, None);
-            let hi = Self::side_forward(&mut g, f, cfg, false, &items, None);
+            let hu = Self::side_forward(&mut g, &f.store, &f.m, cfg, true, &users, None);
+            let hi = Self::side_forward(&mut g, &f.store, &f.m, cfg, false, &items, None);
             let dot = rowwise_dot(&mut g, hu, hi);
-            let s = f.biases.apply(&mut g, &f.store, dot, &users, &items);
+            let s = f.m.biases.apply(&mut g, &f.store, dot, &users, &items);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

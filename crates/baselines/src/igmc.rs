@@ -13,21 +13,20 @@
 use crate::common::{AttrEmbed, BaselineConfig};
 use crate::gcmc::rated_neighbor_ids;
 use agnn_autograd::nn::{Activation, Mlp};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamId, ParamStore, Var};
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_graph::BipartiteGraph;
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_attr: AttrEmbed,
     item_attr: AttrEmbed,
     rating_emb: ParamId,
@@ -42,6 +41,11 @@ struct Fitted {
     rating_levels: usize,
 }
 
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
+}
+
 /// The IGMC baseline.
 pub struct Igmc {
     cfg: BaselineConfig,
@@ -54,35 +58,36 @@ impl Igmc {
         Self { cfg, fitted: None }
     }
 
-    fn rating_level(f: &Fitted, v: f32) -> usize {
-        ((v - f.rating_lo).round() as isize).clamp(0, f.rating_levels as isize - 1) as usize
+    fn rating_level(m: &Modules, v: f32) -> usize {
+        ((v - m.rating_lo).round() as isize).clamp(0, m.rating_levels as isize - 1) as usize
     }
 
     /// Side summary from the enclosing-subgraph edges.
     fn side_forward(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         cfg: &BaselineConfig,
         user_side: bool,
         nodes: &[usize],
         rng: Option<&mut StdRng>,
     ) -> Var {
         let (own_attr, own_lists, cross_attr, cross_lists) = if user_side {
-            (&f.user_attr, &f.user_attrs, &f.item_attr, &f.item_attrs)
+            (&m.user_attr, &m.user_attrs, &m.item_attr, &m.item_attrs)
         } else {
-            (&f.item_attr, &f.item_attrs, &f.user_attr, &f.user_attrs)
+            (&m.item_attr, &m.item_attrs, &m.user_attr, &m.user_attrs)
         };
-        let own = own_attr.forward(g, &f.store, own_lists, nodes);
-        let (ids, mask) = rated_neighbor_ids(&f.bip, user_side, nodes, cfg.fanout, rng);
-        let counter = cross_attr.forward(g, &f.store, cross_lists, &ids);
+        let own = own_attr.forward(g, store, own_lists, nodes);
+        let (ids, mask) = rated_neighbor_ids(&m.bip, user_side, nodes, cfg.fanout, rng);
+        let counter = cross_attr.forward(g, store, cross_lists, &ids);
         // Rating-level embeddings of the sampled edges.
         let levels: Vec<usize> = nodes
             .iter()
             .flat_map(|&n| {
                 let edges: Vec<f32> = if user_side {
-                    f.bip.items_of(n as u32).map(|(_, r)| r).collect()
+                    m.bip.items_of(n as u32).map(|(_, r)| r).collect()
                 } else {
-                    f.bip.users_of(n as u32).map(|(_, r)| r).collect()
+                    m.bip.users_of(n as u32).map(|(_, r)| r).collect()
                 };
                 // Align sampled edge ratings approximately: reuse the mean
                 // rating level for all of a node's sampled edges — IGMC's
@@ -90,28 +95,37 @@ impl Igmc {
                 let level = if edges.is_empty() {
                     0
                 } else {
-                    Self::rating_level(f, edges.iter().sum::<f32>() / edges.len() as f32)
+                    Self::rating_level(m, edges.iter().sum::<f32>() / edges.len() as f32)
                 };
                 std::iter::repeat(level).take(cfg.fanout)
             })
             .collect();
-        let rate = g.param_rows(&f.store, f.rating_emb, Rc::new(levels));
+        let rate = g.param_rows(store, m.rating_emb, Rc::new(levels));
         let edge_feat = g.add(counter, rate);
         let pooled = g.segment_mean_rows(edge_feat, cfg.fanout);
         let mask_col = g.constant(Matrix::col_vector(mask));
         let pooled = g.mul_col_broadcast(pooled, mask_col);
         let cat = g.concat(&[own, pooled]);
-        let head = if user_side { &f.user_head } else { &f.item_head };
-        head.forward(g, &f.store, cat)
+        let head = if user_side { &m.user_head } else { &m.item_head };
+        head.forward(g, store, cat)
     }
 
-    fn score(g: &mut Graph, f: &Fitted, cfg: &BaselineConfig, users: &[usize], items: &[usize], rng: Option<&mut StdRng>) -> Var {
+    #[allow(clippy::too_many_arguments)]
+    fn score(
+        g: &mut Graph,
+        store: &ParamStore,
+        m: &Modules,
+        cfg: &BaselineConfig,
+        users: &[usize],
+        items: &[usize],
+        rng: Option<&mut StdRng>,
+    ) -> Var {
         let mut rng = rng;
-        let hu = Self::side_forward(g, f, cfg, true, users, rng.as_deref_mut());
-        let hi = Self::side_forward(g, f, cfg, false, items, rng.as_deref_mut());
+        let hu = Self::side_forward(g, store, m, cfg, true, users, rng.as_deref_mut());
+        let hi = Self::side_forward(g, store, m, cfg, false, items, rng.as_deref_mut());
         let cat = g.concat(&[hu, hi]);
-        let raw = f.pair_head.forward(g, &f.store, cat);
-        let mu = g.param_full(&f.store, f.global);
+        let raw = m.pair_head.forward(g, store, cat);
+        let mu = g.param_full(store, m.global);
         let mu_rows = g.repeat_rows(mu, users.len());
         g.add(raw, mu_rows)
     }
@@ -123,13 +137,17 @@ impl RatingModel for Igmc {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let d = cfg.embed_dim;
         let levels = ((dataset.rating_scale.1 - dataset.rating_scale.0).round() as usize) + 1;
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let m = Modules {
             user_attr: AttrEmbed::new(&mut store, "ig.uattr", dataset.user_schema.total_dim(), d, &mut rng),
             item_attr: AttrEmbed::new(&mut store, "ig.iattr", dataset.item_schema.total_dim(), d, &mut rng),
             rating_emb: store.add("ig.rating", agnn_tensor::init::normal(levels, d, 0.1, &mut rng)),
@@ -142,33 +160,19 @@ impl RatingModel for Igmc {
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
             rating_lo: dataset.rating_scale.0,
             rating_levels: levels,
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let scores = Self::score(&mut g, f, &cfg, &users, &items, Some(&mut rng));
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let scores = Self::score(g, store, &m, &cfg, &users, &items, Some(&mut *ctx.rng));
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -180,7 +184,7 @@ impl RatingModel for Igmc {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let s = Self::score(&mut g, f, cfg, &users, &items, None);
+            let s = Self::score(&mut g, &f.store, &f.m, cfg, &users, &items, None);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

@@ -12,13 +12,13 @@
 
 use crate::common::BaselineConfig;
 use agnn_autograd::nn::Linear;
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore};
 use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
 use agnn_data::{Dataset, Split};
 use agnn_tensor::{Matrix, SparseVec};
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use rand::SeedableRng;
 use std::time::Instant;
 
 struct Side {
@@ -59,32 +59,27 @@ impl Llae {
         m
     }
 
-    /// Trains one side's auto-encoder: attrs → behaviour.
-    fn fit_side(side: &Side, store: &mut ParamStore, cfg: &BaselineConfig, rng: &mut StdRng, report: &mut Vec<f64>) {
-        let n = side.attrs.len();
-        let mut opt = Adam::with_lr(cfg.lr * 4.0);
-        let mut order: Vec<usize> = (0..n).collect();
-        for _ in 0..cfg.epochs {
-            order.shuffle(rng);
-            let mut sum = 0.0;
-            let mut batches = 0usize;
-            for chunk in order.chunks(cfg.batch_size) {
-                let x = Self::dense_rows(&side.attrs, chunk);
-                let b = Self::dense_rows(&side.behaviour, chunk);
-                let mut g = Graph::new();
-                let xv = g.constant(x);
-                let z = side.enc.forward(&mut g, store, xv);
-                let recon = side.dec.forward(&mut g, store, z);
-                let target = g.constant(b);
-                let l = loss::mse(&mut g, recon, target);
-                sum += g.scalar(l) as f64;
-                batches += 1;
-                g.backward(l);
-                g.grads_into(store);
-                opt.step(store);
-            }
-            report.push(sum / batches.max(1) as f64);
-        }
+    /// Trains one side's auto-encoder (attrs → behaviour) through the
+    /// engine, batching over node indices. LLAE uses 4× the shared lr.
+    fn fit_side(
+        side: &Side,
+        store: &mut ParamStore,
+        cfg: &BaselineConfig,
+        rng: &mut StdRng,
+        hooks: &mut HookList<'_>,
+    ) -> TrainReport {
+        let nodes: Vec<usize> = (0..side.attrs.len()).collect();
+        let mut trainer = Trainer::new(cfg.train_config().with_lr(cfg.lr * 4.0));
+        trainer.fit(store, &nodes, rng, hooks, |g, store, ctx| {
+            let x = Self::dense_rows(&side.attrs, ctx.batch);
+            let b = Self::dense_rows(&side.behaviour, ctx.batch);
+            let xv = g.constant(x);
+            let z = side.enc.forward(g, store, xv);
+            let recon = side.dec.forward(g, store, z);
+            let target = g.constant(b);
+            let l = loss::mse(g, recon, target);
+            StepLosses { total: l, prediction: 0.0, reconstruction: g.scalar(l) as f64 }
+        })
     }
 
     /// Behaviour-reconstruction score for one (row, column) query.
@@ -106,6 +101,10 @@ impl RatingModel for Llae {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -134,14 +133,18 @@ impl RatingModel for Llae {
             behaviour: item_behaviour,
         };
 
+        // The two sides train sequentially on one rng stream; hooks observe
+        // the user side's epochs first, then the item side's.
+        let u_report = Self::fit_side(&user, &mut store, &cfg, &mut rng, hooks);
+        let i_report = Self::fit_side(&item, &mut store, &cfg, &mut rng, hooks);
         let mut report = TrainReport::default();
-        let mut losses = Vec::new();
-        Self::fit_side(&user, &mut store, &cfg, &mut rng, &mut losses);
-        let mut item_losses = Vec::new();
-        Self::fit_side(&item, &mut store, &cfg, &mut rng, &mut item_losses);
-        for (u, i) in losses.iter().zip(&item_losses) {
-            report.epochs.push(EpochLosses { prediction: 0.0, reconstruction: u + i });
+        for (u, i) in u_report.epochs.iter().zip(&i_report.epochs) {
+            report.epochs.push(EpochLosses {
+                prediction: 0.0,
+                reconstruction: u.reconstruction + i.reconstruction,
+            });
         }
+        report.stopped_early = u_report.stopped_early || i_report.stopped_early;
         report.train_seconds = start.elapsed().as_secs_f64();
         self.fitted = Some(Fitted { store, user, item });
         report

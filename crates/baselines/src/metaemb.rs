@@ -14,21 +14,20 @@
 use crate::common::{AttrEmbed, BaselineConfig, Degrees};
 use crate::mf::BiasedMf;
 use agnn_autograd::nn::{Activation, Mlp};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
 use agnn_core::evae::blend_preference;
 use agnn_core::interaction::AttrLists;
 use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     mf: BiasedMf,
     user_attr: AttrEmbed,
     item_attr: AttrEmbed,
@@ -38,6 +37,11 @@ struct Fitted {
     item_attrs: AttrLists,
     user_cold: Vec<bool>,
     item_cold: Vec<bool>,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The MetaEmb baseline.
@@ -55,27 +59,41 @@ impl MetaEmb {
     /// Side embedding: generated for simulated-cold/cold rows, trained
     /// elsewhere. `simulate_cold` forces every row through the generator
     /// (training); otherwise only actually-cold rows are generated.
-    fn side_embed(g: &mut Graph, f: &Fitted, user_side: bool, nodes: &[usize], simulate_cold: bool) -> Var {
+    fn side_embed(
+        g: &mut Graph,
+        store: &ParamStore,
+        m: &Modules,
+        user_side: bool,
+        nodes: &[usize],
+        simulate_cold: bool,
+    ) -> Var {
         let (emb, attr, lists, cold, generator) = if user_side {
-            (&f.mf.user_emb, &f.user_attr, &f.user_attrs, &f.user_cold, &f.user_gen)
+            (&m.mf.user_emb, &m.user_attr, &m.user_attrs, &m.user_cold, &m.user_gen)
         } else {
-            (&f.mf.item_emb, &f.item_attr, &f.item_attrs, &f.item_cold, &f.item_gen)
+            (&m.mf.item_emb, &m.item_attr, &m.item_attrs, &m.item_cold, &m.item_gen)
         };
-        let attrs = attr.forward(g, &f.store, lists, nodes);
-        let generated = generator.forward(g, &f.store, attrs);
+        let attrs = attr.forward(g, store, lists, nodes);
+        let generated = generator.forward(g, store, attrs);
         if simulate_cold {
             return generated;
         }
-        let trained = emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
+        let trained = emb.lookup(g, store, Rc::new(nodes.to_vec()));
         let warm: Vec<f32> = nodes.iter().map(|&n| if cold[n] { 0.0 } else { 1.0 }).collect();
         blend_preference(g, trained, generated, &warm)
     }
 
-    fn score(g: &mut Graph, f: &Fitted, users: &[usize], items: &[usize], simulate: (bool, bool)) -> Var {
-        let hu = Self::side_embed(g, f, true, users, simulate.0);
-        let hi = Self::side_embed(g, f, false, items, simulate.1);
+    fn score(
+        g: &mut Graph,
+        store: &ParamStore,
+        m: &Modules,
+        users: &[usize],
+        items: &[usize],
+        simulate: (bool, bool),
+    ) -> Var {
+        let hu = Self::side_embed(g, store, m, true, users, simulate.0);
+        let hi = Self::side_embed(g, store, m, false, items, simulate.1);
         let dot = crate::common::rowwise_dot(g, hu, hi);
-        f.mf.biases.apply(g, &f.store, dot, users, items)
+        m.mf.biases.apply(g, store, dot, users, items)
     }
 }
 
@@ -85,6 +103,10 @@ impl RatingModel for MetaEmb {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -100,7 +122,8 @@ impl RatingModel for MetaEmb {
         for id in &frozen {
             store.set_frozen(*id, true);
         }
-        let fitted = Fitted {
+        let m = Modules {
+            mf,
             user_attr: AttrEmbed::new(&mut store, "me.uattr", dataset.user_schema.total_dim(), d, &mut rng),
             item_attr: AttrEmbed::new(&mut store, "me.iattr", dataset.item_schema.total_dim(), d, &mut rng),
             user_gen: Mlp::new(&mut store, "me.ugen", &[d, d, d], Activation::Tanh, &mut rng),
@@ -109,40 +132,26 @@ impl RatingModel for MetaEmb {
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
             user_cold: deg.user_cold(),
             item_cold: deg.item_cold(),
-            mf,
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr * 4.0);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        report.epochs.push(EpochLosses { prediction: base_loss, reconstruction: 0.0 });
-        for epoch in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                // Cold-start simulation alternates sides (user tasks / item
-                // tasks in the original ad setting).
-                let simulate = if epoch % 2 == 0 { (true, false) } else { (false, true) };
-                let scores = Self::score(&mut g, f, &users, &items, simulate);
-                let target = g.constant(Matrix::col_vector(values));
-                // Distill toward the trained embedding as well (the "good
-                // initial embedding" half of MetaEmb's objective).
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config().with_lr(cfg.lr * 4.0));
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            // Cold-start simulation alternates sides (user tasks / item
+            // tasks in the original ad setting).
+            let simulate = if ctx.epoch % 2 == 0 { (true, false) } else { (false, true) };
+            let scores = Self::score(g, store, &m, &users, &items, simulate);
+            let target = g.constant(Matrix::col_vector(values));
+            // Distill toward the trained embedding as well (the "good
+            // initial embedding" half of MetaEmb's objective).
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
+        // The stage-1 loss leads the curve, as the hand-rolled loop reported.
+        report.epochs.insert(0, EpochLosses { prediction: base_loss, reconstruction: 0.0 });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -153,7 +162,7 @@ impl RatingModel for MetaEmb {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let s = Self::score(&mut g, f, &users, &items, (false, false));
+            let s = Self::score(&mut g, &f.store, &f.m, &users, &items, (false, false));
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

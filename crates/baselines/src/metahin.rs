@@ -12,20 +12,19 @@
 
 use crate::common::{rowwise_dot, AttrEmbed, BaselineConfig, BiasTerms, Degrees};
 use agnn_autograd::nn::Embedding;
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_attr: AttrEmbed,
     item_attr: AttrEmbed,
     item_emb: Embedding,
@@ -36,6 +35,11 @@ struct Fitted {
     /// identity `(0, 1)` for users without support (strict cold start).
     adaptation: Vec<(f32, f32)>,
     item_cold: Vec<bool>,
+}
+
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
 }
 
 /// The MetaHIN baseline.
@@ -50,15 +54,15 @@ impl MetaHin {
         Self { cfg, fitted: None }
     }
 
-    fn prior_score(g: &mut Graph, f: &Fitted, users: &[usize], items: &[usize]) -> Var {
-        let hu = f.user_attr.forward(g, &f.store, &f.user_attrs, users);
-        let ia = f.item_attr.forward(g, &f.store, &f.item_attrs, items);
-        let ie = f.item_emb.lookup(g, &f.store, Rc::new(items.to_vec()));
-        let mask = crate::common::warm_col(g, &f.item_cold, items);
+    fn prior_score(g: &mut Graph, store: &ParamStore, m: &Modules, users: &[usize], items: &[usize]) -> Var {
+        let hu = m.user_attr.forward(g, store, &m.user_attrs, users);
+        let ia = m.item_attr.forward(g, store, &m.item_attrs, items);
+        let ie = m.item_emb.lookup(g, store, Rc::new(items.to_vec()));
+        let mask = crate::common::warm_col(g, &m.item_cold, items);
         let ie = g.mul_col_broadcast(ie, mask);
         let hi = g.add(ia, ie);
         let dot = rowwise_dot(g, hu, hi);
-        f.biases.apply(g, &f.store, dot, users, items)
+        m.biases.apply(g, store, dot, users, items)
     }
 }
 
@@ -68,12 +72,16 @@ impl RatingModel for MetaHin {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let deg = Degrees::from_split(dataset, split);
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let mut m = Modules {
             user_attr: AttrEmbed::new(&mut store, "mh.uattr", dataset.user_schema.total_dim(), cfg.embed_dim, &mut rng),
             item_attr: AttrEmbed::new(&mut store, "mh.iattr", dataset.item_schema.total_dim(), cfg.embed_dim, &mut rng),
             item_emb: Embedding::new(&mut store, "mh.item", dataset.num_items, cfg.embed_dim, &mut rng),
@@ -82,37 +90,22 @@ impl RatingModel for MetaHin {
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
             adaptation: vec![(0.0, 1.0); dataset.num_users],
             item_cold: deg.item_cold(),
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
         // Meta-train the prior (first-order: ordinary training of the
         // globally-shared parameters).
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let scores = Self::prior_score(&mut g, f, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
-            }
-            report.epochs.push(EpochLosses { prediction: sum / n.max(1) as f64, reconstruction: 0.0 });
-        }
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let scores = Self::prior_score(g, store, &m, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
 
         // Task adaptation: per-user ridge fit of prediction → rating on the
-        // support set (shrunk toward identity for small supports).
+        // support set (shrunk toward identity for small supports). This is a
+        // closed-form post-training pass, so it stays outside the engine.
         let mut per_user: Vec<Vec<(u32, f32)>> = vec![Vec::new(); dataset.num_users];
         for r in &split.train {
             per_user[r.user as usize].push((r.item, r.value));
@@ -124,7 +117,7 @@ impl RatingModel for MetaHin {
             let items: Vec<usize> = support.iter().map(|&(i, _)| i as usize).collect();
             let users = vec![u; items.len()];
             let mut g = Graph::new();
-            let s = Self::prior_score(&mut g, f, &users, &items);
+            let s = Self::prior_score(&mut g, &store, &m, &users, &items);
             let preds = g.value(s).as_slice().to_vec();
             let truths: Vec<f32> = support.iter().map(|&(_, v)| v).collect();
             // Shrunk least squares for r ≈ w·p + o.
@@ -136,9 +129,11 @@ impl RatingModel for MetaHin {
             let var: f32 = preds.iter().map(|p| (p - mp) * (p - mp)).sum();
             let w = (cov + shrink) / (var + shrink);
             let o = (mt - w * mp) * (n / (n + shrink));
-            f.adaptation[u] = (o, w);
+            m.adaptation[u] = (o, w);
         }
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -149,9 +144,9 @@ impl RatingModel for MetaHin {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let s = Self::prior_score(&mut g, f, &users, &items);
+            let s = Self::prior_score(&mut g, &f.store, &f.m, &users, &items);
             for (row, &u) in users.iter().enumerate() {
-                let (o, w) = f.adaptation[u];
+                let (o, w) = f.m.adaptation[u];
                 out.push(w * g.value(s).get(row, 0) + o);
             }
         }
@@ -174,7 +169,7 @@ mod tests {
         model.fit(&data, &split);
         let f = model.fitted.as_ref().unwrap();
         for &u in split.cold_users.iter().take(10) {
-            assert_eq!(f.adaptation[u as usize], (0.0, 1.0), "cold user {u} adapted");
+            assert_eq!(f.m.adaptation[u as usize], (0.0, 1.0), "cold user {u} adapted");
         }
         let r = evaluate(&model, &data, &split.test).finish();
         assert!(r.rmse < 2.0, "UCS rmse {}", r.rmse);

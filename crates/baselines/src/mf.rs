@@ -3,10 +3,10 @@
 
 use crate::common::{rowwise_dot, BaselineConfig, BiasTerms};
 use agnn_autograd::nn::Embedding;
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamStore, Var};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_data::batch::unzip_batch;
 use agnn_data::Split;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
@@ -40,30 +40,20 @@ impl BiasedMf {
     }
 
     /// Trains in place on `split.train`; returns the last epoch's MSE.
+    ///
+    /// Uses its own derived seed so the pre-training stage's rng stream is
+    /// independent of the caller's (as the hand-rolled loop always did).
     pub fn fit(&self, store: &mut ParamStore, split: &Split, cfg: &BaselineConfig, epochs: usize) -> f64 {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(1));
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut last = f64::NAN;
-        for _ in 0..epochs {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let scores = self.score(&mut g, store, &users, &items);
-                let target = g.constant(agnn_tensor::Matrix::col_vector(values));
-                let l = loss::mse(&mut g, scores, target);
-                sum += g.scalar(l) as f64;
-                n += 1;
-                g.backward(l);
-                g.grads_into(store);
-                opt.step(store);
-            }
-            last = sum / n.max(1) as f64;
-        }
-        last
+        let mut trainer = Trainer::new(cfg.train_config().with_epochs(epochs));
+        let report = trainer.fit(store, &split.train, &mut rng, &mut HookList::new(), |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let scores = self.score(g, store, &users, &items);
+            let target = g.constant(agnn_tensor::Matrix::col_vector(values));
+            let l = loss::mse(g, scores, target);
+            StepLosses::prediction_only(g, l)
+        });
+        report.final_prediction().unwrap_or(f64::NAN)
     }
 }
 

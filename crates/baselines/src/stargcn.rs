@@ -13,22 +13,21 @@
 
 use crate::common::{rowwise_dot, AttrEmbed, BaselineConfig, BiasTerms, Degrees};
 use agnn_autograd::nn::{Embedding, Linear};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamId, ParamStore, Var};
 use agnn_core::evae::EVae;
 use agnn_core::interaction::AttrLists;
-use agnn_core::model::{EpochLosses, RatingModel, TrainReport};
-use agnn_data::batch::{unzip_batch, BatchIter};
+use agnn_core::model::{RatingModel, TrainReport};
+use agnn_data::batch::unzip_batch;
 use agnn_data::{Dataset, Split};
 use agnn_graph::BipartiteGraph;
 use agnn_tensor::Matrix;
+use agnn_train::{HookList, StepLosses, Trainer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 use std::time::Instant;
 
-struct Fitted {
-    store: ParamStore,
+struct Modules {
     user_emb: Embedding,
     item_emb: Embedding,
     user_attr: AttrEmbed,
@@ -49,6 +48,11 @@ struct Fitted {
     item_cold: Vec<bool>,
 }
 
+struct Fitted {
+    store: ParamStore,
+    m: Modules,
+}
+
 /// The STAR-GCN baseline.
 pub struct StarGcn {
     cfg: BaselineConfig,
@@ -66,18 +70,19 @@ impl StarGcn {
     #[allow(clippy::too_many_arguments)]
     fn input_embed(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         user_side: bool,
         nodes: &[usize],
         train: bool,
         rng: Option<&mut StdRng>,
     ) -> (Var, Var, Vec<f32>) {
         let (emb, attr, lists, cold, token_id, input_w) = if user_side {
-            (&f.user_emb, &f.user_attr, &f.user_attrs, &f.user_cold, f.user_token, &f.user_in)
+            (&m.user_emb, &m.user_attr, &m.user_attrs, &m.user_cold, m.user_token, &m.user_in)
         } else {
-            (&f.item_emb, &f.item_attr, &f.item_attrs, &f.item_cold, f.item_token, &f.item_in)
+            (&m.item_emb, &m.item_attr, &m.item_attrs, &m.item_cold, m.item_token, &m.item_in)
         };
-        let free = emb.lookup(g, &f.store, Rc::new(nodes.to_vec()));
+        let free = emb.lookup(g, store, Rc::new(nodes.to_vec()));
         let mut rng = rng;
         let masked_flags: Vec<f32> = nodes
             .iter()
@@ -100,14 +105,14 @@ impl StarGcn {
                 }
             })
             .collect();
-        let token = g.param_full(&f.store, token_id);
+        let token = g.param_full(store, token_id);
         let zeros = g.constant(Matrix::zeros(nodes.len(), g.value(free).cols()));
         let token_rows = g.add_row_broadcast(zeros, token);
         let keep: Vec<f32> = masked_flags.iter().map(|&m| 1.0 - m).collect();
         let used = agnn_core::evae::blend_preference(g, free, token_rows, &keep);
-        let attrs = attr.forward(g, &f.store, lists, nodes);
+        let attrs = attr.forward(g, store, lists, nodes);
         let cat = g.concat(&[used, attrs]);
-        let input = input_w.forward(g, &f.store, cat);
+        let input = input_w.forward(g, store, cat);
         let input = g.leaky_relu(input, 0.01);
         (input, free, masked_flags)
     }
@@ -116,21 +121,22 @@ impl StarGcn {
     #[allow(clippy::too_many_arguments)]
     fn side_forward(
         g: &mut Graph,
-        f: &Fitted,
+        store: &ParamStore,
+        m: &Modules,
         cfg: &BaselineConfig,
         user_side: bool,
         nodes: &[usize],
         train: bool,
         mut rng: Option<&mut StdRng>,
     ) -> (Var, Var, Vec<f32>) {
-        let (h0, free, masked) = Self::input_embed(g, f, user_side, nodes, train, rng.as_deref_mut());
-        let (ids, has) = crate::gcmc::rated_neighbor_ids(&f.bip, user_side, nodes, cfg.fanout, rng.as_deref_mut());
-        let (nb0, _, _) = Self::input_embed(g, f, !user_side, &ids, false, None);
+        let (h0, free, masked) = Self::input_embed(g, store, m, user_side, nodes, train, rng.as_deref_mut());
+        let (ids, has) = crate::gcmc::rated_neighbor_ids(&m.bip, user_side, nodes, cfg.fanout, rng.as_deref_mut());
+        let (nb0, _, _) = Self::input_embed(g, store, m, !user_side, &ids, false, None);
         let pooled = g.segment_mean_rows(nb0, cfg.fanout);
         let has_col = g.constant(Matrix::col_vector(has));
         let pooled = g.mul_col_broadcast(pooled, has_col);
-        let conv_w = if user_side { &f.user_conv } else { &f.item_conv };
-        let conv = conv_w.forward(g, &f.store, pooled);
+        let conv_w = if user_side { &m.user_conv } else { &m.item_conv };
+        let conv = conv_w.forward(g, store, pooled);
         let conv = g.leaky_relu(conv, 0.01);
         let h = g.add(h0, conv);
         (h, free, masked)
@@ -143,13 +149,17 @@ impl RatingModel for StarGcn {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let deg = Degrees::from_split(dataset, split);
         let d = cfg.embed_dim;
         let mut store = ParamStore::new();
-        let fitted = Fitted {
+        let m = Modules {
             user_emb: Embedding::new(&mut store, "sg.user", dataset.num_users, d, &mut rng),
             item_emb: Embedding::new(&mut store, "sg.item", dataset.num_items, d, &mut rng),
             user_attr: AttrEmbed::new(&mut store, "sg.uattr", dataset.user_schema.total_dim(), d, &mut rng),
@@ -168,52 +178,37 @@ impl RatingModel for StarGcn {
             item_attrs: AttrLists::from_sparse(&dataset.item_attrs),
             user_cold: deg.user_cold(),
             item_cold: deg.item_cold(),
-            store,
         };
-        self.fitted = Some(fitted);
-        let f = self.fitted.as_mut().expect("just set");
 
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _ in 0..cfg.epochs {
-            let mut pred_sum = 0.0;
-            let mut recon_sum = 0.0;
-            let mut n = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let (hu, ufree, umask) = Self::side_forward(&mut g, f, &cfg, true, &users, true, Some(&mut rng));
-                let (hi, ifree, imask) = Self::side_forward(&mut g, f, &cfg, false, &items, true, Some(&mut rng));
-                let dot = rowwise_dot(&mut g, hu, hi);
-                let scores = f.biases.apply(&mut g, &f.store, dot, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let pred_loss = loss::mse(&mut g, scores, target);
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let (hu, ufree, umask) = Self::side_forward(g, store, &m, &cfg, true, &users, true, Some(&mut *ctx.rng));
+            let (hi, ifree, imask) = Self::side_forward(g, store, &m, &cfg, false, &items, true, Some(&mut *ctx.rng));
+            let dot = rowwise_dot(g, hu, hi);
+            let scores = m.biases.apply(g, store, dot, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let pred_loss = loss::mse(g, scores, target);
 
-                // Reconstruct masked free embeddings from the encoded state.
-                let urec = f.user_dec.forward(&mut g, &f.store, hu);
-                let irec = f.item_dec.forward(&mut g, &f.store, hi);
-                // Only warm masked rows have meaningful targets.
-                let u_targets: Vec<f32> = users.iter().zip(&umask).map(|(&u, &m)| if m == 1.0 && !f.user_cold[u] { 1.0 } else { 0.0 }).collect();
-                let i_targets: Vec<f32> = items.iter().zip(&imask).map(|(&i, &m)| if m == 1.0 && !f.item_cold[i] { 1.0 } else { 0.0 }).collect();
-                let l_urec = EVae::approximation_loss(&mut g, urec, ufree, &u_targets);
-                let l_irec = EVae::approximation_loss(&mut g, irec, ifree, &i_targets);
-                let total = loss::weighted_sum(&mut g, &[(1.0, pred_loss), (0.1, l_urec), (0.1, l_irec)]);
+            // Reconstruct masked free embeddings from the encoded state.
+            let urec = m.user_dec.forward(g, store, hu);
+            let irec = m.item_dec.forward(g, store, hi);
+            // Only warm masked rows have meaningful targets.
+            let u_targets: Vec<f32> = users.iter().zip(&umask).map(|(&u, &mk)| if mk == 1.0 && !m.user_cold[u] { 1.0 } else { 0.0 }).collect();
+            let i_targets: Vec<f32> = items.iter().zip(&imask).map(|(&i, &mk)| if mk == 1.0 && !m.item_cold[i] { 1.0 } else { 0.0 }).collect();
+            let l_urec = EVae::approximation_loss(g, urec, ufree, &u_targets);
+            let l_irec = EVae::approximation_loss(g, irec, ifree, &i_targets);
+            let total = loss::weighted_sum(g, &[(1.0, pred_loss), (0.1, l_urec), (0.1, l_irec)]);
 
-                pred_sum += g.scalar(pred_loss) as f64;
-                recon_sum += (g.scalar(l_urec) + g.scalar(l_irec)) as f64;
-                n += 1;
-                g.backward(total);
-                g.grads_into(&mut f.store);
-                opt.step(&mut f.store);
+            StepLosses {
+                total,
+                prediction: g.scalar(pred_loss) as f64,
+                reconstruction: (g.scalar(l_urec) + g.scalar(l_irec)) as f64,
             }
-            report.epochs.push(EpochLosses {
-                prediction: pred_sum / n.max(1) as f64,
-                reconstruction: recon_sum / n.max(1) as f64,
-            });
-        }
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
+
+        self.fitted = Some(Fitted { store, m });
         report
     }
 
@@ -225,10 +220,10 @@ impl RatingModel for StarGcn {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
             let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
             let mut g = Graph::new();
-            let (hu, _, _) = Self::side_forward(&mut g, f, cfg, true, &users, false, None);
-            let (hi, _, _) = Self::side_forward(&mut g, f, cfg, false, &items, false, None);
+            let (hu, _, _) = Self::side_forward(&mut g, &f.store, &f.m, cfg, true, &users, false, None);
+            let (hi, _, _) = Self::side_forward(&mut g, &f.store, &f.m, cfg, false, &items, false, None);
             let dot = rowwise_dot(&mut g, hu, hi);
-            let s = f.biases.apply(&mut g, &f.store, dot, &users, &items);
+            let s = f.m.biases.apply(&mut g, &f.store, dot, &users, &items);
             out.extend(g.value(s).as_slice().iter().copied());
         }
         out

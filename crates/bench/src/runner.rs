@@ -3,6 +3,7 @@
 use agnn_core::model::{evaluate, RatingModel, TrainReport};
 use agnn_data::{ColdStartKind, Dataset, Split, SplitConfig};
 use agnn_metrics::EvalAccumulator;
+use agnn_train::HookList;
 use serde::Serialize;
 use std::io::Write;
 
@@ -39,7 +40,19 @@ pub fn run_cell(
     split: &Split,
     scenario: ColdStartKind,
 ) -> CellResult {
-    let report = model.fit(dataset, split);
+    run_cell_with(model, dataset, split, scenario, &mut HookList::new())
+}
+
+/// Like [`run_cell`], but with training-engine hooks (loss logging,
+/// early stopping, ...) attached to the fit.
+pub fn run_cell_with(
+    model: &mut (impl RatingModel + ?Sized),
+    dataset: &Dataset,
+    split: &Split,
+    scenario: ColdStartKind,
+    hooks: &mut HookList<'_>,
+) -> CellResult {
+    let report = model.fit_with(dataset, split, hooks);
     let accumulator = evaluate(model, dataset, &split.test);
     let r = accumulator.finish();
     CellResult {

@@ -6,6 +6,7 @@ use agnn_baselines::{build_baseline, BaselineKind};
 use agnn_core::model::{evaluate, RatingModel};
 use agnn_core::{Agnn, AgnnConfig};
 use agnn_data::{ColdStartKind, Dataset, Preset, Split, SplitConfig};
+use agnn_train::{EarlyStopping, HookList, LossLogger};
 use serde::Serialize;
 
 /// CLI failure with a user-facing message.
@@ -111,12 +112,15 @@ struct TrainReportJson {
     mae: f64,
     n: usize,
     train_seconds: f64,
+    stopped_early: bool,
     epoch_pred_loss: Vec<f64>,
     epoch_recon_loss: Vec<f64>,
 }
 
 fn train(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report"])?;
+    opts.assert_known(&[
+        "data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report", "patience", "log-every",
+    ])?;
     let data = load_dataset(opts)?;
     let kind = scenario(opts)?;
     let frac: f64 = opts.parse_or("test-fraction", 0.2f64)?;
@@ -124,7 +128,17 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     let split = Split::create(&data, SplitConfig { kind, test_fraction: frac, seed });
     split.validate();
     let mut model = build_model(opts)?;
-    let report = model.fit(&data, &split);
+    // Optional training-engine hooks: early stopping and loss logging.
+    let mut hooks = HookList::new();
+    if let Some(patience) = opts.get("patience") {
+        let patience: usize = patience.parse().map_err(|_| format!("--patience: cannot parse {patience:?}"))?;
+        hooks.push(EarlyStopping::new(patience));
+    }
+    if let Some(every) = opts.get("log-every") {
+        let every: usize = every.parse().map_err(|_| format!("--log-every: cannot parse {every:?}"))?;
+        hooks.push(LossLogger::every(every));
+    }
+    let report = model.fit_with(&data, &split, &mut hooks);
     let result = evaluate(model.as_ref(), &data, &split.test).finish();
     let json = TrainReportJson {
         model: model.name(),
@@ -133,6 +147,7 @@ fn train(opts: &Opts) -> Result<String, CliError> {
         mae: result.mae,
         n: result.n,
         train_seconds: report.train_seconds,
+        stopped_early: report.stopped_early,
         epoch_pred_loss: report.epochs.iter().map(|e| e.prediction).collect(),
         epoch_recon_loss: report.epochs.iter().map(|e| e.reconstruction).collect(),
     };
@@ -212,6 +227,21 @@ mod tests {
         run(&opts(&format!("generate --preset ml-100k --scale 0.05 --seed 4 --out {data_path}"))).unwrap();
         let msg = run(&opts(&format!("train --data {data_path} --model NFM --scenario ws --epochs 1"))).unwrap();
         assert!(msg.starts_with("NFM"), "{msg}");
+    }
+
+    #[test]
+    fn train_accepts_engine_hook_flags() {
+        let data_path = tmp("hooks.json");
+        run(&opts(&format!("generate --preset ml-100k --scale 0.05 --seed 6 --out {data_path}"))).unwrap();
+        let msg = run(&opts(&format!(
+            "train --data {data_path} --model NFM --scenario ws --epochs 3 --patience 1 --log-every 10"
+        )))
+        .unwrap();
+        assert!(msg.contains("RMSE"), "{msg}");
+        assert!(run(&opts(&format!(
+            "train --data {data_path} --model NFM --scenario ws --epochs 1 --patience bogus"
+        )))
+        .is_err());
     }
 
     #[test]

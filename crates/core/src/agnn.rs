@@ -4,12 +4,12 @@ use crate::config::{AgnnConfig, ColdStartModule, GnnKind, GraphKind};
 use crate::evae::{blend_preference, warm_mask, EVae};
 use crate::gnn::GnnLayer;
 use crate::interaction::{AttrInteraction, AttrLists};
-use crate::model::{EpochLosses, RatingModel, TrainReport};
+use crate::model::{RatingModel, TrainReport};
 use agnn_autograd::nn::{Activation, Embedding, Linear, Mlp};
-use agnn_autograd::optim::Adam;
 use agnn_autograd::{loss, Graph, ParamId, ParamStore, Var};
-use agnn_data::batch::{unzip_batch, BatchIter};
-use agnn_data::{Dataset, Split};
+use agnn_data::batch::unzip_batch;
+use agnn_data::{Dataset, Degrees, Split};
+use agnn_train::{HookList, StepLosses, Trainer};
 use agnn_graph::{CandidatePools, PoolConfig, ProximityMode};
 use agnn_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -350,9 +350,6 @@ impl Agnn {
         }
     }
 
-    fn cold_flags(n: usize, degree_of: impl Fn(usize) -> usize) -> Vec<bool> {
-        (0..n).map(|i| degree_of(i) == 0).collect()
-    }
 }
 
 impl RatingModel for Agnn {
@@ -361,6 +358,10 @@ impl RatingModel for Agnn {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport {
+        self.fit_with(dataset, split, &mut HookList::new())
+    }
+
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
         let cfg = self.cfg;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -369,14 +370,9 @@ impl RatingModel for Agnn {
         let (user_pools, item_pools) = Self::build_pools(&cfg, dataset, split);
         let user_attrs = AttrLists::from_sparse(&dataset.user_attrs);
         let item_attrs = AttrLists::from_sparse(&dataset.item_attrs);
-        let mut user_deg = vec![0usize; dataset.num_users];
-        let mut item_deg = vec![0usize; dataset.num_items];
-        for r in &split.train {
-            user_deg[r.user as usize] += 1;
-            item_deg[r.item as usize] += 1;
-        }
-        let user_cold = Self::cold_flags(dataset.num_users, |i| user_deg[i]);
-        let item_cold = Self::cold_flags(dataset.num_items, |i| item_deg[i]);
+        let deg = Degrees::from_split(dataset, split);
+        let user_cold = deg.user_cold();
+        let item_cold = deg.item_cold();
 
         // --- parameters ----------------------------------------------------
         let mut store = ParamStore::new();
@@ -388,71 +384,55 @@ impl RatingModel for Agnn {
         let modules = Modules { user, item, pred_mlp, global_bias };
 
         // --- training loop ---------------------------------------------------
-        let mut opt = Adam::with_lr(cfg.lr);
-        let mut batches = BatchIter::new(&split.train, cfg.batch_size);
-        let mut report = TrainReport::default();
-        for _epoch in 0..cfg.epochs {
-            let mut pred_sum = 0.0f64;
-            let mut recon_sum = 0.0f64;
-            let mut n_batches = 0usize;
-            let batch_list: Vec<_> = batches.epoch(&mut rng).collect();
-            for batch in batch_list {
-                let (users, items, values) = unzip_batch(&batch);
-                let mut g = Graph::new();
-                let (pu, u_losses, u_masked, pu_init) = Self::side_forward(
-                    &cfg, &mut g, &store, &modules.user, &user_attrs, &user_pools, &user_cold, &users, true, true,
-                    &mut rng,
-                );
-                let (qi, i_losses, i_masked, qi_init) = Self::side_forward(
-                    &cfg, &mut g, &store, &modules.item, &item_attrs, &item_pools, &item_cold, &items, true, true,
-                    &mut rng,
-                );
-                let scores = Self::predict_scores(&mut g, &store, &modules, pu, qi, &users, &items);
-                let target = g.constant(Matrix::col_vector(values));
-                let pred_loss = loss::mse(&mut g, scores, target);
+        let mut trainer = Trainer::new(cfg.train_config());
+        let mut report = trainer.fit(&mut store, &split.train, &mut rng, hooks, |g, store, ctx| {
+            let (users, items, values) = unzip_batch(ctx.batch);
+            let (pu, u_losses, u_masked, pu_init) = Self::side_forward(
+                &cfg, g, store, &modules.user, &user_attrs, &user_pools, &user_cold, &users, true, true,
+                &mut *ctx.rng,
+            );
+            let (qi, i_losses, i_masked, qi_init) = Self::side_forward(
+                &cfg, g, store, &modules.item, &item_attrs, &item_pools, &item_cold, &items, true, true,
+                &mut *ctx.rng,
+            );
+            let scores = Self::predict_scores(g, store, &modules, pu, qi, &users, &items);
+            let target = g.constant(Matrix::col_vector(values));
+            let pred_loss = loss::mse(g, scores, target);
 
-                let mut recon_terms: Vec<(f32, Var)> = Vec::new();
-                recon_terms.extend(u_losses.terms);
-                recon_terms.extend(i_losses.terms);
-                // Mask replacement: post-GNN decoders reconstruct the
-                // masked nodes' initial embeddings.
-                if cfg.variant.cold == ColdStartModule::Mask {
-                    for (dec, aggregated, initial, masked) in [
-                        (&modules.user.mask_decoder, pu, pu_init, &u_masked),
-                        (&modules.item.mask_decoder, qi, qi_init, &i_masked),
-                    ] {
-                        let dec = dec.as_ref().expect("mask decoder built");
-                        if masked.iter().sum::<f32>() > 0.0 {
-                            let recon = dec.forward(&mut g, &store, aggregated);
-                            let l = EVae::approximation_loss(&mut g, recon, initial, masked);
-                            recon_terms.push((0.5, l));
-                        }
+            let mut recon_terms: Vec<(f32, Var)> = Vec::new();
+            recon_terms.extend(u_losses.terms);
+            recon_terms.extend(i_losses.terms);
+            // Mask replacement: post-GNN decoders reconstruct the
+            // masked nodes' initial embeddings.
+            if cfg.variant.cold == ColdStartModule::Mask {
+                for (dec, aggregated, initial, masked) in [
+                    (&modules.user.mask_decoder, pu, pu_init, &u_masked),
+                    (&modules.item.mask_decoder, qi, qi_init, &i_masked),
+                ] {
+                    let dec = dec.as_ref().expect("mask decoder built");
+                    if masked.iter().sum::<f32>() > 0.0 {
+                        let recon = dec.forward(g, store, aggregated);
+                        let l = EVae::approximation_loss(g, recon, initial, masked);
+                        recon_terms.push((0.5, l));
                     }
                 }
-
-                let total = if recon_terms.is_empty() || cfg.lambda == 0.0 {
-                    pred_loss
-                } else {
-                    let weighted: Vec<(f32, Var)> = std::iter::once((1.0, pred_loss))
-                        .chain(recon_terms.iter().map(|&(w, t)| (cfg.lambda * w, t)))
-                        .collect();
-                    loss::weighted_sum(&mut g, &weighted)
-                };
-
-                pred_sum += g.scalar(pred_loss) as f64;
-                recon_sum += recon_terms.iter().map(|&(w, t)| (w * g.scalar(t)) as f64).sum::<f64>();
-                n_batches += 1;
-
-                g.backward(total);
-                g.grads_into(&mut store);
-                store.clip_grad_norm(20.0);
-                opt.step(&mut store);
             }
-            report.epochs.push(EpochLosses {
-                prediction: pred_sum / n_batches.max(1) as f64,
-                reconstruction: recon_sum / n_batches.max(1) as f64,
-            });
-        }
+
+            let total = if recon_terms.is_empty() || cfg.lambda == 0.0 {
+                pred_loss
+            } else {
+                let weighted: Vec<(f32, Var)> = std::iter::once((1.0, pred_loss))
+                    .chain(recon_terms.iter().map(|&(w, t)| (cfg.lambda * w, t)))
+                    .collect();
+                loss::weighted_sum(g, &weighted)
+            };
+
+            StepLosses {
+                total,
+                prediction: g.scalar(pred_loss) as f64,
+                reconstruction: recon_terms.iter().map(|&(w, t)| (w * g.scalar(t)) as f64).sum::<f64>(),
+            }
+        });
         report.train_seconds = start.elapsed().as_secs_f64();
 
         self.fitted = Some(Fitted {

@@ -104,6 +104,10 @@ pub struct AgnnConfig {
     pub lr: f32,
     /// LeakyReLU slope (paper: 0.01).
     pub leaky_slope: f32,
+    /// Global gradient-norm clip applied after backward (previously a
+    /// hard-coded `20.0` inside the training loop).
+    #[serde(default = "default_grad_clip_norm")]
+    pub grad_clip_norm: f32,
     /// Mask/dropout rate for the Mask/Dropout cold-start replacements
     /// (paper §5.1.2: 20%).
     pub mask_rate: f32,
@@ -126,6 +130,7 @@ impl Default for AgnnConfig {
             batch_size: 128,
             lr: 5e-4,
             leaky_slope: 0.01,
+            grad_clip_norm: default_grad_clip_norm(),
             mask_rate: 0.2,
             seed: 17,
             variant: AgnnVariant::default(),
@@ -133,7 +138,23 @@ impl Default for AgnnConfig {
     }
 }
 
+fn default_grad_clip_norm() -> f32 {
+    20.0
+}
+
 impl AgnnConfig {
+    /// The training-loop slice of these knobs, for the `agnn-train` engine.
+    pub fn train_config(&self) -> agnn_train::TrainConfig {
+        agnn_train::TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            lr: self.lr,
+            weight_decay: 0.0,
+            grad_clip_norm: Some(self.grad_clip_norm),
+            seed: self.seed,
+        }
+    }
+
     /// Validates internal consistency; called by the model constructor.
     pub fn validate(&self) {
         assert!(self.embed_dim > 0, "embed_dim must be positive");
@@ -144,6 +165,7 @@ impl AgnnConfig {
         assert!(self.top_percent > 0.0, "top_percent must be positive");
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
         assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.grad_clip_norm > 0.0, "grad_clip_norm must be positive");
         assert!((0.0..1.0).contains(&self.mask_rate), "mask_rate must be in [0,1)");
         if self.variant.cold == ColdStartModule::Llae {
             assert_eq!(self.variant.gnn, GnnKind::None, "AGNN_LLAE removes the gated-GNN (use LlaePlus to keep it)");
@@ -164,7 +186,18 @@ mod tests {
         assert_eq!(c.lambda, 1.0);
         assert_eq!(c.batch_size, 128);
         assert!((c.lr - 5e-4).abs() < 1e-9);
+        assert_eq!(c.grad_clip_norm, 20.0);
         c.validate();
+    }
+
+    #[test]
+    fn train_config_slice_carries_clip_and_seed() {
+        let c = AgnnConfig { epochs: 3, seed: 9, ..AgnnConfig::default() };
+        let t = c.train_config();
+        assert_eq!(t.epochs, 3);
+        assert_eq!(t.seed, 9);
+        assert_eq!(t.grad_clip_norm, Some(20.0));
+        t.validate();
     }
 
     #[test]

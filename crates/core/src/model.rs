@@ -3,25 +3,12 @@
 
 use agnn_data::{Dataset, Rating, Split};
 use agnn_metrics::EvalAccumulator;
-use serde::{Deserialize, Serialize};
+use agnn_train::HookList;
 
-/// Losses recorded per epoch (Fig. 9 plots these two curves).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct EpochLosses {
-    /// Task loss `L_pred` (mean squared error over the epoch).
-    pub prediction: f64,
-    /// Reconstruction loss `L_recon` (0 for models without one).
-    pub reconstruction: f64,
-}
-
-/// Training summary returned by [`RatingModel::fit`].
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct TrainReport {
-    /// Per-epoch losses.
-    pub epochs: Vec<EpochLosses>,
-    /// Wall-clock training time in seconds.
-    pub train_seconds: f64,
-}
+// The loss-bookkeeping types moved into the training engine with the loop
+// that fills them in; re-exported here so existing `agnn_core::model` paths
+// keep working.
+pub use agnn_train::{EpochLosses, TrainReport};
 
 /// A trainable rating predictor. Every system in Table 2 implements this.
 pub trait RatingModel {
@@ -32,6 +19,17 @@ pub trait RatingModel {
     /// (including strict cold start ones) is available via `dataset`, their
     /// interactions are not.
     fn fit(&mut self, dataset: &Dataset, split: &Split) -> TrainReport;
+
+    /// Trains like [`RatingModel::fit`] with observer hooks attached to the
+    /// training loop (loss logging, early stopping, validation, timing).
+    ///
+    /// Models driven by the `agnn-train` engine override this and implement
+    /// `fit` as `fit_with(.., &mut HookList::new())`; the default ignores
+    /// the hooks so hook-less models (test doubles) keep working.
+    fn fit_with(&mut self, dataset: &Dataset, split: &Split, hooks: &mut HookList<'_>) -> TrainReport {
+        let _ = hooks;
+        self.fit(dataset, split)
+    }
 
     /// Predicts ratings for `(user, item)` pairs. Must be callable for
     /// strict cold start ids (they exist in `dataset`, carry attributes,

@@ -1,54 +1,88 @@
-//! Mini-batch iteration over rating triples.
-
+//! Mini-batch iteration over rating triples (or any copyable sample type).
+//!
+//! [`BatchIter::epoch`] reshuffles the persistent order and hands back an
+//! *owned* [`EpochPlan`], so the training loop streams batches while still
+//! using the rng (and the iterator itself) inside the loop body:
+//!
+//! ```
+//! use agnn_data::batch::BatchIter;
+//! use agnn_data::Rating;
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let ratings = vec![Rating { user: 0, item: 0, value: 5.0 }; 10];
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut batches = BatchIter::new(&ratings, 4);
+//! for _epoch in 0..2 {
+//!     for batch in batches.epoch(&mut rng) {
+//!         assert!(!batch.is_empty() && batch.len() <= 4);
+//!         let _coin: f32 = rng.gen(); // rng stays usable mid-epoch
+//!     }
+//! }
+//! ```
 use crate::dataset::Rating;
 use rand::prelude::*;
 
-/// Yields shuffled mini-batches of ratings, one epoch at a time.
+/// Yields shuffled mini-batches of samples, one epoch at a time.
 ///
-/// The iterator reshuffles at the start of each [`BatchIter::epoch`] call, so
-/// a training loop is simply:
-///
-/// ```
-/// use agnn_data::batch::BatchIter;
-/// use agnn_data::Rating;
-/// use rand::{rngs::StdRng, SeedableRng};
-///
-/// let ratings = vec![Rating { user: 0, item: 0, value: 5.0 }; 10];
-/// let mut rng = StdRng::seed_from_u64(0);
-/// let mut batches = BatchIter::new(&ratings, 4);
-/// for _epoch in 0..2 {
-///     for batch in batches.epoch(&mut rng) {
-///         assert!(!batch.is_empty() && batch.len() <= 4);
-///     }
-/// }
-/// ```
-pub struct BatchIter<'a> {
-    ratings: &'a [Rating],
+/// The shuffle is cumulative: each [`BatchIter::epoch`] call reshuffles the
+/// order left by the previous epoch, so one `BatchIter` per fit reproduces
+/// the classic in-place training-loop shuffle exactly.
+pub struct BatchIter<'a, T = Rating> {
+    items: &'a [T],
     batch_size: usize,
     order: Vec<u32>,
 }
 
-impl<'a> BatchIter<'a> {
-    /// Creates an iterator over `ratings` with the given batch size.
-    pub fn new(ratings: &'a [Rating], batch_size: usize) -> Self {
+impl<'a, T: Copy> BatchIter<'a, T> {
+    /// Creates an iterator over `items` with the given batch size.
+    pub fn new(items: &'a [T], batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch_size must be positive");
-        Self { ratings, batch_size, order: (0..ratings.len() as u32).collect() }
+        Self { items, batch_size, order: (0..items.len() as u32).collect() }
     }
 
     /// Number of batches per epoch.
     pub fn batches_per_epoch(&self) -> usize {
-        self.ratings.len().div_ceil(self.batch_size)
+        self.items.len().div_ceil(self.batch_size)
     }
 
-    /// Reshuffles and returns this epoch's batches.
-    pub fn epoch(&mut self, rng: &mut impl Rng) -> impl Iterator<Item = Vec<Rating>> + '_ {
+    /// Reshuffles and returns this epoch's batches as an owned plan.
+    ///
+    /// The plan borrows only the sample slice — not the iterator and not
+    /// the rng — so the caller keeps both available while consuming it.
+    pub fn epoch(&mut self, rng: &mut impl Rng) -> EpochPlan<'a, T> {
         self.order.shuffle(rng);
-        let ratings = self.ratings;
-        self.order
-            .chunks(self.batch_size)
-            .map(move |chunk| chunk.iter().map(|&i| ratings[i as usize]).collect())
+        EpochPlan { items: self.items, order: self.order.clone(), batch_size: self.batch_size, pos: 0 }
     }
 }
+
+/// One epoch's worth of batches, materialized as an owned visit order.
+pub struct EpochPlan<'a, T = Rating> {
+    items: &'a [T],
+    order: Vec<u32>,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl<'a, T: Copy> Iterator for EpochPlan<'a, T> {
+    type Item = Vec<T>;
+
+    fn next(&mut self) -> Option<Vec<T>> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let batch = self.order[self.pos..end].iter().map(|&i| self.items[i as usize]).collect();
+        self.pos = end;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.order.len() - self.pos).div_ceil(self.batch_size);
+        (left, Some(left))
+    }
+}
+
+impl<'a, T: Copy> ExactSizeIterator for EpochPlan<'a, T> {}
 
 /// Splits a batch into the parallel arrays the models consume.
 pub fn unzip_batch(batch: &[Rating]) -> (Vec<usize>, Vec<usize>, Vec<f32>) {
@@ -108,5 +142,51 @@ mod tests {
         let mut it = BatchIter::new(&rs, 4);
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(it.epoch(&mut rng).count(), 0);
+    }
+
+    #[test]
+    fn epoch_plan_is_owned_and_streams() {
+        let rs = ratings(12);
+        let mut it = BatchIter::new(&rs, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        // The plan holds no borrow of the iterator or rng, so both stay
+        // usable mid-epoch — this is the wart the old API had.
+        let mut n = 0;
+        for batch in it.epoch(&mut rng) {
+            let _draw: f64 = rng.gen();
+            assert_eq!(it.batches_per_epoch(), 3);
+            n += batch.len();
+        }
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn epoch_plan_matches_collected_batches() {
+        // Streaming must visit exactly the shuffled order the old
+        // collect-then-iterate loop produced.
+        let rs = ratings(17);
+        let mut a = BatchIter::new(&rs, 4);
+        let mut b = BatchIter::new(&rs, 4);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for _ in 0..3 {
+            let streamed: Vec<Vec<u32>> =
+                a.epoch(&mut rng_a).map(|batch| batch.iter().map(|r| r.user).collect()).collect();
+            let collected: Vec<Vec<Rating>> = b.epoch(&mut rng_b).collect();
+            let collected: Vec<Vec<u32>> =
+                collected.iter().map(|batch| batch.iter().map(|r| r.user).collect()).collect();
+            assert_eq!(streamed, collected);
+        }
+    }
+
+    #[test]
+    fn generic_over_sample_type() {
+        let nodes: Vec<u32> = (0..9).collect();
+        let mut it = BatchIter::new(&nodes, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = it.epoch(&mut rng);
+        assert_eq!(plan.len(), 3);
+        let seen: std::collections::BTreeSet<u32> = plan.flatten().collect();
+        assert_eq!(seen.len(), 9);
     }
 }

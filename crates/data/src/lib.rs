@@ -24,6 +24,7 @@
 
 pub mod batch;
 pub mod dataset;
+pub mod degrees;
 pub mod generator;
 pub mod movielens;
 pub mod presets;
@@ -31,6 +32,7 @@ pub mod schema;
 pub mod split;
 
 pub use dataset::{Dataset, DatasetStats, Rating};
+pub use degrees::Degrees;
 pub use generator::{GeneratorConfig, SyntheticGenerator};
 pub use presets::Preset;
 pub use split::{ColdStartKind, Split, SplitConfig};

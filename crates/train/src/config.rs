@@ -1,0 +1,104 @@
+//! The unified training-loop knob bundle.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the training loop itself — the slice of
+/// `AgnnConfig` / `BaselineConfig` that the [`crate::Trainer`] consumes.
+///
+/// Model-specific knobs (embedding dims, fan-outs, loss weights) stay with
+/// the model; everything about *how* it is driven lives here.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Adam weight decay (0 disables it).
+    #[serde(default)]
+    pub weight_decay: f32,
+    /// Global gradient-norm clip applied after backward, `None` to skip.
+    #[serde(default)]
+    pub grad_clip_norm: Option<f32>,
+    /// RNG seed for shuffling and in-batch sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 128, lr: 5e-4, weight_decay: 0.0, grad_clip_norm: Some(20.0), seed: 17 }
+    }
+}
+
+impl TrainConfig {
+    /// Panics on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.lr.is_finite() && self.lr >= 0.0, "lr must be a finite non-negative number");
+        assert!(self.weight_decay.is_finite() && self.weight_decay >= 0.0, "weight_decay must be finite and non-negative");
+        if let Some(c) = self.grad_clip_norm {
+            assert!(c > 0.0, "grad_clip_norm must be positive when set");
+        }
+    }
+
+    /// Replaces the learning rate (baselines scale the shared lr).
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Replaces the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Replaces the weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Replaces the gradient clip norm.
+    pub fn with_grad_clip(mut self, grad_clip_norm: Option<f32>) -> Self {
+        self.grad_clip_norm = grad_clip_norm;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = TrainConfig::default();
+        assert_eq!(cfg.epochs, 10);
+        assert_eq!(cfg.batch_size, 128);
+        assert_eq!(cfg.grad_clip_norm, Some(20.0));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_rejected() {
+        TrainConfig { batch_size: 0, ..TrainConfig::default() }.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = TrainConfig::default().with_lr(2e-3).with_epochs(3).with_weight_decay(5e-4).with_grad_clip(None);
+        assert_eq!(cfg.lr, 2e-3);
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.weight_decay, 5e-4);
+        assert_eq!(cfg.grad_clip_norm, None);
+    }
+
+    #[test]
+    fn deserializes_without_new_fields() {
+        let cfg: TrainConfig = serde_json::from_str(r#"{"epochs":4,"batch_size":32,"lr":0.001,"seed":9}"#).unwrap();
+        assert_eq!(cfg.weight_decay, 0.0);
+        assert_eq!(cfg.grad_clip_norm, None);
+    }
+}

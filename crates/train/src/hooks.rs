@@ -1,0 +1,360 @@
+//! Observer callbacks on the training loop.
+//!
+//! Firing order per epoch is documented and tested:
+//! `on_epoch_start` → `on_batch_end` (once per batch) → `on_epoch_end`,
+//! and within each event hooks fire in registration order. `on_epoch_end`
+//! is always delivered to *every* hook, even if an earlier one asked to
+//! stop; any [`Signal::Stop`] then ends training after that epoch.
+
+use crate::report::TrainReport;
+use agnn_autograd::ParamStore;
+use agnn_data::Rating;
+use std::time::Instant;
+
+/// What a hook's `on_epoch_end` tells the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Signal {
+    /// Keep training.
+    Continue,
+    /// End training after this epoch (sets `TrainReport::stopped_early`).
+    Stop,
+}
+
+/// Per-batch loss snapshot handed to `on_batch_end`.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchStats {
+    /// Epoch index, 0-based.
+    pub epoch: usize,
+    /// Batch index within the epoch, 0-based.
+    pub batch_index: usize,
+    /// This batch's prediction loss.
+    pub prediction: f64,
+    /// This batch's reconstruction loss.
+    pub reconstruction: f64,
+}
+
+/// Per-epoch loss snapshot handed to `on_epoch_end`.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index, 0-based.
+    pub epoch: usize,
+    /// Mean prediction loss over the epoch's batches.
+    pub prediction: f64,
+    /// Mean reconstruction loss over the epoch's batches.
+    pub reconstruction: f64,
+    /// Number of batches in the epoch.
+    pub batches: usize,
+}
+
+/// Observer interface on the training loop. All methods default to no-ops
+/// so hooks implement only what they watch.
+pub trait TrainHook {
+    /// Fires before the epoch's first batch.
+    fn on_epoch_start(&mut self, _epoch: usize) {}
+    /// Fires after each optimizer step.
+    fn on_batch_end(&mut self, _stats: &BatchStats) {}
+    /// Fires after the epoch's losses are folded into the report; return
+    /// [`Signal::Stop`] to end training.
+    fn on_epoch_end(&mut self, _stats: &EpochStats, _store: &ParamStore) -> Signal {
+        Signal::Continue
+    }
+}
+
+/// Lets callers register `&mut hook` and read the hook's state afterwards.
+impl<H: TrainHook + ?Sized> TrainHook for &mut H {
+    fn on_epoch_start(&mut self, epoch: usize) {
+        (**self).on_epoch_start(epoch);
+    }
+    fn on_batch_end(&mut self, stats: &BatchStats) {
+        (**self).on_batch_end(stats);
+    }
+    fn on_epoch_end(&mut self, stats: &EpochStats, store: &ParamStore) -> Signal {
+        (**self).on_epoch_end(stats, store)
+    }
+}
+
+/// An ordered collection of hooks, fired in registration order.
+#[derive(Default)]
+pub struct HookList<'h> {
+    hooks: Vec<Box<dyn TrainHook + 'h>>,
+}
+
+impl<'h> HookList<'h> {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self { hooks: Vec::new() }
+    }
+
+    /// Registers a hook (register `&mut hook` to keep access to its state).
+    pub fn push(&mut self, hook: impl TrainHook + 'h) {
+        self.hooks.push(Box::new(hook));
+    }
+
+    /// Builder-style [`HookList::push`].
+    pub fn with(mut self, hook: impl TrainHook + 'h) -> Self {
+        self.push(hook);
+        self
+    }
+
+    /// Number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// True when no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+
+    pub(crate) fn epoch_start(&mut self, epoch: usize) {
+        for h in &mut self.hooks {
+            h.on_epoch_start(epoch);
+        }
+    }
+
+    pub(crate) fn batch_end(&mut self, stats: &BatchStats) {
+        for h in &mut self.hooks {
+            h.on_batch_end(stats);
+        }
+    }
+
+    pub(crate) fn epoch_end(&mut self, stats: &EpochStats, store: &ParamStore) -> Signal {
+        let mut signal = Signal::Continue;
+        for h in &mut self.hooks {
+            if h.on_epoch_end(stats, store) == Signal::Stop {
+                signal = Signal::Stop;
+            }
+        }
+        signal
+    }
+}
+
+/// Logs epoch losses to stderr every `every` epochs.
+pub struct LossLogger {
+    every: usize,
+    prefix: String,
+}
+
+impl LossLogger {
+    /// Logs every `every`-th epoch (clamped to at least 1).
+    pub fn every(every: usize) -> Self {
+        Self { every: every.max(1), prefix: String::new() }
+    }
+
+    /// Prepends a label (typically the model name) to each line.
+    pub fn with_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.prefix = prefix.into();
+        self
+    }
+}
+
+impl TrainHook for LossLogger {
+    fn on_epoch_end(&mut self, stats: &EpochStats, _store: &ParamStore) -> Signal {
+        if stats.epoch % self.every == 0 {
+            let sep = if self.prefix.is_empty() { "" } else { " " };
+            eprintln!(
+                "{}{}epoch {:>4}  pred {:.6}  recon {:.6}",
+                self.prefix, sep, stats.epoch, stats.prediction, stats.reconstruction
+            );
+        }
+        Signal::Continue
+    }
+}
+
+/// Records wall-clock seconds per epoch.
+#[derive(Default)]
+pub struct Timing {
+    started: Option<Instant>,
+    /// Seconds each completed epoch took.
+    pub epoch_seconds: Vec<f64>,
+}
+
+impl Timing {
+    /// An empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total seconds across recorded epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.epoch_seconds.iter().sum()
+    }
+}
+
+impl TrainHook for Timing {
+    fn on_epoch_start(&mut self, _epoch: usize) {
+        self.started = Some(Instant::now());
+    }
+    fn on_epoch_end(&mut self, _stats: &EpochStats, _store: &ParamStore) -> Signal {
+        let secs = self.started.take().map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+        self.epoch_seconds.push(secs);
+        Signal::Continue
+    }
+}
+
+/// Stops training when the prediction loss has not improved (by more than
+/// `min_delta`) for `patience` consecutive epochs.
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best: f64,
+    since_best: usize,
+    /// The epoch the stop fired at, once it has.
+    pub stopped_at: Option<usize>,
+}
+
+impl EarlyStopping {
+    /// Stop after `patience` epochs without improvement.
+    pub fn new(patience: usize) -> Self {
+        Self::with_min_delta(patience, 0.0)
+    }
+
+    /// Like [`EarlyStopping::new`], requiring improvements to exceed
+    /// `min_delta` to reset the counter.
+    pub fn with_min_delta(patience: usize, min_delta: f64) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        Self { patience, min_delta, best: f64::INFINITY, since_best: 0, stopped_at: None }
+    }
+}
+
+impl TrainHook for EarlyStopping {
+    fn on_epoch_end(&mut self, stats: &EpochStats, _store: &ParamStore) -> Signal {
+        if stats.prediction < self.best - self.min_delta {
+            self.best = stats.prediction;
+            self.since_best = 0;
+            return Signal::Continue;
+        }
+        self.since_best += 1;
+        if self.since_best >= self.patience {
+            self.stopped_at = Some(stats.epoch);
+            return Signal::Stop;
+        }
+        Signal::Continue
+    }
+}
+
+/// Evaluates a held-out split every `every` epochs via a caller-supplied
+/// metric closure, recording `(epoch, value)` pairs.
+///
+/// The closure sees the live [`ParamStore`], so a model's `fit` can close
+/// over its modules and score the holdout mid-training.
+pub struct Validation<'v> {
+    holdout: Vec<Rating>,
+    every: usize,
+    #[allow(clippy::type_complexity)]
+    eval: Box<dyn FnMut(&ParamStore, &[Rating]) -> f64 + 'v>,
+    /// `(epoch, metric)` pairs in evaluation order.
+    pub history: Vec<(usize, f64)>,
+}
+
+impl<'v> Validation<'v> {
+    /// Evaluates `holdout` with `eval` every `every`-th epoch (clamped to
+    /// at least 1), starting at epoch 0.
+    pub fn new(holdout: Vec<Rating>, every: usize, eval: impl FnMut(&ParamStore, &[Rating]) -> f64 + 'v) -> Self {
+        Self { holdout, every: every.max(1), eval: Box::new(eval), history: Vec::new() }
+    }
+
+    /// Best (lowest) metric observed so far.
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.history.iter().copied().fold(None, |best, cur| match best {
+            Some((_, b)) if b <= cur.1 => best,
+            _ => Some(cur),
+        })
+    }
+}
+
+impl TrainHook for Validation<'_> {
+    fn on_epoch_end(&mut self, stats: &EpochStats, store: &ParamStore) -> Signal {
+        if stats.epoch % self.every == 0 {
+            let value = (self.eval)(store, &self.holdout);
+            self.history.push((stats.epoch, value));
+        }
+        Signal::Continue
+    }
+}
+
+/// Collects the final report for callers that only get hook access (the
+/// CLI registers one to surface loss curves without touching the model).
+#[derive(Default)]
+pub struct ReportCollector {
+    /// Epoch stats observed so far.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl ReportCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TrainHook for ReportCollector {
+    fn on_epoch_end(&mut self, stats: &EpochStats, _store: &ParamStore) -> Signal {
+        self.epochs.push(*stats);
+        Signal::Continue
+    }
+}
+
+/// Convenience: true when `report.stopped_early` should be considered a
+/// success given an early-stopping hook's state.
+pub fn stopped_by(report: &TrainReport, hook: &EarlyStopping) -> bool {
+    report.stopped_early && hook.stopped_at.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(epoch: usize, prediction: f64) -> EpochStats {
+        EpochStats { epoch, prediction, reconstruction: 0.0, batches: 1 }
+    }
+
+    #[test]
+    fn early_stopping_counts_patience() {
+        let store = ParamStore::new();
+        let mut hook = EarlyStopping::new(2);
+        assert_eq!(hook.on_epoch_end(&stats(0, 1.0), &store), Signal::Continue);
+        assert_eq!(hook.on_epoch_end(&stats(1, 1.0), &store), Signal::Continue);
+        assert_eq!(hook.on_epoch_end(&stats(2, 1.0), &store), Signal::Stop);
+        assert_eq!(hook.stopped_at, Some(2));
+    }
+
+    #[test]
+    fn early_stopping_resets_on_improvement() {
+        let store = ParamStore::new();
+        let mut hook = EarlyStopping::new(2);
+        assert_eq!(hook.on_epoch_end(&stats(0, 1.0), &store), Signal::Continue);
+        assert_eq!(hook.on_epoch_end(&stats(1, 1.0), &store), Signal::Continue);
+        assert_eq!(hook.on_epoch_end(&stats(2, 0.5), &store), Signal::Continue);
+        assert_eq!(hook.on_epoch_end(&stats(3, 0.5), &store), Signal::Continue);
+        assert_eq!(hook.on_epoch_end(&stats(4, 0.5), &store), Signal::Stop);
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let store = ParamStore::new();
+        let mut hook = EarlyStopping::with_min_delta(1, 0.1);
+        assert_eq!(hook.on_epoch_end(&stats(0, 1.0), &store), Signal::Continue);
+        // 0.95 improves by < min_delta: counts as stagnation.
+        assert_eq!(hook.on_epoch_end(&stats(1, 0.95), &store), Signal::Stop);
+    }
+
+    #[test]
+    fn validation_tracks_best() {
+        let store = ParamStore::new();
+        let mut hook = Validation::new(vec![], 1, |_, _| 0.0);
+        hook.history = vec![(0, 2.0), (1, 1.0), (2, 1.5)];
+        assert_eq!(hook.best(), Some((1, 1.0)));
+        let _ = hook.on_epoch_end(&stats(3, 0.0), &store);
+        assert_eq!(hook.history.len(), 4);
+    }
+
+    #[test]
+    fn hooklist_aggregates_stop_from_any_hook() {
+        let store = ParamStore::new();
+        let mut hooks = HookList::new().with(Timing::new()).with(EarlyStopping::new(1));
+        assert_eq!(hooks.len(), 2);
+        assert_eq!(hooks.epoch_end(&stats(0, 1.0), &store), Signal::Continue);
+        assert_eq!(hooks.epoch_end(&stats(1, 1.0), &store), Signal::Stop);
+    }
+}

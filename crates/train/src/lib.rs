@@ -1,0 +1,40 @@
+//! Model-agnostic training engine for AGNN and the Table-2 baselines.
+//!
+//! The paper's comparison (§4.1.4) only means something if every model
+//! trains under the same budget and loop semantics, so this crate owns the
+//! one training loop everything runs through:
+//!
+//! - [`TrainConfig`] — the knobs of the loop itself (epochs, batch size,
+//!   learning rate, weight decay, gradient clipping, seed), unified across
+//!   what used to be `AgnnConfig` and `BaselineConfig`.
+//! - [`TrainStep`] — the seam a model implements: build one mini-batch's
+//!   autograd graph and return its weighted loss terms as [`StepLosses`].
+//!   Any `FnMut(&mut Graph, &ParamStore, StepCtx) -> StepLosses` closure
+//!   qualifies via a blanket impl, so model files shrink to parameter
+//!   assembly plus a step closure.
+//! - [`Trainer`] — the driver: seeded shuffling via `BatchIter`, backward,
+//!   optional `clip_grad_norm`, Adam stepping, and per-epoch loss
+//!   accounting into [`TrainReport`].
+//! - [`TrainHook`] — observer callbacks (`on_epoch_start` /
+//!   `on_batch_end` / `on_epoch_end`) with built-ins for loss logging
+//!   ([`LossLogger`]), wall-clock timing ([`Timing`]), periodic validation
+//!   against a held-out split ([`Validation`]), and patience-based early
+//!   stopping ([`EarlyStopping`]).
+//!
+//! Determinism contract: the driver draws from the caller's `StdRng` only
+//! to shuffle each epoch's batch order, and hands the same rng to the step
+//! function for in-batch sampling. A fixed seed therefore yields
+//! bit-identical per-epoch losses run to run, and a model migrated onto the
+//! engine reproduces its pre-refactor loss trajectory exactly.
+
+pub mod config;
+pub mod hooks;
+pub mod report;
+pub mod step;
+pub mod trainer;
+
+pub use config::TrainConfig;
+pub use hooks::{BatchStats, EarlyStopping, EpochStats, HookList, LossLogger, Signal, Timing, TrainHook, Validation};
+pub use report::{EpochLosses, TrainReport};
+pub use step::{StepCtx, StepLosses, TrainStep};
+pub use trainer::Trainer;

@@ -1,0 +1,49 @@
+//! Loss bookkeeping returned by a training run.
+//!
+//! These types used to live in `agnn_core::model`; they moved here with the
+//! training loop so the engine can fill them in, and `agnn-core` re-exports
+//! them for compatibility.
+
+use serde::{Deserialize, Serialize};
+
+/// Losses recorded per epoch (Fig. 9 plots these two curves).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochLosses {
+    /// Task loss `L_pred` (mean squared error over the epoch).
+    pub prediction: f64,
+    /// Reconstruction loss `L_recon` (0 for models without one).
+    pub reconstruction: f64,
+}
+
+/// Training summary returned by a fit.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-epoch losses.
+    pub epochs: Vec<EpochLosses>,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// True when a hook (e.g. early stopping) ended the run before the
+    /// configured epoch budget.
+    #[serde(default)]
+    pub stopped_early: bool,
+}
+
+impl TrainReport {
+    /// Last epoch's prediction loss, if any epoch ran.
+    pub fn final_prediction(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.prediction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn old_reports_deserialize_without_stopped_early() {
+        let json = r#"{"epochs":[{"prediction":1.0,"reconstruction":0.5}],"train_seconds":2.0}"#;
+        let report: TrainReport = serde_json::from_str(json).unwrap();
+        assert!(!report.stopped_early);
+        assert_eq!(report.final_prediction(), Some(1.0));
+    }
+}

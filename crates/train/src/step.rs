@@ -1,0 +1,56 @@
+//! The per-batch seam between a model and the [`crate::Trainer`].
+
+use agnn_autograd::{Graph, ParamStore, Var};
+use agnn_data::Rating;
+use rand::rngs::StdRng;
+
+/// Everything the driver hands a model for one mini-batch.
+///
+/// The sample type `T` defaults to [`Rating`] (rating-triple batches); the
+/// autoencoder-style baselines train over node-index batches instead.
+pub struct StepCtx<'b, 'r, T = Rating> {
+    /// Epoch index, 0-based (MetaEmb alternates simulation modes on it).
+    pub epoch: usize,
+    /// Batch index within the epoch, 0-based.
+    pub batch_index: usize,
+    /// The shuffled mini-batch.
+    pub batch: &'b [T],
+    /// The fit-wide rng, for in-batch sampling (neighbor fan-out, dropout,
+    /// masking). Reborrow with `&mut *ctx.rng` to pass it on.
+    pub rng: &'r mut StdRng,
+}
+
+/// What a step returns: the node to backprop plus the scalar bookkeeping
+/// that lands in [`crate::EpochLosses`].
+pub struct StepLosses {
+    /// The weighted total loss the driver calls `backward` on.
+    pub total: Var,
+    /// Scalar prediction-loss contribution of this batch.
+    pub prediction: f64,
+    /// Scalar reconstruction-loss contribution of this batch.
+    pub reconstruction: f64,
+}
+
+impl StepLosses {
+    /// A step whose total loss *is* its prediction loss (most baselines).
+    pub fn prediction_only(g: &Graph, total: Var) -> Self {
+        Self { total, prediction: g.scalar(total) as f64, reconstruction: 0.0 }
+    }
+}
+
+/// One training step: build the batch's autograd graph and return its loss
+/// terms. The store is read-only here — the driver owns backward, clipping,
+/// and the optimizer step.
+pub trait TrainStep<T = Rating> {
+    /// Builds the graph for one mini-batch.
+    fn step(&mut self, g: &mut Graph, store: &ParamStore, ctx: StepCtx<'_, '_, T>) -> StepLosses;
+}
+
+impl<T, F> TrainStep<T> for F
+where
+    F: FnMut(&mut Graph, &ParamStore, StepCtx<'_, '_, T>) -> StepLosses,
+{
+    fn step(&mut self, g: &mut Graph, store: &ParamStore, ctx: StepCtx<'_, '_, T>) -> StepLosses {
+        self(g, store, ctx)
+    }
+}
