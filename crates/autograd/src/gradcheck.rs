@@ -60,6 +60,18 @@ pub fn check_param(
         numeric.as_mut_slice()[i] = (fp - fm) / (2.0 * eps);
     }
 
+    // A silently-dead parameter (no gradient flowed, but the loss moves when
+    // it is perturbed) is a wiring bug, not a numeric mismatch — name it.
+    let analytic_dead = analytic.as_slice().iter().all(|&v| v == 0.0);
+    let numeric_live = numeric.as_slice().iter().any(|&v| v.abs() > tol);
+    assert!(
+        !(analytic_dead && numeric_live),
+        "gradcheck: parameter {} received no gradient but the loss depends on it \
+         (numeric gradient norm {}); it is disconnected from the backward pass",
+        store.name(id),
+        numeric.frobenius_norm()
+    );
+
     let mut max_abs_err = 0.0f32;
     let mut max_rel_err = 0.0f32;
     for (&a, &n) in analytic.as_slice().iter().zip(numeric.as_slice()) {

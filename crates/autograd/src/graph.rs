@@ -7,7 +7,7 @@
 //! cannot silently ship without an adjoint.
 
 use crate::param::{ParamId, ParamStore};
-use agnn_tensor::{ops, Matrix};
+use agnn_tensor::{ops, shape, Matrix, ShapeError};
 use rand::Rng;
 use std::rc::Rc;
 
@@ -15,6 +15,13 @@ use std::rc::Rc;
 /// that created it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Position on the tape (stable identifier within one graph).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// How a tape node was produced; parents are earlier tape positions.
 /// Some payloads (scalars recorded at forward time) are not needed by the
@@ -59,6 +66,163 @@ enum Op {
     Reshape(Var, usize, usize),
 }
 
+impl Op {
+    /// Stable op name used in traces, issues and audit reports.
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::MatMul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::MulRowBroadcast(..) => "mul_row_broadcast",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
+            Op::Concat(..) => "concat",
+            Op::GatherRows(..) => "gather_rows",
+            Op::SegmentMeanRows(..) => "segment_mean_rows",
+            Op::SegmentSumRows(..) => "segment_sum_rows",
+            Op::SegmentSumRowsVar(..) => "segment_sum_rows_var",
+            Op::SegmentMeanRowsVar(..) => "segment_mean_rows_var",
+            Op::RepeatRows(..) => "repeat_rows",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Relu(..) => "relu",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Exp(..) => "exp",
+            Op::Ln(..) => "ln",
+            Op::SqrtEps(..) => "sqrt_eps",
+            Op::Square(..) => "square",
+            Op::Abs(..) => "abs",
+            Op::Neg(..) => "neg",
+            Op::Dropout(..) => "dropout",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::SumRows(..) => "sum_rows",
+            Op::SumCols(..) => "sum_cols",
+            Op::SegmentSoftmaxCol(..) => "segment_softmax_col",
+            Op::Reshape(..) => "reshape",
+        }
+    }
+
+    /// Tape positions this op reads (empty for leaves).
+    fn parents(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => Vec::new(),
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::MulRowBroadcast(a, b)
+            | Op::MulColBroadcast(a, b) => vec![*a, *b],
+            Op::Concat(parts) => parts.clone(),
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::GatherRows(a, _)
+            | Op::SegmentMeanRows(a, _)
+            | Op::SegmentSumRows(a, _)
+            | Op::SegmentSumRowsVar(a, _)
+            | Op::SegmentMeanRowsVar(a, _)
+            | Op::RepeatRows(a, _)
+            | Op::LeakyRelu(a, _)
+            | Op::Relu(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::SqrtEps(a, _)
+            | Op::Square(a)
+            | Op::Abs(a)
+            | Op::Neg(a)
+            | Op::Dropout(a, _)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::SumRows(a)
+            | Op::SumCols(a)
+            | Op::SegmentSoftmaxCol(a, _)
+            | Op::Reshape(a, _, _) => vec![*a],
+        }
+    }
+}
+
+/// What went wrong at one tape position in checked mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum TapeIssueKind {
+    /// An operand shape violated the op's shape rule.
+    ShapeMismatch,
+    /// The op produced NaN or ±inf.
+    NonFinite,
+}
+
+/// One operand of an offending op, for provenance in reports.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct OperandInfo {
+    /// Tape position of the operand.
+    pub var: usize,
+    /// Its op name.
+    pub op: String,
+    /// Its (possibly recovered) shape.
+    pub shape: (usize, usize),
+}
+
+/// A violation recorded by a checked graph instead of panicking, carrying
+/// enough provenance to print a readable op trace.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TapeIssue {
+    /// Violation class.
+    pub kind: TapeIssueKind,
+    /// Tape position of the offending op.
+    pub var: usize,
+    /// Offending op name.
+    pub op: String,
+    /// Its operands at the time of the violation.
+    pub operands: Vec<OperandInfo>,
+    /// The violated rule, human-readable.
+    pub message: String,
+}
+
+impl std::fmt::Display for TapeIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%{} = {}(", self.var, self.op)?;
+        for (i, o) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "%{} [{}x{}]", o.var, o.shape.0, o.shape.1)?;
+        }
+        write!(f, "): {}", self.message)
+    }
+}
+
+/// A tape leaf's connection to a [`ParamStore`] entry.
+#[derive(Clone, Debug)]
+pub struct ParamBinding {
+    /// The bound parameter.
+    pub id: ParamId,
+    /// The leaf Var carrying its value (or gathered rows).
+    pub var: Var,
+    /// Row indices for embedding-style lookups; `None` for full bindings.
+    pub rows: Option<Rc<Vec<usize>>>,
+}
+
+/// Read-only view of one tape node for analyzers.
+#[derive(Clone, Debug)]
+pub struct OpView {
+    /// Tape position.
+    pub var: Var,
+    /// Op name (`"leaf"` for constants and parameters).
+    pub op: &'static str,
+    /// Operand positions.
+    pub parents: Vec<Var>,
+    /// Forward-value shape.
+    pub shape: (usize, usize),
+    /// Whether gradients flow through this node.
+    pub requires_grad: bool,
+}
+
 struct Node {
     value: Matrix,
     grad: Option<Matrix>,
@@ -77,12 +241,23 @@ enum Binding {
 pub struct Graph {
     nodes: Vec<Node>,
     bindings: Vec<Binding>,
+    checked: bool,
+    issues: Vec<TapeIssue>,
 }
 
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty tape in *checked* mode: shape-rule violations and non-finite
+    /// op outputs are recorded as [`TapeIssue`]s (the offending node gets a
+    /// zero recovery value so construction continues and *all* violations
+    /// surface), instead of panicking at the first one. A checked tape with
+    /// issues must not be differentiated; audit it via `agnn-check`.
+    pub fn new_checked() -> Self {
+        Graph { checked: true, ..Self::default() }
     }
 
     /// Number of nodes on the tape.
@@ -96,9 +271,196 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
-        debug_assert!(value.all_finite() || !cfg!(debug_assertions), "non-finite value entering tape");
+        // NaN/Inf sentinel: debug-assertions-gated in normal mode (release
+        // tapes skip the scan), always on in checked mode.
+        if (cfg!(debug_assertions) || self.checked) && !value.all_finite() {
+            if self.checked {
+                let issue = self.make_issue(TapeIssueKind::NonFinite, &op, format!("non-finite output of {}", op.name()));
+                self.issues.push(issue);
+            } else {
+                panic!(
+                    "non-finite value entering tape at %{} = {}{}",
+                    self.nodes.len(),
+                    op.name(),
+                    self.describe_operands(&op)
+                );
+            }
+        }
         self.nodes.push(Node { value, grad: None, op, requires_grad });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Central op constructor: applies the op's shape rule, then either
+    /// evaluates the kernel (rule passed) or — in checked mode — records the
+    /// violation with provenance and pushes a zero recovery node so tape
+    /// construction can continue. In unchecked mode a violation panics with
+    /// the offending Var ids in the message.
+    fn record(&mut self, op: Op) -> Var {
+        let rg = op.parents().iter().any(|&p| self.rg(p));
+        match self.infer_shape(&op) {
+            Ok(shape) => {
+                let value = self.eval(&op);
+                debug_assert_eq!(value.shape(), shape, "shape rule out of sync with kernel for {}", op.name());
+                self.push(value, op, rg)
+            }
+            Err(e) => {
+                if !self.checked {
+                    panic!("{e} at %{} = {}{}", self.nodes.len(), op.name(), self.describe_operands(&op));
+                }
+                let (r, c) = self.recovery_shape(&op);
+                let issue = self.make_issue(TapeIssueKind::ShapeMismatch, &op, e.to_string());
+                self.issues.push(issue);
+                self.push(Matrix::zeros(r, c), op, rg)
+            }
+        }
+    }
+
+    fn make_issue(&self, kind: TapeIssueKind, op: &Op, message: String) -> TapeIssue {
+        let operands = op
+            .parents()
+            .iter()
+            .map(|&p| OperandInfo {
+                var: p.0,
+                op: self.nodes[p.0].op.name().to_string(),
+                shape: self.nodes[p.0].value.shape(),
+            })
+            .collect();
+        TapeIssue { kind, var: self.nodes.len(), op: op.name().to_string(), operands, message }
+    }
+
+    fn describe_operands(&self, op: &Op) -> String {
+        let mut out = String::new();
+        for p in op.parents() {
+            let n = &self.nodes[p.0];
+            out.push_str(&format!(
+                "\n  operand %{} = {} [{}x{}]",
+                p.0,
+                n.op.name(),
+                n.value.rows(),
+                n.value.cols()
+            ));
+        }
+        out
+    }
+
+    /// The op's shape rule, evaluated on current operand shapes. This is the
+    /// symbolic half of every builder: it never touches matrix data.
+    fn infer_shape(&self, op: &Op) -> Result<(usize, usize), ShapeError> {
+        let s = |v: &Var| self.nodes[v.0].value.shape();
+        match op {
+            Op::Leaf => unreachable!("leaves are pushed directly, not recorded"),
+            Op::MatMul(a, b) => shape::matmul(s(a), s(b)),
+            Op::Add(a, b) => shape::elementwise("add", s(a), s(b)),
+            Op::Sub(a, b) => shape::elementwise("sub", s(a), s(b)),
+            Op::Mul(a, b) => shape::elementwise("mul", s(a), s(b)),
+            Op::Dropout(a, mask) => shape::elementwise("dropout", s(a), mask.shape()),
+            Op::AddRowBroadcast(a, r) => shape::row_broadcast("add_row_broadcast", s(a), s(r)),
+            Op::MulRowBroadcast(a, r) => shape::row_broadcast("mul_row_broadcast", s(a), s(r)),
+            Op::MulColBroadcast(a, c) => shape::col_broadcast("mul_col_broadcast", s(a), s(c)),
+            Op::Concat(parts) => {
+                let mut acc = s(&parts[0]);
+                for p in &parts[1..] {
+                    acc = shape::hconcat(acc, s(p))?;
+                }
+                Ok(acc)
+            }
+            Op::GatherRows(a, rows) => shape::gather_rows(s(a), rows),
+            Op::SegmentMeanRows(a, g) => shape::segment_rows("segment_mean_rows", s(a), *g),
+            Op::SegmentSumRows(a, g) => shape::segment_rows("segment_sum_rows", s(a), *g),
+            Op::SegmentSumRowsVar(a, o) => shape::segment_rows_var("segment_sum_rows_var", s(a), o),
+            Op::SegmentMeanRowsVar(a, o) => shape::segment_rows_var("segment_mean_rows_var", s(a), o),
+            Op::RepeatRows(a, g) => shape::repeat_rows(s(a), *g),
+            Op::SumAll(_) | Op::MeanAll(_) => Ok((1, 1)),
+            Op::SumRows(a) => Ok((1, s(a).1)),
+            Op::SumCols(a) => Ok((s(a).0, 1)),
+            Op::SegmentSoftmaxCol(a, g) => shape::segment_softmax_col(s(a), *g),
+            Op::Reshape(a, r, c) => shape::reshape(s(a), *r, *c),
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::LeakyRelu(a, _)
+            | Op::SqrtEps(a, _)
+            | Op::Relu(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::Square(a)
+            | Op::Abs(a)
+            | Op::Neg(a) => Ok(s(a)),
+        }
+    }
+
+    /// Best-effort output shape for a node whose shape rule failed, so a
+    /// checked tape can keep building past the violation.
+    fn recovery_shape(&self, op: &Op) -> (usize, usize) {
+        let s = |v: &Var| self.nodes[v.0].value.shape();
+        match op {
+            Op::MatMul(a, b) => (s(a).0, s(b).1),
+            Op::Concat(parts) => (s(&parts[0]).0, parts.iter().map(|p| s(p).1).sum()),
+            Op::GatherRows(a, rows) => (rows.len(), s(a).1),
+            Op::SegmentMeanRows(a, g) | Op::SegmentSumRows(a, g) => {
+                (s(a).0.checked_div(*g).unwrap_or(0), s(a).1)
+            }
+            Op::SegmentSumRowsVar(a, o) | Op::SegmentMeanRowsVar(a, o) => (o.len().saturating_sub(1), s(a).1),
+            Op::RepeatRows(a, g) => (s(a).0 * *g, s(a).1),
+            Op::SumAll(_) | Op::MeanAll(_) => (1, 1),
+            Op::SumRows(a) => (1, s(a).1),
+            Op::SumCols(a) => (s(a).0, 1),
+            Op::Reshape(_, r, c) => (*r, *c),
+            other => {
+                let parents = other.parents();
+                s(&parents[0])
+            }
+        }
+    }
+
+    /// Forward kernel dispatch for a (shape-valid) op.
+    fn eval(&self, op: &Op) -> Matrix {
+        match op {
+            Op::Leaf => unreachable!("leaves are pushed directly, not recorded"),
+            Op::MatMul(a, b) => ops::matmul(self.value(*a), self.value(*b)),
+            Op::Add(a, b) => ops::add(self.value(*a), self.value(*b)),
+            Op::Sub(a, b) => ops::sub(self.value(*a), self.value(*b)),
+            Op::Mul(a, b) => ops::mul(self.value(*a), self.value(*b)),
+            Op::Scale(a, s) => ops::scale(self.value(*a), *s),
+            Op::AddScalar(a, s) => {
+                let s = *s;
+                ops::map(self.value(*a), move |x| x + s)
+            }
+            Op::AddRowBroadcast(a, r) => ops::add_row_broadcast(self.value(*a), self.value(*r)),
+            Op::MulRowBroadcast(a, r) => ops::mul_row_broadcast(self.value(*a), self.value(*r)),
+            Op::MulColBroadcast(a, c) => ops::mul_col_broadcast(self.value(*a), self.value(*c)),
+            Op::Concat(parts) => {
+                let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+                Matrix::hconcat(&mats)
+            }
+            Op::GatherRows(a, rows) => self.value(*a).gather_rows(rows),
+            Op::SegmentMeanRows(a, g) => ops::segment_mean_rows(self.value(*a), *g),
+            Op::SegmentSumRows(a, g) => ops::segment_sum_rows(self.value(*a), *g),
+            Op::SegmentSumRowsVar(a, o) => segment_reduce_var(self.value(*a), o, false),
+            Op::SegmentMeanRowsVar(a, o) => segment_reduce_var(self.value(*a), o, true),
+            Op::RepeatRows(a, g) => ops::repeat_rows(self.value(*a), *g),
+            Op::LeakyRelu(a, slope) => ops::leaky_relu(self.value(*a), *slope),
+            Op::Relu(a) => ops::relu(self.value(*a)),
+            Op::Sigmoid(a) => ops::sigmoid(self.value(*a)),
+            Op::Tanh(a) => ops::tanh(self.value(*a)),
+            Op::Exp(a) => ops::map(self.value(*a), f32::exp),
+            Op::Ln(a) => ops::map(self.value(*a), f32::ln),
+            Op::SqrtEps(a, eps) => {
+                let eps = *eps;
+                ops::map(self.value(*a), move |x| (x + eps).sqrt())
+            }
+            Op::Square(a) => ops::map(self.value(*a), |x| x * x),
+            Op::Abs(a) => ops::map(self.value(*a), f32::abs),
+            Op::Neg(a) => ops::scale(self.value(*a), -1.0),
+            Op::Dropout(a, mask) => ops::mul(self.value(*a), mask),
+            Op::SumAll(a) => Matrix::from_vec(1, 1, vec![ops::sum_all(self.value(*a))]),
+            Op::MeanAll(a) => Matrix::from_vec(1, 1, vec![ops::mean_all(self.value(*a))]),
+            Op::SumRows(a) => ops::sum_rows(self.value(*a)),
+            Op::SumCols(a) => ops::sum_cols(self.value(*a)),
+            Op::SegmentSoftmaxCol(a, g) => ops::segment_softmax_col(self.value(*a), *g),
+            Op::Reshape(a, r, c) => self.value(*a).reshape(*r, *c),
+        }
     }
 
     fn rg(&self, v: Var) -> bool {
@@ -120,6 +482,120 @@ impl Graph {
         let m = self.value(v);
         assert_eq!(m.shape(), (1, 1), "scalar: node is {:?}", m.shape());
         m.get(0, 0)
+    }
+
+    /// The accumulated gradient of `v`, panicking with `what` (e.g. a
+    /// parameter name) when nothing flowed — a named failure instead of a
+    /// bare `unwrap()` on a silently-dead node.
+    pub fn grad_expect(&self, v: Var, what: &str) -> &Matrix {
+        self.nodes[v.0].grad.as_ref().unwrap_or_else(|| {
+            panic!(
+                "no gradient reached {what} (%{} = {}); it is disconnected from the loss",
+                v.0,
+                self.nodes[v.0].op.name()
+            )
+        })
+    }
+
+    // --- introspection (consumed by agnn-check) -----------------------------
+
+    /// Whether gradients flow through `v`.
+    pub fn requires_grad(&self, v: Var) -> bool {
+        self.rg(v)
+    }
+
+    /// Shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Read-only view of one node: op name, operands, shape, grad flag.
+    pub fn op_view(&self, v: Var) -> OpView {
+        let n = &self.nodes[v.0];
+        OpView {
+            var: v,
+            op: n.op.name(),
+            parents: n.op.parents(),
+            shape: n.value.shape(),
+            requires_grad: n.requires_grad,
+        }
+    }
+
+    /// Views of every node on the tape, in construction order.
+    pub fn op_views(&self) -> Vec<OpView> {
+        (0..self.nodes.len()).map(|i| self.op_view(Var(i))).collect()
+    }
+
+    /// Every parameter↔leaf binding currently on the tape.
+    pub fn param_bindings(&self) -> Vec<ParamBinding> {
+        self.bindings
+            .iter()
+            .map(|b| match b {
+                Binding::Full(id, v) => ParamBinding { id: *id, var: *v, rows: None },
+                Binding::Rows(id, rows, v) => ParamBinding { id: *id, var: *v, rows: Some(Rc::clone(rows)) },
+            })
+            .collect()
+    }
+
+    /// Violations recorded in checked mode (always empty for `Graph::new`).
+    pub fn issues(&self) -> &[TapeIssue] {
+        &self.issues
+    }
+
+    /// Whether this tape was built with [`Graph::new_checked`].
+    pub fn is_checked(&self) -> bool {
+        self.checked
+    }
+
+    /// The Var at tape position `index` (inverse of [`Var::index`], used by
+    /// analyzers that store plain indices).
+    pub fn var_at(&self, index: usize) -> Var {
+        assert!(index < self.nodes.len(), "var_at: index {index} beyond tape of {}", self.nodes.len());
+        Var(index)
+    }
+
+    /// `reachable[i]` is true iff node `i` is an ancestor of `root` (or is
+    /// `root` itself) through op edges — i.e. it contributed to `root`'s
+    /// forward value and would receive gradient from it.
+    pub fn reachable_from(&self, root: Var) -> Vec<bool> {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            if reachable[v.0] {
+                continue;
+            }
+            reachable[v.0] = true;
+            stack.extend(self.nodes[v.0].op.parents());
+        }
+        reachable
+    }
+
+    /// Renders the op subtree feeding `v`, up to `depth` levels, one node per
+    /// line — the readable provenance trace used by audit reports.
+    pub fn trace(&self, v: Var, depth: usize) -> String {
+        let mut out = String::new();
+        self.trace_into(v, depth, 0, &mut out);
+        out
+    }
+
+    fn trace_into(&self, v: Var, depth: usize, indent: usize, out: &mut String) {
+        let n = &self.nodes[v.0];
+        let parents = n.op.parents();
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&format!("%{} = {}(", v.0, n.op.name()));
+        for (i, p) in parents.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("%{}", p.0));
+        }
+        let (r, c) = n.value.shape();
+        out.push_str(&format!(")  [{r}x{c}]\n"));
+        if depth > 0 {
+            for p in parents {
+                self.trace_into(p, depth - 1, indent + 1, out);
+            }
+        }
     }
 
     // --- leaves -------------------------------------------------------------
@@ -156,95 +632,68 @@ impl Graph {
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = ops::matmul(self.value(a), self.value(b));
-        let rg = self.rg(a) || self.rg(b);
-        self.push(value, Op::MatMul(a, b), rg)
+        self.record(Op::MatMul(a, b))
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = ops::add(self.value(a), self.value(b));
-        let rg = self.rg(a) || self.rg(b);
-        self.push(value, Op::Add(a, b), rg)
+        self.record(Op::Add(a, b))
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = ops::sub(self.value(a), self.value(b));
-        let rg = self.rg(a) || self.rg(b);
-        self.push(value, Op::Sub(a, b), rg)
+        self.record(Op::Sub(a, b))
     }
 
     /// Elementwise (Hadamard) `a ⊙ b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = ops::mul(self.value(a), self.value(b));
-        let rg = self.rg(a) || self.rg(b);
-        self.push(value, Op::Mul(a, b), rg)
+        self.record(Op::Mul(a, b))
     }
 
     /// `s · a`.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let value = ops::scale(self.value(a), s);
-        let rg = self.rg(a);
-        self.push(value, Op::Scale(a, s), rg)
+        self.record(Op::Scale(a, s))
     }
 
     /// `a + s` elementwise.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let value = ops::map(self.value(a), |x| x + s);
-        let rg = self.rg(a);
-        self.push(value, Op::AddScalar(a, s), rg)
+        self.record(Op::AddScalar(a, s))
     }
 
     /// Adds the `1 × n` row vector `row` to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
-        let value = ops::add_row_broadcast(self.value(a), self.value(row));
-        let rg = self.rg(a) || self.rg(row);
-        self.push(value, Op::AddRowBroadcast(a, row), rg)
+        self.record(Op::AddRowBroadcast(a, row))
     }
 
     /// Multiplies every row of `a` elementwise by the `1 × n` row vector.
     pub fn mul_row_broadcast(&mut self, a: Var, row: Var) -> Var {
-        let value = ops::mul_row_broadcast(self.value(a), self.value(row));
-        let rg = self.rg(a) || self.rg(row);
-        self.push(value, Op::MulRowBroadcast(a, row), rg)
+        self.record(Op::MulRowBroadcast(a, row))
     }
 
     /// Multiplies row `i` of `a` by the scalar `col[i]` of an `m × 1` column.
     pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
-        let value = ops::mul_col_broadcast(self.value(a), self.value(col));
-        let rg = self.rg(a) || self.rg(col);
-        self.push(value, Op::MulColBroadcast(a, col), rg)
+        self.record(Op::MulColBroadcast(a, col))
     }
 
     /// Horizontal concatenation `[a₁; a₂; …]` along columns.
     pub fn concat(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat of zero vars");
-        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
-        let value = Matrix::hconcat(&mats);
-        let rg = parts.iter().any(|&p| self.rg(p));
-        self.push(value, Op::Concat(parts.to_vec()), rg)
+        self.record(Op::Concat(parts.to_vec()))
     }
 
     /// Gathers rows of `a` by index (rows may repeat).
     pub fn gather_rows(&mut self, a: Var, rows: Rc<Vec<usize>>) -> Var {
-        let value = self.value(a).gather_rows(&rows);
-        let rg = self.rg(a);
-        self.push(value, Op::GatherRows(a, rows), rg)
+        self.record(Op::GatherRows(a, rows))
     }
 
     /// Mean over each consecutive group of `g` rows.
     pub fn segment_mean_rows(&mut self, a: Var, g: usize) -> Var {
-        let value = ops::segment_mean_rows(self.value(a), g);
-        let rg = self.rg(a);
-        self.push(value, Op::SegmentMeanRows(a, g), rg)
+        self.record(Op::SegmentMeanRows(a, g))
     }
 
     /// Sum over each consecutive group of `g` rows.
     pub fn segment_sum_rows(&mut self, a: Var, g: usize) -> Var {
-        let value = ops::segment_sum_rows(self.value(a), g);
-        let rg = self.rg(a);
-        self.push(value, Op::SegmentSumRows(a, g), rg)
+        self.record(Op::SegmentSumRows(a, g))
     }
 
     /// Sums rows over *variable-length* segments. `offsets` has `n+1`
@@ -253,94 +702,68 @@ impl Graph {
     ///
     /// This is the ragged-pooling primitive for per-node attribute lists.
     pub fn segment_sum_rows_var(&mut self, a: Var, offsets: Rc<Vec<usize>>) -> Var {
-        let value = segment_reduce_var(self.value(a), &offsets, false);
-        let rg = self.rg(a);
-        self.push(value, Op::SegmentSumRowsVar(a, offsets), rg)
+        self.record(Op::SegmentSumRowsVar(a, offsets))
     }
 
     /// Means rows over variable-length segments (empty segments → zero row).
     pub fn segment_mean_rows_var(&mut self, a: Var, offsets: Rc<Vec<usize>>) -> Var {
-        let value = segment_reduce_var(self.value(a), &offsets, true);
-        let rg = self.rg(a);
-        self.push(value, Op::SegmentMeanRowsVar(a, offsets), rg)
+        self.record(Op::SegmentMeanRowsVar(a, offsets))
     }
 
     /// Repeats each row `g` times.
     pub fn repeat_rows(&mut self, a: Var, g: usize) -> Var {
-        let value = ops::repeat_rows(self.value(a), g);
-        let rg = self.rg(a);
-        self.push(value, Op::RepeatRows(a, g), rg)
+        self.record(Op::RepeatRows(a, g))
     }
 
     /// LeakyReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let value = ops::leaky_relu(self.value(a), slope);
-        let rg = self.rg(a);
-        self.push(value, Op::LeakyRelu(a, slope), rg)
+        self.record(Op::LeakyRelu(a, slope))
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = ops::relu(self.value(a));
-        let rg = self.rg(a);
-        self.push(value, Op::Relu(a), rg)
+        self.record(Op::Relu(a))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = ops::sigmoid(self.value(a));
-        let rg = self.rg(a);
-        self.push(value, Op::Sigmoid(a), rg)
+        self.record(Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = ops::tanh(self.value(a));
-        let rg = self.rg(a);
-        self.push(value, Op::Tanh(a), rg)
+        self.record(Op::Tanh(a))
     }
 
     /// Elementwise `exp`.
     pub fn exp(&mut self, a: Var) -> Var {
-        let value = ops::map(self.value(a), f32::exp);
-        let rg = self.rg(a);
-        self.push(value, Op::Exp(a), rg)
+        self.record(Op::Exp(a))
     }
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&mut self, a: Var) -> Var {
-        let value = ops::map(self.value(a), f32::ln);
-        let rg = self.rg(a);
-        self.push(value, Op::Ln(a), rg)
+        self.record(Op::Ln(a))
     }
 
     /// Elementwise `sqrt(x + eps)`; the epsilon keeps the adjoint finite at 0.
     pub fn sqrt_eps(&mut self, a: Var, eps: f32) -> Var {
         assert!(eps >= 0.0, "sqrt_eps: negative eps {eps}");
-        let value = ops::map(self.value(a), |x| (x + eps).sqrt());
-        let rg = self.rg(a);
-        self.push(value, Op::SqrtEps(a, eps), rg)
+        self.record(Op::SqrtEps(a, eps))
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let value = ops::map(self.value(a), |x| x * x);
-        let rg = self.rg(a);
-        self.push(value, Op::Square(a), rg)
+        self.record(Op::Square(a))
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
-        let value = ops::map(self.value(a), f32::abs);
-        let rg = self.rg(a);
-        self.push(value, Op::Abs(a), rg)
+        self.record(Op::Abs(a))
     }
 
     /// `-a`.
     pub fn neg(&mut self, a: Var) -> Var {
-        let value = ops::scale(self.value(a), -1.0);
-        let rg = self.rg(a);
-        self.push(value, Op::Neg(a), rg)
+        self.record(Op::Neg(a))
     }
 
     /// Inverted dropout: zeroes each element with probability `p` and scales
@@ -359,52 +782,38 @@ impl Graph {
     /// Dropout with an explicit mask (used by tests and masked-reconstruction
     /// baselines that must reuse a mask).
     pub fn dropout_with_mask(&mut self, a: Var, mask: Rc<Matrix>) -> Var {
-        let value = ops::mul(self.value(a), &mask);
-        let rg = self.rg(a);
-        self.push(value, Op::Dropout(a, mask), rg)
+        self.record(Op::Dropout(a, mask))
     }
 
     /// Sum of all elements as a `1 × 1` node.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![ops::sum_all(self.value(a))]);
-        let rg = self.rg(a);
-        self.push(value, Op::SumAll(a), rg)
+        self.record(Op::SumAll(a))
     }
 
     /// Mean of all elements as a `1 × 1` node.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![ops::mean_all(self.value(a))]);
-        let rg = self.rg(a);
-        self.push(value, Op::MeanAll(a), rg)
+        self.record(Op::MeanAll(a))
     }
 
     /// Column sums as a `1 × n` node.
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let value = ops::sum_rows(self.value(a));
-        let rg = self.rg(a);
-        self.push(value, Op::SumRows(a), rg)
+        self.record(Op::SumRows(a))
     }
 
     /// Row sums as an `m × 1` node.
     pub fn sum_cols(&mut self, a: Var) -> Var {
-        let value = ops::sum_cols(self.value(a));
-        let rg = self.rg(a);
-        self.push(value, Op::SumCols(a), rg)
+        self.record(Op::SumCols(a))
     }
 
     /// Softmax over each consecutive group of `g` entries of a column vector
     /// (attention over fixed fan-out neighborhoods).
     pub fn segment_softmax_col(&mut self, a: Var, g: usize) -> Var {
-        let value = ops::segment_softmax_col(self.value(a), g);
-        let rg = self.rg(a);
-        self.push(value, Op::SegmentSoftmaxCol(a, g), rg)
+        self.record(Op::SegmentSoftmaxCol(a, g))
     }
 
     /// Reshape preserving row-major element order.
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
-        let value = self.value(a).reshape(rows, cols);
-        let rg = self.rg(a);
-        self.push(value, Op::Reshape(a, rows, cols), rg)
+        self.record(Op::Reshape(a, rows, cols))
     }
 
     // --- backward -----------------------------------------------------------
@@ -422,6 +831,12 @@ impl Graph {
     /// Runs the reverse sweep from a `1 × 1` loss node, accumulating
     /// gradients on every node that requires them.
     pub fn backward(&mut self, loss: Var) {
+        assert!(
+            self.issues.is_empty(),
+            "backward: tape has {} recorded issue(s); audit it instead of differentiating (first: {})",
+            self.issues.len(),
+            self.issues[0]
+        );
         assert_eq!(self.value(loss).shape(), (1, 1), "backward: loss must be 1x1, got {:?}", self.value(loss).shape());
         assert!(self.rg(loss), "backward: loss does not depend on any trainable leaf");
         self.nodes[loss.0].grad = Some(Matrix::ones(1, 1));
@@ -818,5 +1233,92 @@ mod tests {
         let da = g.grad(a).unwrap();
         assert!((da.get(0, 0) + da.get(1, 0)).abs() < 1e-5);
         assert!((da.get(2, 0) + da.get(3, 0)).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dims")]
+    fn unchecked_mismatch_panics_with_var_ids() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(2, 3, &[0.; 6]));
+        let b = g.leaf(m(2, 4, &[0.; 8]));
+        g.matmul(a, b);
+    }
+
+    #[test]
+    fn checked_graph_collects_all_violations_and_keeps_building() {
+        let mut g = Graph::new_checked();
+        let a = g.leaf(m(2, 3, &[1.; 6]));
+        let b = g.leaf(m(2, 4, &[1.; 8]));
+        // Violation 1: inner dims 3 vs 2. Recovery node is 2x4 zeros.
+        let p = g.matmul(a, b);
+        // Violation 2: elementwise on 2x4 vs 2x3.
+        let q = g.add(p, a);
+        // Valid op on the recovery value still records cleanly.
+        let r = g.sum_all(q);
+        assert_eq!(g.shape(p), (2, 4));
+        assert_eq!(g.shape(r), (1, 1));
+        let issues = g.issues();
+        assert_eq!(issues.len(), 2);
+        assert_eq!(issues[0].kind, TapeIssueKind::ShapeMismatch);
+        assert_eq!(issues[0].op, "matmul");
+        assert_eq!(issues[0].var, p.index());
+        assert_eq!(issues[0].operands.len(), 2);
+        assert_eq!(issues[0].operands[0].shape, (2, 3));
+        assert_eq!(issues[1].op, "add");
+        // The rendered issue reads like an op trace line.
+        assert!(issues[0].to_string().contains("%2 = matmul"), "{}", issues[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded issue")]
+    fn backward_refuses_tape_with_issues() {
+        let mut g = Graph::new_checked();
+        let a = g.leaf(m(2, 3, &[1.; 6]));
+        let b = g.leaf(m(2, 4, &[1.; 8]));
+        let p = g.matmul(a, b);
+        let loss = g.sum_all(p);
+        g.backward(loss);
+    }
+
+    #[test]
+    fn checked_graph_records_non_finite_ops() {
+        let mut g = Graph::new_checked();
+        let a = g.leaf(m(1, 2, &[-1.0, 1.0]));
+        let l = g.ln(a); // ln(-1) = NaN
+        assert_eq!(g.issues().len(), 1);
+        assert_eq!(g.issues()[0].kind, TapeIssueKind::NonFinite);
+        assert_eq!(g.issues()[0].var, l.index());
+    }
+
+    #[test]
+    fn reachability_and_views_describe_the_tape() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(1, 2, &[1., 2.]));
+        let b = g.constant(m(1, 2, &[3., 4.]));
+        let used = g.mul(a, b);
+        let orphan = g.square(b); // computed but never feeds the loss
+        let loss = g.sum_all(used);
+        let reach = g.reachable_from(loss);
+        assert!(reach[a.index()] && reach[b.index()] && reach[used.index()] && reach[loss.index()]);
+        assert!(!reach[orphan.index()]);
+        let view = g.op_view(used);
+        assert_eq!(view.op, "mul");
+        assert_eq!(view.parents, vec![a, b]);
+        assert_eq!(view.shape, (1, 2));
+        assert!(view.requires_grad);
+        let trace = g.trace(loss, 3);
+        assert!(trace.contains("sum_all"), "{trace}");
+        assert!(trace.contains("mul"), "{trace}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no gradient reached user_tower.w1")]
+    fn grad_expect_names_the_dead_parameter() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(1, 2, &[1., 2.]));
+        let dead = g.leaf(m(1, 2, &[0., 0.]));
+        let loss = g.sum_all(a);
+        g.backward(loss);
+        let _ = g.grad_expect(dead, "user_tower.w1");
     }
 }

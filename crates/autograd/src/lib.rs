@@ -46,5 +46,5 @@ pub mod nn;
 pub mod optim;
 pub mod param;
 
-pub use graph::{Graph, Var};
+pub use graph::{Graph, OpView, OperandInfo, ParamBinding, TapeIssue, TapeIssueKind, Var};
 pub use param::{ParamId, ParamStore};

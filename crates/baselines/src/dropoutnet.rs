@@ -116,8 +116,10 @@ impl RatingModel for DropoutNet {
         let d = cfg.embed_dim;
         let mut store = ParamStore::new();
         let mf = BiasedMf::new(&mut store, dataset.num_users, dataset.num_items, split.train_mean(), &cfg, &mut rng);
-        // Stage 1: pre-train MF.
-        mf.fit(&mut store, split, &cfg, cfg.epochs.max(4));
+        // Stage 1: pre-train MF. Only the pre-flight audit event reaches the
+        // caller's hooks (the audit must union gradient flow across stages);
+        // loss/stopping hooks observe stage 2 alone.
+        mf.fit_with(&mut store, split, &cfg, cfg.epochs.max(4), &mut HookList::new().with(hooks.preflight_forwarder()));
         // Freeze the MF factors; stage 2 trains the heads only (DropoutNet
         // treats the preference inputs as fixed).
         store.set_frozen(mf.user_emb.table, true);

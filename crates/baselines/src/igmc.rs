@@ -122,7 +122,7 @@ impl Igmc {
     ) -> Var {
         let mut rng = rng;
         let hu = Self::side_forward(g, store, m, cfg, true, users, rng.as_deref_mut());
-        let hi = Self::side_forward(g, store, m, cfg, false, items, rng.as_deref_mut());
+        let hi = Self::side_forward(g, store, m, cfg, false, items, rng);
         let cat = g.concat(&[hu, hi]);
         let raw = m.pair_head.forward(g, store, cat);
         let mu = g.param_full(store, m.global);

@@ -114,8 +114,11 @@ impl RatingModel for MetaEmb {
         let d = cfg.embed_dim;
         let mut store = ParamStore::new();
         let mf = BiasedMf::new(&mut store, dataset.num_users, dataset.num_items, split.train_mean(), &cfg, &mut rng);
-        // Stage 1: base model.
-        let base_loss = mf.fit(&mut store, split, &cfg, cfg.epochs.max(4));
+        // Stage 1: base model. The pre-flight audit event is forwarded to
+        // the caller's hooks so its flow measurements span both stages;
+        // loss/stopping hooks observe stage 2 alone.
+        let base_loss =
+            mf.fit_with(&mut store, split, &cfg, cfg.epochs.max(4), &mut HookList::new().with(hooks.preflight_forwarder()));
 
         // Stage 2: freeze the base model, train the generators.
         let frozen: Vec<_> = store.ids().collect();

@@ -44,9 +44,22 @@ impl BiasedMf {
     /// Uses its own derived seed so the pre-training stage's rng stream is
     /// independent of the caller's (as the hand-rolled loop always did).
     pub fn fit(&self, store: &mut ParamStore, split: &Split, cfg: &BaselineConfig, epochs: usize) -> f64 {
+        self.fit_with(store, split, cfg, epochs, &mut HookList::new())
+    }
+
+    /// [`BiasedMf::fit`] with observer hooks attached to the training loop
+    /// (the `agnn check` gate audits the standalone MF through this).
+    pub fn fit_with(
+        &self,
+        store: &mut ParamStore,
+        split: &Split,
+        cfg: &BaselineConfig,
+        epochs: usize,
+        hooks: &mut HookList<'_>,
+    ) -> f64 {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(1));
         let mut trainer = Trainer::new(cfg.train_config().with_epochs(epochs));
-        let report = trainer.fit(store, &split.train, &mut rng, &mut HookList::new(), |g, store, ctx| {
+        let report = trainer.fit(store, &split.train, &mut rng, hooks, |g, store, ctx| {
             let (users, items, values) = unzip_batch(ctx.batch);
             let scores = self.score(g, store, &users, &items);
             let target = g.constant(agnn_tensor::Matrix::col_vector(values));

@@ -84,27 +84,27 @@ impl StarGcn {
         };
         let free = emb.lookup(g, store, Rc::new(nodes.to_vec()));
         let mut rng = rng;
-        let masked_flags: Vec<f32> = nodes
+        let mut masked_flags: Vec<f32> = nodes
             .iter()
             .map(|&n| {
                 if cold[n] {
                     1.0
                 } else if train {
-                    match rng.as_deref_mut() {
-                        Some(r) => {
-                            if r.gen::<f32>() < 0.2 {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                        None => 0.0,
-                    }
+                    rng.as_deref_mut()
+                        .map_or(0.0, |r| if r.gen::<f32>() < 0.2 { 1.0 } else { 0.0 })
                 } else {
                     0.0
                 }
             })
             .collect();
+        // Guarantee at least one masked *warm* row per training batch: the
+        // reconstruction decoder only learns from warm masked rows, and a
+        // small batch can sample none, leaving it without gradient signal.
+        if train && !nodes.iter().zip(&masked_flags).any(|(&n, &f)| f == 1.0 && !cold[n]) {
+            if let Some(i) = nodes.iter().position(|&n| !cold[n]) {
+                masked_flags[i] = 1.0;
+            }
+        }
         let token = g.param_full(store, token_id);
         let zeros = g.constant(Matrix::zeros(nodes.len(), g.value(free).cols()));
         let token_rows = g.add_row_broadcast(zeros, token);
@@ -130,7 +130,7 @@ impl StarGcn {
         mut rng: Option<&mut StdRng>,
     ) -> (Var, Var, Vec<f32>) {
         let (h0, free, masked) = Self::input_embed(g, store, m, user_side, nodes, train, rng.as_deref_mut());
-        let (ids, has) = crate::gcmc::rated_neighbor_ids(&m.bip, user_side, nodes, cfg.fanout, rng.as_deref_mut());
+        let (ids, has) = crate::gcmc::rated_neighbor_ids(&m.bip, user_side, nodes, cfg.fanout, rng);
         let (nb0, _, _) = Self::input_embed(g, store, m, !user_side, &ids, false, None);
         let pooled = g.segment_mean_rows(nb0, cfg.fanout);
         let has_col = g.constant(Matrix::col_vector(has));

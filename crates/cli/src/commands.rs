@@ -6,7 +6,7 @@ use agnn_baselines::{build_baseline, BaselineKind};
 use agnn_core::model::{evaluate, RatingModel};
 use agnn_core::{Agnn, AgnnConfig};
 use agnn_data::{ColdStartKind, Dataset, Preset, Split, SplitConfig};
-use agnn_train::{EarlyStopping, HookList, LossLogger};
+use agnn_train::{EarlyStopping, HookList, LossLogger, PreflightAudit};
 use serde::Serialize;
 
 /// CLI failure with a user-facing message.
@@ -42,8 +42,9 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         "generate" => generate(opts),
         "train" => train(opts),
         "predict" => predict(opts),
+        "check" => check(opts),
         other => Err(CliError(format!(
-            "unknown subcommand {other:?}; expected generate | train | predict"
+            "unknown subcommand {other:?}; expected generate | train | predict | check"
         ))),
     }
 }
@@ -160,6 +161,141 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
+/// `agnn check` — static shape/flow audit of every model's autograd tape.
+///
+/// Dry-runs each model's fit on the 2-user/2-item tracer dataset with an
+/// [`agnn_train::PreflightAudit`] hook attached: the training engine builds
+/// the first batches on a checked tape, `agnn-check` audits them (shape
+/// violations, non-finite ops, dead parameters, orphan nodes), and the
+/// collected [`agnn_check::AuditReport`]s decide the exit code. Any
+/// error-severity finding makes the command fail, so CI can gate on it.
+fn check(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["model", "json", "seed", "fixture"])?;
+    let seed: u64 = opts.parse_or("seed", 7u64)?;
+    if let Some(fixture) = opts.get("fixture") {
+        return check_fixture(fixture, seed, opts.get("json") == Some("true"));
+    }
+
+    let data = agnn_data::tracer::dataset();
+    let split = agnn_data::tracer::split(&data);
+    let filter = opts.get("model");
+    let matches = |name: &str| filter.is_none_or(|f| f.eq_ignore_ascii_case(name));
+
+    let mut reports = Vec::new();
+    if matches("agnn") {
+        let mut model = Agnn::new(AgnnConfig { epochs: 1, seed, ..AgnnConfig::default() });
+        reports.push(audit_model(&mut model, &data, &split));
+    }
+    for kind in BaselineKind::ALL {
+        if matches(kind.label()) {
+            let cfg = BaselineConfig { epochs: 1, seed, ..BaselineConfig::default() };
+            let mut model = build_baseline(kind, cfg);
+            reports.push(audit_model(model.as_mut(), &data, &split));
+        }
+    }
+    if matches("mf") {
+        reports.push(audit_biased_mf(&split, seed));
+    }
+    if reports.is_empty() {
+        return Err(CliError(format!(
+            "--model {:?} matched nothing; expected agnn, mf, or one of {:?}",
+            filter.unwrap_or(""),
+            BaselineKind::ALL.map(|k| k.label())
+        )));
+    }
+    finish_check(reports, opts.get("json") == Some("true"))
+}
+
+fn audit_model(
+    model: &mut dyn RatingModel,
+    data: &Dataset,
+    split: &Split,
+) -> agnn_check::AuditReport {
+    let name = model.name();
+    let mut audit = PreflightAudit::new();
+    let mut hooks = HookList::new().with(&mut audit);
+    model.fit_with(data, split, &mut hooks);
+    drop(hooks);
+    audit.finish(name)
+}
+
+fn audit_biased_mf(split: &Split, seed: u64) -> agnn_check::AuditReport {
+    use agnn_autograd::ParamStore;
+    use agnn_baselines::mf::BiasedMf;
+    use rand::{rngs::StdRng, SeedableRng};
+    let data = agnn_data::tracer::dataset();
+    let cfg = BaselineConfig { epochs: 1, seed, ..BaselineConfig::default() };
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mf = BiasedMf::new(&mut store, data.num_users, data.num_items, split.train_mean(), &cfg, &mut rng);
+    let mut audit = PreflightAudit::new();
+    let mut hooks = HookList::new().with(&mut audit);
+    mf.fit_with(&mut store, split, &cfg, 1, &mut hooks);
+    drop(hooks);
+    audit.finish("BiasedMF")
+}
+
+/// Seeded broken models proving the gate trips: `dead-param` registers a
+/// parameter the loss never touches; `misshaped` multiplies mismatched
+/// matrices (the checked tape reports *every* violation with an op trace).
+fn check_fixture(fixture: &str, seed: u64, json: bool) -> Result<String, CliError> {
+    use agnn_autograd::ParamStore;
+    use agnn_tensor::Matrix;
+    use agnn_train::{StepLosses, TrainConfig, Trainer};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let samples: Vec<agnn_data::Rating> =
+        (0..8).map(|i| agnn_data::Rating { user: i as u32 % 2, item: i as u32 % 2, value: 3.0 }).collect();
+    let cfg = TrainConfig { epochs: 1, batch_size: 4, lr: 1e-2, seed, ..TrainConfig::default() };
+    let mut store = ParamStore::new();
+    let w = store.add("w_live", Matrix::from_fn(2, 3, |_, _| 0.1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut audit = PreflightAudit::new();
+    let mut hooks = HookList::new().with(&mut audit);
+    match fixture {
+        "dead-param" => {
+            store.add("w_dead", Matrix::from_fn(2, 3, |_, _| 0.1));
+            Trainer::new(cfg).fit(&mut store, &samples, &mut rng, &mut hooks, |g, store, _ctx| {
+                let wv = g.param_full(store, w);
+                let sq = g.square(wv);
+                let l = g.sum_all(sq);
+                StepLosses::prediction_only(g, l)
+            });
+        }
+        "misshaped" => {
+            Trainer::new(cfg).fit(&mut store, &samples, &mut rng, &mut hooks, |g, store, _ctx| {
+                let wv = g.param_full(store, w);
+                let bad = g.constant(Matrix::from_fn(2, 4, |_, _| 1.0));
+                let p = g.matmul(wv, bad); // inner dims 3 vs 2
+                let q = g.add(p, wv); // and a second violation on the same tape
+                let l = g.sum_all(q);
+                StepLosses::prediction_only(g, l)
+            });
+        }
+        other => return Err(CliError(format!("unknown --fixture {other:?} (dead-param | misshaped)"))),
+    }
+    drop(hooks);
+    finish_check(vec![audit.finish(format!("fixture:{fixture}"))], json)
+}
+
+fn finish_check(reports: Vec<agnn_check::AuditReport>, json: bool) -> Result<String, CliError> {
+    let failed = reports.iter().any(|r| r.has_errors());
+    let out = if json {
+        serde_json::to_string_pretty(&reports)?
+    } else {
+        let mut text: String = reports.iter().map(|r| r.render()).collect();
+        let (errors, models): (usize, usize) =
+            (reports.iter().map(|r| r.counts().0).sum(), reports.len());
+        text.push_str(&format!("checked {models} model(s): {errors} error(s)\n"));
+        text.trim_end().to_string()
+    };
+    if failed {
+        Err(CliError(out))
+    } else {
+        Ok(out)
+    }
+}
+
 fn predict(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&["data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "pairs"])?;
     let data = load_dataset(opts)?;
@@ -242,6 +378,37 @@ mod tests {
             "train --data {data_path} --model NFM --scenario ws --epochs 1 --patience bogus"
         )))
         .is_err());
+    }
+
+    #[test]
+    fn check_audits_single_model_clean() {
+        let msg = run(&opts("check --model NFM")).unwrap();
+        assert!(msg.contains("audit NFM"), "{msg}");
+        assert!(msg.contains("0 error(s)"), "{msg}");
+        assert!(msg.contains("checked 1 model(s)"), "{msg}");
+    }
+
+    #[test]
+    fn check_gate_trips_on_dead_param_fixture() {
+        let err = run(&opts("check --fixture dead-param")).unwrap_err();
+        assert!(err.0.contains("dead-parameter"), "{err}");
+        assert!(err.0.contains("w_dead"), "{err}");
+        assert!(!err.0.contains("w_live"), "{err}");
+    }
+
+    #[test]
+    fn check_reports_every_shape_violation_with_provenance() {
+        let err = run(&opts("check --fixture misshaped")).unwrap_err();
+        assert!(err.0.contains("shape-mismatch"), "{err}");
+        assert!(err.0.contains("matmul"), "{err}");
+        // Both injected violations survive to the report — no first-panic.
+        assert!(err.0.matches("shape-mismatch").count() >= 2, "{err}");
+    }
+
+    #[test]
+    fn check_rejects_unknown_model_and_fixture() {
+        assert!(run(&opts("check --model bogus")).is_err());
+        assert!(run(&opts("check --fixture bogus")).is_err());
     }
 
     #[test]

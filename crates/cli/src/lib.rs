@@ -1,13 +1,19 @@
 //! Library backing the `agnn` command-line tool.
 //!
-//! Three subcommands cover the zero-to-prediction path a downstream user
-//! walks:
+//! Four subcommands cover the zero-to-prediction path a downstream user
+//! walks, plus the static-analysis gate CI runs:
 //!
 //! ```text
 //! agnn generate --preset ml-100k --scale 0.2 --seed 7 --out data.json
 //! agnn train    --data data.json --model agnn --scenario ics --epochs 8 --report report.json
 //! agnn predict  --data data.json --model agnn --scenario ics --pairs "0:5,0:12,3:5"
+//! agnn check                       # audit every model's tape; --model NFM for one
 //! ```
+//!
+//! `check` dry-runs AGNN, all twelve registry baselines, and the standalone
+//! biased-MF on a tiny tracer dataset and reports shape violations,
+//! non-finite ops, dead parameters, and orphan nodes (see `agnn-check`);
+//! it exits non-zero on any error-severity finding.
 //!
 //! Datasets travel as JSON (the [`agnn_data::Dataset`] serde form), so users
 //! can bring their own data by emitting the same schema.

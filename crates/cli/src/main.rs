@@ -1,4 +1,5 @@
-//! `agnn` — dataset generation, training, and prediction from the shell.
+//! `agnn` — dataset generation, training, prediction, and static model
+//! auditing from the shell.
 
 use agnn_cli::opts::Opts;
 
@@ -7,7 +8,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: agnn <generate|train|predict> [--flag value ...]");
+            eprintln!("usage: agnn <generate|train|predict|check> [--flag value ...]");
             std::process::exit(2);
         }
     };

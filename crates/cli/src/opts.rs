@@ -11,8 +11,10 @@ pub struct Opts {
 }
 
 impl Opts {
-    /// Parses `argv` (including the binary name).
-    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+    /// Parses `argv` (including the binary name). A flag followed by another
+    /// flag (or by nothing) is boolean shorthand: `--json` ≡ `--json true`.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut argv = argv.peekable();
         let _bin = argv.next();
         let command = argv.next().ok_or("missing subcommand (generate | train | predict)")?;
         let mut options = BTreeMap::new();
@@ -21,7 +23,10 @@ impl Opts {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {flag}"))?
                 .to_string();
-            let value = argv.next().ok_or_else(|| format!("missing value for --{key}"))?;
+            let value = match argv.peek() {
+                Some(next) if !next.starts_with("--") => argv.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             if options.insert(key.clone(), value).is_some() {
                 return Err(format!("duplicate flag --{key}"));
             }
@@ -89,10 +94,20 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_value_and_duplicates() {
-        assert!(opts("train --data").is_err());
+    fn rejects_duplicates() {
         assert!(opts("train --data a --data b").is_err());
         assert!(opts("").is_err());
+    }
+
+    #[test]
+    fn bare_flag_is_boolean_true() {
+        let o = opts("check --json --model agnn").unwrap();
+        assert_eq!(o.get("json"), Some("true"));
+        assert_eq!(o.get("model"), Some("agnn"));
+        let o = opts("check --json").unwrap();
+        assert_eq!(o.get("json"), Some("true"));
+        let o = opts("check --json false").unwrap();
+        assert_eq!(o.get("json"), Some("false"));
     }
 
     #[test]

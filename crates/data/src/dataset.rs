@@ -107,21 +107,46 @@ impl Dataset {
         ratings.iter().map(|r| (r.user, r.item, r.value)).collect()
     }
 
-    /// Validates internal consistency; called by tests and after generation.
-    pub fn validate(&self) {
-        assert_eq!(self.user_attrs.len(), self.num_users, "user_attrs length");
-        assert_eq!(self.item_attrs.len(), self.num_items, "item_attrs length");
-        for a in &self.user_attrs {
-            assert_eq!(a.dim(), self.user_schema.total_dim(), "user attr dim");
+    /// Checks internal consistency, reporting the first violation with its
+    /// offending ids. Loaders surface this as a load error; generated data
+    /// uses [`Dataset::validate`] (a bug in the generator is not recoverable).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.user_attrs.len() != self.num_users {
+            return Err(format!("{} user_attrs for {} users", self.user_attrs.len(), self.num_users));
         }
-        for a in &self.item_attrs {
-            assert_eq!(a.dim(), self.item_schema.total_dim(), "item attr dim");
+        if self.item_attrs.len() != self.num_items {
+            return Err(format!("{} item_attrs for {} items", self.item_attrs.len(), self.num_items));
+        }
+        for (i, a) in self.user_attrs.iter().enumerate() {
+            if a.dim() != self.user_schema.total_dim() {
+                return Err(format!("user {i} attr dim {} vs schema dim {}", a.dim(), self.user_schema.total_dim()));
+            }
+        }
+        for (i, a) in self.item_attrs.iter().enumerate() {
+            if a.dim() != self.item_schema.total_dim() {
+                return Err(format!("item {i} attr dim {} vs schema dim {}", a.dim(), self.item_schema.total_dim()));
+            }
         }
         let (lo, hi) = self.rating_scale;
         for r in &self.ratings {
-            assert!((r.user as usize) < self.num_users, "rating user {} out of range", r.user);
-            assert!((r.item as usize) < self.num_items, "rating item {} out of range", r.item);
-            assert!(r.value >= lo && r.value <= hi, "rating {} outside scale [{lo},{hi}]", r.value);
+            if (r.user as usize) >= self.num_users {
+                return Err(format!("rating user {} out of range for {} users", r.user, self.num_users));
+            }
+            if (r.item as usize) >= self.num_items {
+                return Err(format!("rating item {} out of range for {} items", r.item, self.num_items));
+            }
+            if !(r.value >= lo && r.value <= hi) {
+                return Err(format!("rating {} outside scale [{lo},{hi}]", r.value));
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking [`Dataset::try_validate`]; called by tests and after
+    /// generation.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("dataset {}: {e}", self.name);
         }
     }
 }

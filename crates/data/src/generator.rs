@@ -177,6 +177,7 @@ impl SyntheticGenerator {
         let cfg = &self.config;
         let f = cfg.latent_dim;
         let schema = AttributeSchema::new(fields.iter().map(|s| (s.name.as_str(), s.cardinality)).collect());
+        // invariant: f >= 1 and bias_std is finite, so both stds are finite; Normal::new cannot fail.
         let comp = Normal::new(0.0f32, (1.0 / f as f32).sqrt()).expect("finite std");
         let bias_comp = Normal::new(0.0f32, cfg.bias_std).expect("finite std");
 
@@ -256,6 +257,7 @@ impl SyntheticGenerator {
     fn gen_social_side(&self, n: usize, social: &SocialConfig, rng: &mut StdRng) -> NodeSide {
         let cfg = &self.config;
         let f = cfg.latent_dim;
+        // invariant: f >= 1 and bias_std is finite, so both stds are finite; Normal::new cannot fail.
         let comp = Normal::new(0.0f32, (1.0 / f as f32).sqrt()).expect("finite std");
         let bias_comp = Normal::new(0.0f32, cfg.bias_std).expect("finite std");
         let alpha = cfg.attribute_signal;
@@ -294,7 +296,7 @@ impl SyntheticGenerator {
                 }
                 set
             };
-            attrs.push(SparseVec::multi_hot(n, links.into_iter()));
+            attrs.push(SparseVec::multi_hot(n, links));
             latent.push(
                 centers[c]
                     .iter()
@@ -309,6 +311,7 @@ impl SyntheticGenerator {
 
     fn sample_ratings(&self, users: &NodeSide, items: &NodeSide, rng: &mut StdRng) -> Vec<Rating> {
         let cfg = &self.config;
+        // invariant: noise_std comes from a validated config; Normal::new cannot fail.
         let noise = Normal::new(0.0f32, cfg.noise_std).expect("finite std");
 
         let user_weights = zipf_weights(cfg.num_users, cfg.activity_exponent, rng);
@@ -356,6 +359,7 @@ fn pairwise_latent(indices: &[u32], f: usize, bias_std: f32, seed_mix: u64) -> (
         for &b in &indices[i + 1..] {
             let key = ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed_mix;
             let mut prng = StdRng::seed_from_u64(key);
+            // invariant: comp_std/bias_std are finite positive constants; Normal::new cannot fail.
             let comp = Normal::new(0.0f32, comp_std).expect("finite std");
             for l in latent.iter_mut() {
                 *l += comp.sample(&mut prng);
@@ -413,6 +417,7 @@ fn cumulate(w: &[f64]) -> Vec<f64> {
 }
 
 fn sample_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    // invariant: weights is non-empty (schema fields have >=1 value), so cdf is too.
     let total = *cdf.last().expect("non-empty cdf");
     let x = rng.gen::<f64>() * total;
     cdf.partition_point(|&c| c < x).min(cdf.len() - 1)

@@ -30,6 +30,7 @@ pub mod movielens;
 pub mod presets;
 pub mod schema;
 pub mod split;
+pub mod tracer;
 
 pub use dataset::{Dataset, DatasetStats, Rating};
 pub use degrees::Degrees;

@@ -175,6 +175,8 @@ impl MovieLensLoader {
         let mut ext_by_item: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new(); // (field_ix, value_ix)
         for (id, field, value) in &self.extended {
             if let Some(&dense) = item_index.get(id) {
+                // invariant: ext_fields was built from every entry of
+                // self.extended above, so each field is registered.
                 let field_ix = 1 + ext_fields.keys().position(|f| f == field).expect("field registered");
                 let value_ix = ext_fields[field][value];
                 ext_by_item.entry(dense).or_default().push((field_ix, value_ix));
@@ -222,7 +224,7 @@ impl MovieLensLoader {
             ratings,
             rating_scale: (1.0, 5.0),
         };
-        dataset.validate();
+        dataset.try_validate().map_err(|m| err("dataset", 0, &m))?;
         Ok(dataset)
     }
 }

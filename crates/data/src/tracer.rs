@@ -1,0 +1,67 @@
+//! The *tracer* dataset: the smallest dataset every model can fit on.
+//!
+//! `agnn check` dry-runs each model's tape construction to audit shapes and
+//! gradient flow (see `agnn-check`). That needs a dataset, but no statistics
+//! — only structure: two users, two items, one attribute field per side, all
+//! four cells rated. Everything is hand-written constants so the dry-run is
+//! deterministic and costs microseconds.
+
+use crate::dataset::{Dataset, Rating};
+use crate::schema::AttributeSchema;
+use crate::split::{ColdStartKind, Split};
+use std::collections::BTreeSet;
+
+/// The 2-user/2-item tracer dataset.
+pub fn dataset() -> Dataset {
+    let user_schema = AttributeSchema::new(vec![("g", 2)]);
+    let item_schema = AttributeSchema::new(vec![("c", 2)]);
+    let d = Dataset {
+        name: "tracer-2x2".into(),
+        num_users: 2,
+        num_items: 2,
+        user_attrs: vec![user_schema.encode(&[vec![0]]), user_schema.encode(&[vec![1]])],
+        item_attrs: vec![item_schema.encode(&[vec![0]]), item_schema.encode(&[vec![1]])],
+        user_schema,
+        item_schema,
+        ratings: vec![
+            Rating { user: 0, item: 0, value: 5.0 },
+            Rating { user: 0, item: 1, value: 3.0 },
+            Rating { user: 1, item: 0, value: 2.0 },
+            Rating { user: 1, item: 1, value: 4.0 },
+        ],
+        rating_scale: (1.0, 5.0),
+    };
+    d.validate();
+    d
+}
+
+/// A fixed warm-start split of the tracer dataset: the last rating is held
+/// out, the other three train. Hand-built (not sampled) so every audit run
+/// sees the identical tape.
+pub fn split(dataset: &Dataset) -> Split {
+    let (train, test) = dataset.ratings.split_at(dataset.ratings.len() - 1);
+    let s = Split {
+        kind: ColdStartKind::WarmStart,
+        train: train.to_vec(),
+        test: test.to_vec(),
+        cold_users: BTreeSet::new(),
+        cold_items: BTreeSet::new(),
+    };
+    s.validate();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_is_tiny_and_consistent() {
+        let d = dataset();
+        assert_eq!((d.num_users, d.num_items, d.ratings.len()), (2, 2, 4));
+        let s = split(&d);
+        assert_eq!(s.train.len(), 3);
+        assert_eq!(s.test.len(), 1);
+        assert!(s.cold_users.is_empty() && s.cold_items.is_empty());
+    }
+}

@@ -17,8 +17,10 @@
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod shape;
 pub mod sparse;
 pub mod stats;
 
 pub use matrix::Matrix;
+pub use shape::ShapeError;
 pub use sparse::SparseVec;

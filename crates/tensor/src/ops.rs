@@ -6,7 +6,7 @@
 //! rayon-parallel tile kernel above [`PAR_THRESHOLD`] multiply-accumulate
 //! operations.
 
-use crate::Matrix;
+use crate::{shape, Matrix};
 use rayon::prelude::*;
 
 /// Flop threshold above which matmul parallelizes across row blocks.
@@ -18,8 +18,8 @@ pub const PAR_THRESHOLD: usize = 64 * 64 * 64;
 /// Panics if the inner dimensions disagree.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
-    let (k2, n) = b.shape();
-    assert_eq!(k, k2, "matmul: inner dims {}x{} vs {}x{}", m, k, k2, n);
+    let (_, n) = b.shape();
+    let _ = shape::matmul(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
     let mut out = Matrix::zeros(m, n);
     if k == 0 {
         return out; // empty inner dimension: the zero matrix
@@ -55,8 +55,8 @@ fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
 /// `aᵀ (k×m) · b (k×n) → (m×n)` without materializing the transpose.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let (k, m) = a.shape();
-    let (k2, n) = b.shape();
-    assert_eq!(k, k2, "matmul_tn: inner dims {k} vs {k2}");
+    let (_, n) = b.shape();
+    let _ = shape::matmul_tn(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
     let mut out = Matrix::zeros(m, n);
     // out[i][j] = sum_k a[k][i] * b[k][j]
     for kk in 0..k {
@@ -78,8 +78,8 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// `a (m×k) · bᵀ (n×k) → (m×n)` without materializing the transpose.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
-    let (n, k2) = b.shape();
-    assert_eq!(k, k2, "matmul_nt: inner dims {k} vs {k2}");
+    let (n, _) = b.shape();
+    let _ = shape::matmul_nt(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
     let mut out = Matrix::zeros(m, n);
     if m * n * k >= PAR_THRESHOLD && m > 1 {
         out.as_mut_slice()
@@ -114,8 +114,8 @@ pub fn transpose(a: &Matrix) -> Matrix {
     Matrix::from_fn(n, m, |r, c| a.get(c, r))
 }
 
-fn zip_map(a: &Matrix, b: &Matrix, what: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+fn zip_map(a: &Matrix, b: &Matrix, what: &'static str, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    let _ = shape::elementwise(what, a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
     let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
     Matrix::from_vec(a.rows(), a.cols(), data)
 }
@@ -142,7 +142,7 @@ pub fn div(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// In-place `a += scale * b`.
 pub fn axpy(a: &mut Matrix, scale: f32, b: &Matrix) {
-    assert_eq!(a.shape(), b.shape(), "axpy: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+    let _ = shape::elementwise("axpy", a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
     for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
         *x += scale * y;
     }
@@ -160,8 +160,7 @@ pub fn scale(a: &Matrix, s: f32) -> Matrix {
 
 /// Adds a `1 × n` row vector to every row of an `m × n` matrix.
 pub fn add_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
-    assert_eq!(row.rows(), 1, "add_row_broadcast: rhs must be a row vector, got {:?}", row.shape());
-    assert_eq!(a.cols(), row.cols(), "add_row_broadcast: cols {} vs {}", a.cols(), row.cols());
+    let _ = shape::row_broadcast("add_row_broadcast", a.shape(), row.shape()).unwrap_or_else(|e| panic!("{e}"));
     let mut out = a.clone();
     let r = row.row(0);
     for orow in out.as_mut_slice().chunks_mut(a.cols()) {
@@ -174,8 +173,7 @@ pub fn add_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
 
 /// Multiplies every row of `a` elementwise by a `1 × n` row vector.
 pub fn mul_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
-    assert_eq!(row.rows(), 1, "mul_row_broadcast: rhs must be a row vector, got {:?}", row.shape());
-    assert_eq!(a.cols(), row.cols(), "mul_row_broadcast: cols {} vs {}", a.cols(), row.cols());
+    let _ = shape::row_broadcast("mul_row_broadcast", a.shape(), row.shape()).unwrap_or_else(|e| panic!("{e}"));
     let mut out = a.clone();
     let r = row.row(0);
     for orow in out.as_mut_slice().chunks_mut(a.cols()) {
@@ -220,8 +218,7 @@ pub fn sum_cols(a: &Matrix) -> Matrix {
 ///
 /// This is the fixed-fan-out neighborhood pooling primitive (DESIGN.md §5.2).
 pub fn segment_mean_rows(a: &Matrix, g: usize) -> Matrix {
-    assert!(g > 0, "segment_mean_rows: zero group size");
-    assert_eq!(a.rows() % g, 0, "segment_mean_rows: {} rows not divisible by {}", a.rows(), g);
+    let _ = shape::segment_rows("segment_mean_rows", a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
     let m = a.rows() / g;
     let n = a.cols();
     let mut out = Matrix::zeros(m, n);
@@ -241,8 +238,7 @@ pub fn segment_mean_rows(a: &Matrix, g: usize) -> Matrix {
 
 /// Sums each consecutive group of `g` rows: `(m·g) × n → m × n`.
 pub fn segment_sum_rows(a: &Matrix, g: usize) -> Matrix {
-    assert!(g > 0, "segment_sum_rows: zero group size");
-    assert_eq!(a.rows() % g, 0, "segment_sum_rows: {} rows not divisible by {}", a.rows(), g);
+    let _ = shape::segment_rows("segment_sum_rows", a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
     let m = a.rows() / g;
     let n = a.cols();
     let mut out = Matrix::zeros(m, n);
@@ -259,8 +255,7 @@ pub fn segment_sum_rows(a: &Matrix, g: usize) -> Matrix {
 
 /// Multiplies each row `i` of an `m × n` matrix by the scalar `col[i]` of an `m × 1` column.
 pub fn mul_col_broadcast(a: &Matrix, col: &Matrix) -> Matrix {
-    assert_eq!(col.cols(), 1, "mul_col_broadcast: rhs must be a column vector, got {:?}", col.shape());
-    assert_eq!(a.rows(), col.rows(), "mul_col_broadcast: rows {} vs {}", a.rows(), col.rows());
+    let _ = shape::col_broadcast("mul_col_broadcast", a.shape(), col.shape()).unwrap_or_else(|e| panic!("{e}"));
     let mut out = a.clone();
     for (i, orow) in out.as_mut_slice().chunks_mut(a.cols()).enumerate() {
         let s = col.get(i, 0);
@@ -273,7 +268,7 @@ pub fn mul_col_broadcast(a: &Matrix, col: &Matrix) -> Matrix {
 
 /// Repeats each row `g` times: `m × n → (m·g) × n` (adjoint of segment sum).
 pub fn repeat_rows(a: &Matrix, g: usize) -> Matrix {
-    assert!(g > 0, "repeat_rows: zero group size");
+    let _ = shape::repeat_rows(a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
     let mut out = Matrix::zeros(a.rows() * g, a.cols());
     for i in 0..a.rows() {
         for j in 0..g {
@@ -302,8 +297,7 @@ pub fn softmax_rows(a: &Matrix) -> Matrix {
 
 /// Softmax over each consecutive group of `g` entries of an `(m·g) × 1` column.
 pub fn segment_softmax_col(a: &Matrix, g: usize) -> Matrix {
-    assert_eq!(a.cols(), 1, "segment_softmax_col: expected a column vector, got {:?}", a.shape());
-    assert_eq!(a.rows() % g, 0, "segment_softmax_col: {} rows not divisible by {}", a.rows(), g);
+    let _ = shape::segment_softmax_col(a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
     let reshaped = a.reshape(a.rows() / g, g);
     softmax_rows(&reshaped).reshape(a.rows(), 1)
 }

@@ -1,0 +1,256 @@
+//! Symbolic shape rules for the dense kernels.
+//!
+//! Every shape-sensitive kernel in [`crate::ops`] has a *rule* here that maps
+//! operand shapes to the output shape — or to a [`ShapeError`] naming the op
+//! and both offending shapes. The kernels themselves call their rule and
+//! panic with its message (a mis-broadcast mid-epoch is not recoverable), but
+//! the rules are pure `(shape, shape) → shape` functions, so a static
+//! analyzer can dry-run an entire computation graph symbolically and collect
+//! *all* violations instead of dying on the first one. That analyzer lives in
+//! `agnn-check`; the autograd tape's checked mode (`Graph::new_checked`)
+//! records these errors per-op with Var provenance.
+
+/// `(rows, cols)` pair; the only shape type the workspace has.
+pub type Shape = (usize, usize);
+
+/// A shape-rule violation: which op, which operand shapes, and what was
+/// expected. Serializable so audit reports can embed it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ShapeError {
+    /// Kernel / graph-op name (`"matmul"`, `"add"`, …).
+    pub op: &'static str,
+    /// Left (or only) operand shape.
+    pub lhs: Shape,
+    /// Right operand shape, when the op is binary.
+    pub rhs: Option<Shape>,
+    /// Human-readable statement of the violated rule.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.rhs {
+            Some(rhs) => write!(
+                f,
+                "{}: {} ({}x{} vs {}x{})",
+                self.op, self.detail, self.lhs.0, self.lhs.1, rhs.0, rhs.1
+            ),
+            None => write!(f, "{}: {} ({}x{})", self.op, self.detail, self.lhs.0, self.lhs.1),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl ShapeError {
+    fn unary(op: &'static str, lhs: Shape, detail: String) -> Self {
+        ShapeError { op, lhs, rhs: None, detail }
+    }
+
+    fn binary(op: &'static str, lhs: Shape, rhs: Shape, detail: String) -> Self {
+        ShapeError { op, lhs, rhs: Some(rhs), detail }
+    }
+}
+
+/// `a (m×k) · b (k×n) → m×n`.
+pub fn matmul(a: Shape, b: Shape) -> Result<Shape, ShapeError> {
+    if a.1 != b.0 {
+        return Err(ShapeError::binary("matmul", a, b, format!("inner dims {} vs {}", a.1, b.0)));
+    }
+    Ok((a.0, b.1))
+}
+
+/// `aᵀ (k×m) · b (k×n) → m×n`.
+pub fn matmul_tn(a: Shape, b: Shape) -> Result<Shape, ShapeError> {
+    if a.0 != b.0 {
+        return Err(ShapeError::binary("matmul_tn", a, b, format!("inner dims {} vs {}", a.0, b.0)));
+    }
+    Ok((a.1, b.1))
+}
+
+/// `a (m×k) · bᵀ (n×k) → m×n`.
+pub fn matmul_nt(a: Shape, b: Shape) -> Result<Shape, ShapeError> {
+    if a.1 != b.1 {
+        return Err(ShapeError::binary("matmul_nt", a, b, format!("inner dims {} vs {}", a.1, b.1)));
+    }
+    Ok((a.0, b.0))
+}
+
+/// Both operands must have identical shapes (add/sub/mul/div/axpy).
+pub fn elementwise(op: &'static str, a: Shape, b: Shape) -> Result<Shape, ShapeError> {
+    if a != b {
+        return Err(ShapeError::binary(op, a, b, "operand shapes must match".to_string()));
+    }
+    Ok(a)
+}
+
+/// `m×n` plus/times a `1×n` row vector → `m×n`.
+pub fn row_broadcast(op: &'static str, a: Shape, row: Shape) -> Result<Shape, ShapeError> {
+    if row.0 != 1 {
+        return Err(ShapeError::binary(op, a, row, "rhs must be a 1-row vector".to_string()));
+    }
+    if a.1 != row.1 {
+        return Err(ShapeError::binary(op, a, row, format!("cols {} vs {}", a.1, row.1)));
+    }
+    Ok(a)
+}
+
+/// `m×n` scaled rowwise by an `m×1` column vector → `m×n`.
+pub fn col_broadcast(op: &'static str, a: Shape, col: Shape) -> Result<Shape, ShapeError> {
+    if col.1 != 1 {
+        return Err(ShapeError::binary(op, a, col, "rhs must be a 1-col vector".to_string()));
+    }
+    if a.0 != col.0 {
+        return Err(ShapeError::binary(op, a, col, format!("rows {} vs {}", a.0, col.0)));
+    }
+    Ok(a)
+}
+
+/// Pools each consecutive group of `g` rows: `(m·g)×n → m×n`.
+pub fn segment_rows(op: &'static str, a: Shape, g: usize) -> Result<Shape, ShapeError> {
+    if g == 0 {
+        return Err(ShapeError::unary(op, a, "zero group size".to_string()));
+    }
+    if a.0 % g != 0 {
+        return Err(ShapeError::unary(op, a, format!("{} rows not divisible by group size {g}", a.0)));
+    }
+    Ok((a.0 / g, a.1))
+}
+
+/// Repeats each row `g` times: `m×n → (m·g)×n`.
+pub fn repeat_rows(a: Shape, g: usize) -> Result<Shape, ShapeError> {
+    if g == 0 {
+        return Err(ShapeError::unary("repeat_rows", a, "zero group size".to_string()));
+    }
+    Ok((a.0 * g, a.1))
+}
+
+/// Softmax over consecutive groups of `g` entries of an `(m·g)×1` column.
+pub fn segment_softmax_col(a: Shape, g: usize) -> Result<Shape, ShapeError> {
+    if a.1 != 1 {
+        return Err(ShapeError::unary("segment_softmax_col", a, "expected a column vector".to_string()));
+    }
+    if g == 0 {
+        return Err(ShapeError::unary("segment_softmax_col", a, "zero group size".to_string()));
+    }
+    if a.0 % g != 0 {
+        return Err(ShapeError::unary(
+            "segment_softmax_col",
+            a,
+            format!("{} rows not divisible by group size {g}", a.0),
+        ));
+    }
+    Ok(a)
+}
+
+/// Horizontal concatenation: `m×n1 ++ m×n2 → m×(n1+n2)`.
+pub fn hconcat(a: Shape, b: Shape) -> Result<Shape, ShapeError> {
+    if a.0 != b.0 {
+        return Err(ShapeError::binary("concat", a, b, format!("row counts {} vs {}", a.0, b.0)));
+    }
+    Ok((a.0, a.1 + b.1))
+}
+
+/// Element-preserving reshape: `m×n → r×c` with `m·n = r·c`.
+pub fn reshape(a: Shape, rows: usize, cols: usize) -> Result<Shape, ShapeError> {
+    if a.0 * a.1 != rows * cols {
+        return Err(ShapeError::unary(
+            "reshape",
+            a,
+            format!("cannot reshape {}x{} ({} elems) to {rows}x{cols} ({} elems)", a.0, a.1, a.0 * a.1, rows * cols),
+        ));
+    }
+    Ok((rows, cols))
+}
+
+/// Variable-length segment pooling over row offsets: rows must cover `a`
+/// exactly; output is `(offsets.len()-1) × n`.
+pub fn segment_rows_var(op: &'static str, a: Shape, offsets: &[usize]) -> Result<Shape, ShapeError> {
+    if offsets.is_empty() {
+        return Err(ShapeError::unary(op, a, "empty offsets".to_string()));
+    }
+    if offsets[0] != 0 || *offsets.last().expect("non-empty") != a.0 {
+        return Err(ShapeError::unary(
+            op,
+            a,
+            format!(
+                "offsets must start at 0 and end at {} rows, got {}..{}",
+                a.0,
+                offsets[0],
+                offsets.last().expect("non-empty")
+            ),
+        ));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(ShapeError::unary(op, a, "offsets must be non-decreasing".to_string()));
+    }
+    Ok((offsets.len() - 1, a.1))
+}
+
+/// Row gather: every index must be `< a.rows`; output is `idx.len() × n`.
+pub fn gather_rows(a: Shape, idx: &[usize]) -> Result<Shape, ShapeError> {
+    if let Some(&bad) = idx.iter().find(|&&i| i >= a.0) {
+        return Err(ShapeError::unary("gather_rows", a, format!("row index {bad} out of range for {} rows", a.0)));
+    }
+    Ok((idx.len(), a.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_rule() {
+        assert_eq!(matmul((2, 3), (3, 4)), Ok((2, 4)));
+        let e = matmul((2, 3), (2, 4)).unwrap_err();
+        assert_eq!(e.op, "matmul");
+        assert_eq!(e.lhs, (2, 3));
+        assert_eq!(e.rhs, Some((2, 4)));
+        assert!(e.to_string().contains("inner dims"), "{e}");
+    }
+
+    #[test]
+    fn transposed_matmul_rules() {
+        assert_eq!(matmul_tn((3, 2), (3, 4)), Ok((2, 4)));
+        assert!(matmul_tn((2, 3), (3, 4)).is_err());
+        assert_eq!(matmul_nt((2, 3), (4, 3)), Ok((2, 4)));
+        assert!(matmul_nt((2, 3), (3, 4)).is_err());
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(row_broadcast("add_row_broadcast", (4, 3), (1, 3)), Ok((4, 3)));
+        assert!(row_broadcast("add_row_broadcast", (4, 3), (2, 3)).is_err());
+        assert!(row_broadcast("add_row_broadcast", (4, 3), (1, 2)).is_err());
+        assert_eq!(col_broadcast("mul_col_broadcast", (4, 3), (4, 1)), Ok((4, 3)));
+        assert!(col_broadcast("mul_col_broadcast", (3, 4), (4, 1)).is_err());
+    }
+
+    #[test]
+    fn segment_rules() {
+        assert_eq!(segment_rows("segment_mean_rows", (6, 2), 3), Ok((2, 2)));
+        assert!(segment_rows("segment_mean_rows", (7, 2), 3).is_err());
+        assert!(segment_rows("segment_mean_rows", (6, 2), 0).is_err());
+        assert_eq!(segment_rows_var("segment_sum_rows_var", (5, 2), &[0, 2, 2, 5]), Ok((3, 2)));
+        assert!(segment_rows_var("segment_sum_rows_var", (5, 2), &[0, 2, 4]).is_err());
+        assert!(segment_rows_var("segment_sum_rows_var", (5, 2), &[0, 3, 2, 5]).is_err());
+    }
+
+    #[test]
+    fn structural_rules() {
+        assert_eq!(hconcat((2, 3), (2, 4)), Ok((2, 7)));
+        assert!(hconcat((2, 3), (3, 4)).is_err());
+        assert_eq!(reshape((2, 6), 3, 4), Ok((3, 4)));
+        assert!(reshape((2, 6), 3, 5).is_err());
+        assert_eq!(gather_rows((4, 2), &[0, 3, 3]), Ok((3, 2)));
+        assert!(gather_rows((4, 2), &[0, 4]).is_err());
+        assert_eq!(repeat_rows((2, 3), 4), Ok((8, 3)));
+        assert!(repeat_rows((2, 3), 0).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = elementwise("add", (2, 3), (4, 5)).unwrap_err();
+        assert_eq!(e.to_string(), "add: operand shapes must match (2x3 vs 4x5)");
+    }
+}

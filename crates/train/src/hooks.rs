@@ -8,6 +8,7 @@
 
 use crate::report::TrainReport;
 use agnn_autograd::ParamStore;
+use agnn_check::{AuditAccumulator, AuditReport, TapeAudit};
 use agnn_data::Rating;
 use std::time::Instant;
 
@@ -58,6 +59,14 @@ pub trait TrainHook {
     fn on_epoch_end(&mut self, _stats: &EpochStats, _store: &ParamStore) -> Signal {
         Signal::Continue
     }
+    /// Fires with the tape audit of each pre-flight batch (the driver audits
+    /// the first few batches of epoch 0); return [`Signal::Stop`] to end
+    /// training. When the tape is broken and *no* hook stops, the driver
+    /// panics with the rendered findings, so register a [`PreflightAudit`]
+    /// to handle broken models gracefully.
+    fn on_preflight_audit(&mut self, _audit: &TapeAudit) -> Signal {
+        Signal::Continue
+    }
 }
 
 /// Lets callers register `&mut hook` and read the hook's state afterwards.
@@ -70,6 +79,9 @@ impl<H: TrainHook + ?Sized> TrainHook for &mut H {
     }
     fn on_epoch_end(&mut self, stats: &EpochStats, store: &ParamStore) -> Signal {
         (**self).on_epoch_end(stats, store)
+    }
+    fn on_preflight_audit(&mut self, audit: &TapeAudit) -> Signal {
+        (**self).on_preflight_audit(audit)
     }
 }
 
@@ -126,6 +138,72 @@ impl<'h> HookList<'h> {
             }
         }
         signal
+    }
+
+    pub(crate) fn preflight_audit(&mut self, audit: &TapeAudit) -> Signal {
+        let mut signal = Signal::Continue;
+        for h in &mut self.hooks {
+            if h.on_preflight_audit(audit) == Signal::Stop {
+                signal = Signal::Stop;
+            }
+        }
+        signal
+    }
+
+    /// A hook that forwards **only** `on_preflight_audit` back to this list.
+    ///
+    /// Models with an internal pre-training stage (DropoutNet, MetaEmb)
+    /// register this on the stage's own hook list, so a [`PreflightAudit`]
+    /// sees every phase — dead-parameter verdicts union across phases —
+    /// without exposing the stage to the caller's loss/stopping hooks.
+    pub fn preflight_forwarder(&mut self) -> PreflightForwarder<'_, 'h> {
+        PreflightForwarder(self)
+    }
+}
+
+/// See [`HookList::preflight_forwarder`].
+pub struct PreflightForwarder<'a, 'h>(&'a mut HookList<'h>);
+
+impl TrainHook for PreflightForwarder<'_, '_> {
+    fn on_preflight_audit(&mut self, audit: &TapeAudit) -> Signal {
+        self.0.preflight_audit(audit)
+    }
+}
+
+/// Collects every pre-flight [`TapeAudit`] the driver produces into an
+/// [`AuditAccumulator`] and stops training on the first hard error, so a
+/// broken model yields a readable [`AuditReport`] instead of a panic.
+///
+/// Register `&mut hook` (like [`Validation`]) across every phase of a fit,
+/// then call [`PreflightAudit::finish`] — dead-parameter verdicts need the
+/// union of all phases (pre-train + fine-tune fits legitimately leave some
+/// parameters untouched per phase).
+#[derive(Default)]
+pub struct PreflightAudit {
+    acc: AuditAccumulator,
+}
+
+impl PreflightAudit {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tapes absorbed so far.
+    pub fn tapes(&self) -> usize {
+        self.acc.tapes()
+    }
+
+    /// Settles cross-phase verdicts into the final report for `model`.
+    pub fn finish(self, model: impl Into<String>) -> AuditReport {
+        self.acc.finish(model)
+    }
+}
+
+impl TrainHook for PreflightAudit {
+    fn on_preflight_audit(&mut self, audit: &TapeAudit) -> Signal {
+        self.acc.absorb(audit);
+        if audit.has_errors() { Signal::Stop } else { Signal::Continue }
     }
 }
 

@@ -16,10 +16,18 @@
 //!   optional `clip_grad_norm`, Adam stepping, and per-epoch loss
 //!   accounting into [`TrainReport`].
 //! - [`TrainHook`] — observer callbacks (`on_epoch_start` /
-//!   `on_batch_end` / `on_epoch_end`) with built-ins for loss logging
-//!   ([`LossLogger`]), wall-clock timing ([`Timing`]), periodic validation
-//!   against a held-out split ([`Validation`]), and patience-based early
-//!   stopping ([`EarlyStopping`]).
+//!   `on_batch_end` / `on_epoch_end` / `on_preflight_audit`) with
+//!   built-ins for loss logging ([`LossLogger`]), wall-clock timing
+//!   ([`Timing`]), periodic validation against a held-out split
+//!   ([`Validation`]), patience-based early stopping ([`EarlyStopping`]),
+//!   and static-analysis collection ([`PreflightAudit`]).
+//!
+//! The driver also runs a **pre-flight audit**: the first few batches of
+//! epoch 0 build on a checked tape (`Graph::new_checked`) and are audited
+//! by `agnn-check`, so shape violations and non-finite ops surface as a
+//! full findings report (via [`PreflightAudit`], or a rendered panic)
+//! instead of the first kernel assert, and a loss disconnected from every
+//! trainable leaf downgrades to a skipped optimizer step plus a warning.
 //!
 //! Determinism contract: the driver draws from the caller's `StdRng` only
 //! to shuffle each epoch's batch order, and hands the same rng to the step
@@ -34,7 +42,9 @@ pub mod step;
 pub mod trainer;
 
 pub use config::TrainConfig;
-pub use hooks::{BatchStats, EarlyStopping, EpochStats, HookList, LossLogger, Signal, Timing, TrainHook, Validation};
+pub use hooks::{
+    BatchStats, EarlyStopping, EpochStats, HookList, LossLogger, PreflightAudit, Signal, Timing, TrainHook, Validation,
+};
 pub use report::{EpochLosses, TrainReport};
 pub use step::{StepCtx, StepLosses, TrainStep};
 pub use trainer::Trainer;

@@ -6,9 +6,16 @@ use crate::report::{EpochLosses, TrainReport};
 use crate::step::{StepCtx, StepLosses, TrainStep};
 use agnn_autograd::optim::Adam;
 use agnn_autograd::{Graph, ParamStore};
+use agnn_check::audit_tape;
 use agnn_data::batch::BatchIter;
 use rand::rngs::StdRng;
 use std::time::Instant;
+
+/// Epoch-0 batches built on a checked tape ([`Graph::new_checked`]) and
+/// audited via [`audit_tape`] before the driver drops back to the fast
+/// unchecked tape. Four batches catch per-batch structure variation
+/// (ragged last batch, epoch-0 mode switches) at negligible cost.
+const PREFLIGHT_BATCHES: usize = 4;
 
 /// Drives a [`TrainStep`] over shuffled mini-batches: per batch it builds a
 /// fresh graph, runs the step, backpropagates, optionally clips the global
@@ -80,21 +87,54 @@ impl Trainer {
         let start = Instant::now();
         let mut batches = BatchIter::new(samples, self.cfg.batch_size);
         let mut report = TrainReport::default();
-        for epoch in 0..self.cfg.epochs {
+        let mut warned_disconnected = false;
+        'training: for epoch in 0..self.cfg.epochs {
             hooks.epoch_start(epoch);
             let mut pred_sum = 0.0f64;
             let mut recon_sum = 0.0f64;
             let mut n = 0usize;
             for (batch_index, batch) in batches.epoch(&mut *rng).enumerate() {
-                let mut g = Graph::new();
+                let preflight = epoch == 0 && batch_index < PREFLIGHT_BATCHES;
+                let mut g = if preflight { Graph::new_checked() } else { Graph::new() };
                 let ctx = StepCtx { epoch, batch_index, batch: &batch, rng: &mut *rng };
                 let losses = step.step(&mut g, &*store, ctx);
-                g.backward(losses.total);
-                g.grads_into(&mut *store);
-                if let Some(clip) = self.cfg.grad_clip_norm {
-                    store.clip_grad_norm(clip);
+
+                if !g.issues().is_empty() {
+                    // The tape is broken (shape violations or non-finite
+                    // ops); `backward` would refuse it. Let a hook stop the
+                    // run gracefully, else fail with the full findings.
+                    let audit = audit_tape(&g, store, None);
+                    if hooks.preflight_audit(&audit) == Signal::Stop {
+                        report.stopped_early = true;
+                        break 'training;
+                    }
+                    panic!(
+                        "trainer preflight: broken tape at epoch {epoch} batch {batch_index}:\n{}",
+                        audit.issues.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n")
+                    );
                 }
-                self.opt.step(&mut *store);
+
+                let connected = g.requires_grad(losses.total);
+                if connected {
+                    g.backward(losses.total);
+                }
+                if preflight && hooks.preflight_audit(&audit_tape(&g, store, Some(losses.total))) == Signal::Stop {
+                    report.stopped_early = true;
+                    break 'training;
+                }
+                if connected {
+                    g.grads_into(&mut *store);
+                    if let Some(clip) = self.cfg.grad_clip_norm {
+                        store.clip_grad_norm(clip);
+                    }
+                    self.opt.step(&mut *store);
+                } else if !warned_disconnected {
+                    warned_disconnected = true;
+                    eprintln!(
+                        "trainer: loss depends on no trainable leaf (epoch {epoch} batch {batch_index}); \
+                         skipping optimizer steps — run `agnn check` for the audit"
+                    );
+                }
                 pred_sum += losses.prediction;
                 recon_sum += losses.reconstruction;
                 n += 1;
@@ -265,15 +305,106 @@ mod tests {
 
     #[test]
     fn run_accepts_named_step_impls() {
+        // ConstStep's loss touches no parameter: the driver must skip the
+        // optimizer instead of panicking in backward, and still report both
+        // epochs' losses.
         let cfg = TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() };
         let mut store = ParamStore::new();
         store.add("unused", Matrix::zeros(1, 1));
         let samples = toy_samples(16);
         let mut rng = StdRng::seed_from_u64(0);
         let mut step = ConstStep;
-        let report = Trainer::new(cfg).run(&mut store, &samples, &mut rng, &mut HookList::new(), &mut step);
+        let mut trainer = Trainer::new(cfg);
+        let report = trainer.run(&mut store, &samples, &mut rng, &mut HookList::new(), &mut step);
         assert_eq!(report.epochs.len(), 2);
         assert!((report.epochs[0].prediction - 1.0).abs() < 1e-9);
+        assert_eq!(trainer.optimizer().steps(), 0, "disconnected loss must not step the optimizer");
+    }
+
+    #[test]
+    fn preflight_audit_hook_stops_misshaped_model_gracefully() {
+        use crate::hooks::PreflightAudit;
+        let cfg = TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() };
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 3));
+        let samples = toy_samples(16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut audit = PreflightAudit::new();
+        let mut hooks = HookList::new().with(&mut audit);
+        let report = Trainer::new(cfg).fit(&mut store, &samples, &mut rng, &mut hooks, |g, store, _ctx| {
+            let wv = g.param_full(store, w);
+            let bad = g.constant(Matrix::zeros(2, 4));
+            let p = g.matmul(wv, bad); // inner dims 3 vs 2
+            let l = g.sum_all(p);
+            StepLosses { total: l, prediction: 0.0, reconstruction: 0.0 }
+        });
+        drop(hooks);
+        assert!(report.stopped_early, "broken tape must end the run");
+        assert!(report.epochs.is_empty(), "no epoch completed");
+        let final_report = audit.finish("misshaped");
+        assert!(final_report.has_errors());
+        assert!(final_report.issues.iter().any(|i| i.rule == "shape-mismatch"), "{}", final_report.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "trainer preflight: broken tape")]
+    fn unhandled_broken_tape_panics_with_findings() {
+        let cfg = TrainConfig { epochs: 1, batch_size: 8, ..TrainConfig::default() };
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 3));
+        let samples = toy_samples(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        Trainer::new(cfg).fit(&mut store, &samples, &mut rng, &mut HookList::new(), |g, store, _ctx| {
+            let wv = g.param_full(store, w);
+            let bad = g.constant(Matrix::zeros(2, 4));
+            let p = g.matmul(wv, bad);
+            let l = g.sum_all(p);
+            StepLosses { total: l, prediction: 0.0, reconstruction: 0.0 }
+        });
+    }
+
+    #[test]
+    fn preflight_audits_healthy_fit_clean() {
+        use crate::hooks::PreflightAudit;
+        let cfg = TrainConfig { epochs: 2, batch_size: 8, lr: 1e-2, ..TrainConfig::default() };
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(1, 1));
+        let samples = toy_samples(40);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut audit = PreflightAudit::new();
+        let mut hooks = HookList::new().with(&mut audit);
+        let report = Trainer::new(cfg).fit(&mut store, &samples, &mut rng, &mut hooks, |g, store, ctx| {
+            let x = g.constant(Matrix::col_vector(ctx.batch.iter().map(|r| r.user as f32 / 40.0).collect()));
+            let target = g.constant(Matrix::col_vector(ctx.batch.iter().map(|r| r.value).collect()));
+            let wv = g.param_full(store, w);
+            let w_rows = g.repeat_rows(wv, ctx.batch.len());
+            let pred = g.mul(x, w_rows);
+            let l = loss::mse(g, pred, target);
+            StepLosses::prediction_only(g, l)
+        });
+        drop(hooks);
+        assert!(!report.stopped_early);
+        // 40 samples / batch 8 = 5 batches; only the first 4 are audited.
+        assert_eq!(audit.tapes(), 4);
+        let final_report = audit.finish("toy");
+        assert!(!final_report.has_errors(), "{}", final_report.render());
+        assert_eq!(final_report.params_audited, 1);
+    }
+
+    #[test]
+    fn preflight_does_not_change_losses() {
+        // The checked-tape window must be numerically invisible: a fit's
+        // loss trajectory with the audit hook registered is bit-identical
+        // to one without.
+        let cfg = TrainConfig { epochs: 3, batch_size: 8, lr: 1e-2, ..TrainConfig::default() };
+        let plain = fit_toy(cfg, &mut HookList::new());
+        let mut audit = crate::hooks::PreflightAudit::new();
+        let mut hooks = HookList::new().with(&mut audit);
+        let audited = fit_toy(cfg, &mut hooks);
+        drop(hooks);
+        for (a, b) in plain.epochs.iter().zip(&audited.epochs) {
+            assert_eq!(a.prediction.to_bits(), b.prediction.to_bits());
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn knn_graph_degree_bounded_and_symmetric_similarity() {
     for n in 0..d.num_items as u32 {
         assert!(g.degree(n) <= 10);
         for (m, w) in g.edges_of(n) {
-            assert!(w >= 0.0 && w <= 1.0 + 1e-5, "weight {w} for edge {n}->{m}");
+            assert!((0.0..=1.0 + 1e-5).contains(&w), "weight {w} for edge {n}->{m}");
             // Cosine symmetry: if m is in n's list with weight w, then n's
             // similarity to m equals m's similarity to n (m's list may not
             // contain n — kNN is not symmetric — but the weight is).
