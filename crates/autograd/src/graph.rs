@@ -299,6 +299,9 @@ impl Graph {
         let rg = op.parents().iter().any(|&p| self.rg(p));
         match self.infer_shape(&op) {
             Ok(shape) => {
+                if self.checked {
+                    self.scan_masked_operands(&op);
+                }
                 let value = self.eval(&op);
                 debug_assert_eq!(value.shape(), shape, "shape rule out of sync with kernel for {}", op.name());
                 self.push(value, op, rg)
@@ -311,6 +314,31 @@ impl Graph {
                 let issue = self.make_issue(TapeIssueKind::ShapeMismatch, &op, e.to_string());
                 self.issues.push(issue);
                 self.push(Matrix::zeros(r, c), op, rg)
+            }
+        }
+    }
+
+    /// Checked-mode compensation for the matmul kernels' `av == 0.0` fast
+    /// path: the kernel skips the other operand's whole row when a
+    /// coefficient is exactly zero, so `0·NaN`/`0·∞` yield `0` where IEEE
+    /// 754 would propagate NaN (see `agnn_tensor::ops::matmul_row`). The
+    /// output sentinel in `push` can't flag what the kernel never computed,
+    /// so checked tapes scan both matmul operands *before* eval and record
+    /// the NonFinite issue against the consuming matmul.
+    fn scan_masked_operands(&mut self, op: &Op) {
+        let Op::MatMul(a, b) = op else { return };
+        for p in [*a, *b] {
+            if !self.value(p).all_finite() {
+                let issue = self.make_issue(
+                    TapeIssueKind::NonFinite,
+                    op,
+                    format!(
+                        "non-finite operand %{} entering {}: the zero-skip fast path can mask it (0·NaN deviates from IEEE 754 here)",
+                        p.0,
+                        op.name()
+                    ),
+                );
+                self.issues.push(issue);
             }
         }
     }
@@ -823,7 +851,9 @@ impl Graph {
             return;
         }
         match &mut self.nodes[v.0].grad {
-            Some(g) => ops::axpy(g, 1.0, &delta),
+            // In-place accumulate: this runs once per consumer of every node
+            // on the tape, so it must not allocate.
+            Some(g) => ops::add_assign(g, &delta),
             slot @ None => *slot = Some(delta),
         }
     }
@@ -865,7 +895,9 @@ impl Graph {
                 }
                 Op::Sub(a, b) => {
                     self.accum(a, grad.clone());
-                    self.accum(b, ops::scale(&grad, -1.0));
+                    let mut db = grad;
+                    ops::scale_assign(&mut db, -1.0);
+                    self.accum(b, db);
                 }
                 Op::Mul(a, b) => {
                     if self.rg(a) {
@@ -877,7 +909,13 @@ impl Graph {
                         self.accum(b, db);
                     }
                 }
-                Op::Scale(a, s) => self.accum(a, ops::scale(&grad, s)),
+                Op::Scale(a, s) => {
+                    // The upstream grad is an owned clone; scale it in place
+                    // rather than allocating a second buffer.
+                    let mut da = grad;
+                    ops::scale_assign(&mut da, s);
+                    self.accum(a, da);
+                }
                 Op::AddScalar(a, _) => self.accum(a, grad),
                 Op::AddRowBroadcast(a, row) => {
                     self.accum(a, grad.clone());
@@ -990,8 +1028,8 @@ impl Graph {
                     self.accum(a, da);
                 }
                 Op::Exp(a) => {
-                    let y = &self.nodes[i].value;
-                    let da = ops::mul(&grad, y);
+                    let mut da = grad;
+                    ops::mul_assign(&mut da, &self.nodes[i].value);
                     self.accum(a, da);
                 }
                 Op::Ln(a) => {
@@ -1038,9 +1076,14 @@ impl Graph {
                     );
                     self.accum(a, da);
                 }
-                Op::Neg(a) => self.accum(a, ops::scale(&grad, -1.0)),
+                Op::Neg(a) => {
+                    let mut da = grad;
+                    ops::scale_assign(&mut da, -1.0);
+                    self.accum(a, da);
+                }
                 Op::Dropout(a, mask) => {
-                    let da = ops::mul(&grad, &mask);
+                    let mut da = grad;
+                    ops::mul_assign(&mut da, &mask);
                     self.accum(a, da);
                 }
                 Op::SumAll(a) => {
@@ -1081,7 +1124,8 @@ impl Graph {
                 }
                 Op::Reshape(a, _, _) => {
                     let (r, c) = self.value(a).shape();
-                    self.accum(a, grad.reshape(r, c));
+                    // Zero-copy: the owned grad's buffer is moved, not cloned.
+                    self.accum(a, grad.into_reshape(r, c));
                 }
             }
         }
@@ -1288,6 +1332,28 @@ mod tests {
         assert_eq!(g.issues().len(), 1);
         assert_eq!(g.issues()[0].kind, TapeIssueKind::NonFinite);
         assert_eq!(g.issues()[0].var, l.index());
+    }
+
+    #[test]
+    fn checked_graph_flags_nan_operand_masked_by_matmul_zero_skip() {
+        // a is all zeros, so the kernel's `av == 0.0` fast path skips every
+        // row of b and the product is finite zeros — strict IEEE 754 would
+        // have produced NaN (0·NaN). The output sentinel alone therefore
+        // misses the poisoned operand; the operand scan must flag it at the
+        // consuming matmul.
+        let mut g = Graph::new_checked();
+        let a = g.leaf(m(1, 2, &[0.0, 0.0]));
+        let b = g.constant(m(2, 1, &[f32::NAN, 1.0]));
+        let p = g.matmul(a, b);
+        assert!(g.value(p).all_finite(), "zero-skip should mask the NaN in the product");
+        let issues = g.issues();
+        // Issue 0: the NaN constant itself entering the tape.
+        // Issue 1 (the regression): the matmul consuming the poisoned operand.
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert_eq!(issues[1].kind, TapeIssueKind::NonFinite);
+        assert_eq!(issues[1].op, "matmul");
+        assert_eq!(issues[1].var, p.index());
+        assert!(issues[1].message.contains("zero-skip"), "{}", issues[1].message);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Serial-vs-parallel kernel benchmark behind `agnn bench --kernels`.
+//!
+//! Times every parallelized dense kernel in `agnn-tensor` under forced
+//! [`ParallelMode::ForceSerial`] and [`ParallelMode::ForceParallel`]
+//! dispatch across representative AGNN shapes (batch × fanout × embed: the
+//! sampled neighborhood tensor is `(batch·fanout) × embed`), verifies the
+//! two paths produce **bit-identical** outputs, and renders the result as
+//! both a table and the `BENCH_kernels.json` perf baseline.
+//!
+//! JSON is emitted by hand (not serde) so the file's schema is stable and
+//! independent of serializer availability.
+
+use agnn_tensor::ops::{self, ParallelMode};
+use agnn_tensor::Matrix;
+use std::time::Instant;
+
+/// One AGNN-representative workload: a mini-batch of `batch` target nodes,
+/// `fanout` sampled neighbors each, `embed`-dimensional embeddings.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelShape {
+    /// Mini-batch size (target nodes).
+    pub batch: usize,
+    /// Sampled neighbors per node.
+    pub fanout: usize,
+    /// Embedding width.
+    pub embed: usize,
+}
+
+impl KernelShape {
+    /// Rows of the neighborhood tensor: `batch · fanout`.
+    pub fn rows(&self) -> usize {
+        self.batch * self.fanout
+    }
+}
+
+/// Benchmark configuration: shapes to sweep and repetition counts.
+#[derive(Debug, Clone)]
+pub struct KernelBenchConfig {
+    /// Shapes to time each kernel at.
+    pub shapes: Vec<KernelShape>,
+    /// Timed repetitions per (kernel, shape, mode); the minimum is reported.
+    pub reps: usize,
+    /// Untimed warmup repetitions per (kernel, shape, mode).
+    pub warmup: usize,
+}
+
+impl KernelBenchConfig {
+    /// Full sweep at the paper's training shapes, including the
+    /// `≥ 256×64×64` point the acceptance baseline is read at.
+    pub fn representative() -> Self {
+        Self {
+            shapes: vec![
+                KernelShape { batch: 64, fanout: 8, embed: 32 },
+                KernelShape { batch: 128, fanout: 16, embed: 40 },
+                KernelShape { batch: 256, fanout: 64, embed: 64 },
+            ],
+            reps: 5,
+            warmup: 2,
+        }
+    }
+
+    /// Tiny shapes for CI: exercises every kernel's parallel path and the
+    /// bit-identity gate in well under a second.
+    pub fn smoke() -> Self {
+        Self {
+            shapes: vec![KernelShape { batch: 16, fanout: 4, embed: 16 }, KernelShape { batch: 32, fanout: 8, embed: 24 }],
+            reps: 2,
+            warmup: 1,
+        }
+    }
+}
+
+/// Serial-vs-parallel measurement for one kernel at one shape.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel name (matches `agnn_tensor::profile::Kernel::name`).
+    pub kernel: &'static str,
+    /// The workload shape this row was measured at.
+    pub shape: KernelShape,
+    /// Best-of-`reps` wall clock of the forced-serial path.
+    pub serial_ns: u64,
+    /// Best-of-`reps` wall clock of the forced-parallel path.
+    pub parallel_ns: u64,
+    /// Whether the two paths produced bit-identical outputs.
+    pub identical: bool,
+}
+
+impl KernelTiming {
+    /// Serial time over parallel time (> 1 means the parallel path wins).
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+}
+
+/// Everything `agnn bench --kernels` measured.
+#[derive(Debug, Clone)]
+pub struct KernelBenchReport {
+    /// Worker threads available to the parallel paths.
+    pub threads: usize,
+    /// Timed repetitions behind each number.
+    pub reps: usize,
+    /// One row per (kernel, shape).
+    pub results: Vec<KernelTiming>,
+}
+
+impl KernelBenchReport {
+    /// True when every parallel path matched its serial reference bitwise.
+    /// CI fails the bench job on `false`.
+    pub fn all_identical(&self) -> bool {
+        self.results.iter().all(|r| r.identical)
+    }
+
+    /// Rows that diverged (for error reporting).
+    pub fn divergent(&self) -> Vec<&KernelTiming> {
+        self.results.iter().filter(|r| !r.identical).collect()
+    }
+
+    /// The `BENCH_kernels.json` document (stable hand-written schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"kernels\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"batch\": {}, \"fanout\": {}, \"embed\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                r.kernel, r.shape.batch, r.shape.fanout, r.shape.embed, r.serial_ns, r.parallel_ns, r.speedup(), r.identical, comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for stdout.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "kernel bench · {} thread(s) · best of {} rep(s)\n{:<18} {:>6} {:>6} {:>6} {:>12} {:>12} {:>8}  {}\n",
+            self.threads, self.reps, "kernel", "batch", "fanout", "embed", "serial_us", "parallel_us", "speedup", "identical"
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>6} {:>6} {:>12.1} {:>12.1} {:>7.2}x  {}\n",
+                r.kernel,
+                r.shape.batch,
+                r.shape.fanout,
+                r.shape.embed,
+                r.serial_ns as f64 / 1e3,
+                r.parallel_ns as f64 / 1e3,
+                r.speedup(),
+                r.identical
+            ));
+        }
+        out
+    }
+}
+
+/// Deterministic dense test matrix (no RNG: the bench must produce the same
+/// operands in every build and environment).
+fn pattern(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = r.wrapping_mul(31).wrapping_add(c.wrapping_mul(17)).wrapping_add(salt.wrapping_mul(101));
+        // ~1/8 exact zeros so the matmul zero-skip fast path is exercised.
+        if h % 8 == 0 {
+            0.0
+        } else {
+            ((h % 29) as f32) * 0.07 - 1.0
+        }
+    })
+}
+
+fn best_of(reps: usize, warmup: usize, f: impl Fn() -> Matrix) -> (u64, Matrix) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut best_ns = u64::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let o = std::hint::black_box(f());
+        let ns = t.elapsed().as_nanos() as u64;
+        if out.is_none() || ns < best_ns {
+            best_ns = ns;
+            out = Some(o);
+        }
+    }
+    (best_ns, out.expect("at least one timed rep"))
+}
+
+/// Times one closure under both forced modes and checks bit-identity.
+fn measure(
+    kernel: &'static str,
+    shape: KernelShape,
+    cfg: &KernelBenchConfig,
+    f: impl Fn() -> Matrix,
+) -> KernelTiming {
+    ops::set_parallel_mode(ParallelMode::ForceSerial);
+    let (serial_ns, serial_out) = best_of(cfg.reps, cfg.warmup, &f);
+    ops::set_parallel_mode(ParallelMode::ForceParallel);
+    let (parallel_ns, parallel_out) = best_of(cfg.reps, cfg.warmup, &f);
+    ops::set_parallel_mode(ParallelMode::Auto);
+    let identical = serial_out.shape() == parallel_out.shape()
+        && serial_out.as_slice().iter().zip(parallel_out.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits());
+    KernelTiming { kernel, shape, serial_ns, parallel_ns, identical }
+}
+
+/// Runs the full serial-vs-parallel sweep. Restores [`ParallelMode::Auto`]
+/// before returning.
+pub fn run_kernel_bench(cfg: &KernelBenchConfig) -> KernelBenchReport {
+    let mut results = Vec::new();
+    for &shape in &cfg.shapes {
+        let rows = shape.rows();
+        let d = shape.embed;
+        let nbr = pattern(rows, d, 1); // (batch·fanout) × embed neighborhood tensor
+        let w = pattern(d, d, 2); // embed × embed weight
+        let grad = pattern(rows, d, 3); // upstream gradient, same shape as nbr
+        let pooled = pattern(shape.batch, d, 4); // batch × embed pooled tensor
+
+        // Forward projection: nbr · W.
+        results.push(measure("matmul", shape, cfg, || ops::matmul(&nbr, &w)));
+        // Backward weight grad: nbrᵀ · grad (k = batch·fanout is the long axis).
+        results.push(measure("matmul_tn", shape, cfg, || ops::matmul_tn(&nbr, &grad)));
+        // Backward input grad: grad · Wᵀ.
+        results.push(measure("matmul_nt", shape, cfg, || ops::matmul_nt(&grad, &w)));
+        results.push(measure("transpose", shape, cfg, || ops::transpose(&nbr)));
+        results.push(measure("segment_mean_rows", shape, cfg, || ops::segment_mean_rows(&nbr, shape.fanout)));
+        results.push(measure("segment_sum_rows", shape, cfg, || ops::segment_sum_rows(&nbr, shape.fanout)));
+        results.push(measure("repeat_rows", shape, cfg, || ops::repeat_rows(&pooled, shape.fanout)));
+    }
+    KernelBenchReport {
+        threads: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        reps: cfg.reps,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_and_paths_agree() {
+        let report = run_kernel_bench(&KernelBenchConfig::smoke());
+        // 7 kernels × 2 shapes.
+        assert_eq!(report.results.len(), 14);
+        assert!(report.all_identical(), "divergent: {:?}", report.divergent());
+        assert!(report.threads >= 1);
+        // Dispatch mode must be restored for subsequent code.
+        assert_eq!(ops::parallel_mode(), ParallelMode::Auto);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = KernelBenchReport {
+            threads: 4,
+            reps: 3,
+            results: vec![KernelTiming {
+                kernel: "matmul_tn",
+                shape: KernelShape { batch: 2, fanout: 2, embed: 2 },
+                serial_ns: 100,
+                parallel_ns: 50,
+                identical: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"all_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = report.render_table();
+        assert!(table.contains("matmul_tn"), "{table}");
+    }
+}

@@ -19,10 +19,16 @@
 //! scales), `--epochs <n>`, `--seed <n>`, and `--datasets a,b,c`; each
 //! prints a paper-shaped table to stdout and appends JSON rows to
 //! `results/<exp>.jsonl`.
+//!
+//! The [`kernels`] module is the serial-vs-parallel kernel benchmark behind
+//! `agnn bench --kernels`; it writes the `BENCH_kernels.json` perf baseline
+//! and doubles as a bit-identity gate in CI.
 
 pub mod args;
+pub mod kernels;
 pub mod runner;
 pub mod table;
 
 pub use args::HarnessArgs;
+pub use kernels::{run_kernel_bench, KernelBenchConfig, KernelBenchReport, KernelShape, KernelTiming};
 pub use runner::{run_cell, CellResult, CellSpec};

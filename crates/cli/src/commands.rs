@@ -1,4 +1,4 @@
-//! The `generate` / `train` / `predict` subcommands.
+//! The `generate` / `train` / `predict` / `check` / `bench` subcommands.
 
 use crate::opts::{parse_pairs, Opts};
 use agnn_baselines::common::BaselineConfig;
@@ -6,7 +6,7 @@ use agnn_baselines::{build_baseline, BaselineKind};
 use agnn_core::model::{evaluate, RatingModel};
 use agnn_core::{Agnn, AgnnConfig};
 use agnn_data::{ColdStartKind, Dataset, Preset, Split, SplitConfig};
-use agnn_train::{EarlyStopping, HookList, LossLogger, PreflightAudit};
+use agnn_train::{EarlyStopping, HookList, LossLogger, OpProfiler, PreflightAudit};
 use serde::Serialize;
 
 /// CLI failure with a user-facing message.
@@ -43,8 +43,9 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         "train" => train(opts),
         "predict" => predict(opts),
         "check" => check(opts),
+        "bench" => bench(opts),
         other => Err(CliError(format!(
-            "unknown subcommand {other:?}; expected generate | train | predict | check"
+            "unknown subcommand {other:?}; expected generate | train | predict | check | bench"
         ))),
     }
 }
@@ -121,6 +122,7 @@ struct TrainReportJson {
 fn train(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report", "patience", "log-every",
+        "profile-ops",
     ])?;
     let data = load_dataset(opts)?;
     let kind = scenario(opts)?;
@@ -129,7 +131,10 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     let split = Split::create(&data, SplitConfig { kind, test_fraction: frac, seed });
     split.validate();
     let mut model = build_model(opts)?;
-    // Optional training-engine hooks: early stopping and loss logging.
+    let profile_ops = opts.get("profile-ops") == Some("true");
+    let mut profiler = OpProfiler::new();
+    // Optional training-engine hooks: early stopping, loss logging, and
+    // per-kernel op profiling.
     let mut hooks = HookList::new();
     if let Some(patience) = opts.get("patience") {
         let patience: usize = patience.parse().map_err(|_| format!("--patience: cannot parse {patience:?}"))?;
@@ -139,7 +144,16 @@ fn train(opts: &Opts) -> Result<String, CliError> {
         let every: usize = every.parse().map_err(|_| format!("--log-every: cannot parse {every:?}"))?;
         hooks.push(LossLogger::every(every));
     }
+    if profile_ops {
+        agnn_tensor::profile::reset();
+        agnn_tensor::profile::set_profiling(true);
+        hooks.push(&mut profiler);
+    }
     let report = model.fit_with(&data, &split, &mut hooks);
+    drop(hooks);
+    if profile_ops {
+        agnn_tensor::profile::set_profiling(false);
+    }
     let result = evaluate(model.as_ref(), &data, &split.test).finish();
     let json = TrainReportJson {
         model: model.name(),
@@ -155,10 +169,47 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     if let Some(path) = opts.get("report") {
         std::fs::write(path, serde_json::to_string_pretty(&json)?)?;
     }
-    Ok(format!(
+    let mut msg = format!(
         "{} on {} [{}]: RMSE {:.4}  MAE {:.4}  (n = {}, {:.1}s train)",
         json.model, data.name, json.scenario, json.rmse, json.mae, json.n, json.train_seconds
-    ))
+    );
+    if profile_ops {
+        msg.push('\n');
+        msg.push_str(&profiler.render());
+    }
+    Ok(msg)
+}
+
+/// `agnn bench --kernels` — serial-vs-parallel kernel sweep.
+///
+/// Times every parallelized `agnn-tensor` kernel under forced serial and
+/// forced parallel dispatch across representative AGNN shapes, writes the
+/// perf baseline to `--out` (default `BENCH_kernels.json`), and fails if
+/// any parallel path is not bit-identical to its serial reference — CI runs
+/// this in `--smoke` mode as a divergence gate.
+fn bench(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["kernels", "smoke", "out"])?;
+    if opts.get("kernels") != Some("true") {
+        return Err(CliError("bench: pass --kernels (the kernel sweep is the only bench surface)".into()));
+    }
+    let cfg = if opts.get("smoke") == Some("true") {
+        agnn_bench::KernelBenchConfig::smoke()
+    } else {
+        agnn_bench::KernelBenchConfig::representative()
+    };
+    let report = agnn_bench::run_kernel_bench(&cfg);
+    let out = opts.get("out").unwrap_or("BENCH_kernels.json");
+    std::fs::write(out, report.to_json())?;
+    let mut text = report.render_table();
+    text.push_str(&format!("wrote {out}"));
+    if report.all_identical() {
+        Ok(text)
+    } else {
+        Err(CliError(format!(
+            "{text}\nserial/parallel DIVERGENCE in {} kernel timing(s)",
+            report.divergent().len()
+        )))
+    }
 }
 
 /// `agnn check` — static shape/flow audit of every model's autograd tape.
@@ -370,10 +421,12 @@ mod tests {
         let data_path = tmp("hooks.json");
         run(&opts(&format!("generate --preset ml-100k --scale 0.05 --seed 6 --out {data_path}"))).unwrap();
         let msg = run(&opts(&format!(
-            "train --data {data_path} --model NFM --scenario ws --epochs 3 --patience 1 --log-every 10"
+            "train --data {data_path} --model NFM --scenario ws --epochs 3 --patience 1 --log-every 10 --profile-ops"
         )))
         .unwrap();
         assert!(msg.contains("RMSE"), "{msg}");
+        // --profile-ops appends the per-kernel timing table.
+        assert!(msg.contains("kernel"), "{msg}");
         assert!(run(&opts(&format!(
             "train --data {data_path} --model NFM --scenario ws --epochs 1 --patience bogus"
         )))
@@ -409,6 +462,25 @@ mod tests {
     fn check_rejects_unknown_model_and_fixture() {
         assert!(run(&opts("check --model bogus")).is_err());
         assert!(run(&opts("check --fixture bogus")).is_err());
+    }
+
+    #[test]
+    fn bench_kernels_smoke_writes_baseline() {
+        let out = tmp("bench_kernels.json");
+        let msg = run(&opts(&format!("bench --kernels --smoke --out {out}"))).unwrap();
+        assert!(msg.contains("matmul_tn"), "{msg}");
+        assert!(msg.contains(&format!("wrote {out}")), "{msg}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"kernels\""), "{json}");
+        assert!(json.contains("\"all_identical\": true"), "{json}");
+        // 7 kernels × 2 smoke shapes.
+        assert_eq!(json.matches("\"kernel\":").count(), 14, "{json}");
+    }
+
+    #[test]
+    fn bench_requires_the_kernels_flag_and_rejects_typos() {
+        assert!(run(&opts("bench")).is_err());
+        assert!(run(&opts("bench --kernels --bogus")).is_err());
     }
 
     #[test]

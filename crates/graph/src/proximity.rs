@@ -205,4 +205,37 @@ mod tests {
         let attrs = vec![mh(2, &[0])];
         let _ = score_all_candidates(&attrs, None, false, false, 10);
     }
+
+    #[test]
+    fn single_candidate_pool_keeps_ranking_weight() {
+        // Regression for the min_max_normalize degenerate-slice bug: node 0
+        // has exactly one candidate, so its similarity slice is a constant
+        // positive singleton. That used to normalize to 0.0, erasing the
+        // pool's entire ranking weight; it must map to 1.0.
+        let attrs = vec![mh(4, &[0, 1]), mh(4, &[0, 1]), mh(4, &[3])];
+        let scored = score_all_candidates(&attrs, None, true, false, 100);
+        assert_eq!(scored[0], vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn uniformly_similar_pool_keeps_weight_and_zero_pref_stays_zero() {
+        // All three nodes share attr 0 identically → each node's attr slice
+        // is constant positive and must normalize to 1.0 for every
+        // candidate. Preferences are pairwise disjoint → the pref slice is
+        // constant *zero* and must stay 0.0 (no phantom weight).
+        let attrs = vec![mh(4, &[0]), mh(4, &[0]), mh(4, &[0])];
+        let prefs = vec![
+            SparseVec::from_pairs(6, vec![(0, 5.0)]),
+            SparseVec::from_pairs(6, vec![(1, 4.0)]),
+            SparseVec::from_pairs(6, vec![(2, 3.0)]),
+        ];
+        let scored = score_all_candidates(&attrs, Some(&prefs), true, true, 100);
+        for pool in &scored {
+            assert_eq!(pool.len(), 2);
+            for &(_, s) in pool {
+                // attr contributes 1.0, pref contributes exactly 0.0
+                assert_eq!(s, 1.0, "{scored:?}");
+            }
+        }
+    }
 }

@@ -8,7 +8,11 @@
 //! encodings and proximity computation.
 //!
 //! Design notes (see DESIGN.md §5):
-//! * matmul switches to a rayon-parallel kernel above a size threshold;
+//! * the matmul family switches to rayon-parallel kernels above a size
+//!   threshold, and every parallel path is bit-identical to its serial
+//!   reference (see `ops` module docs);
+//! * per-kernel wall-clock profiling lives in [`profile`], compiled in by
+//!   the `op-profile` feature and toggled at runtime;
 //! * all randomness flows through caller-provided [`rand::Rng`]s so every
 //!   experiment in the harness is reproducible from a seed;
 //! * shape errors panic with the offending shapes in the message — in a
@@ -17,6 +21,7 @@
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod profile;
 pub mod shape;
 pub mod sparse;
 pub mod stats;

@@ -159,9 +159,13 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Iterator over row slices.
+    /// Iterator over row slices. Yields exactly `rows()` items even when
+    /// `cols == 0` (each item is then the empty slice) — `chunks_exact`
+    /// over the empty buffer would yield nothing and silently drop the
+    /// zero-width rows, which broke `sum_cols` on `m×0` inputs.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        (0..self.rows).map(move |r| &self.data[r * cols..(r + 1) * cols])
     }
 
     /// Copies column `c` into a fresh `Vec`.
@@ -247,6 +251,14 @@ impl Matrix {
     pub fn reshape(&self, rows: usize, cols: usize) -> Matrix {
         assert_eq!(rows * cols, self.len(), "reshape: {}x{} incompatible with {} elements", rows, cols, self.len());
         Matrix { rows, cols, data: self.data.clone() }
+    }
+
+    /// Owned [`Matrix::reshape`]: moves the buffer instead of cloning it.
+    /// The zero-copy variant for hot paths that already hold the matrix by
+    /// value (e.g. the `Reshape` adjoint reshaping an owned gradient).
+    pub fn into_reshape(self, rows: usize, cols: usize) -> Matrix {
+        assert_eq!(rows * cols, self.len(), "reshape: {}x{} incompatible with {} elements", rows, cols, self.len());
+        Matrix { rows, cols, data: self.data }
     }
 
     /// True iff every element is finite.
@@ -341,6 +353,21 @@ mod tests {
         let r = m.reshape(3, 2);
         assert_eq!(r.row(0), &[1., 2.]);
         assert_eq!(r.row(2), &[5., 6.]);
+        let owned = m.clone().into_reshape(6, 1);
+        assert_eq!(owned.shape(), (6, 1));
+        assert_eq!(owned.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn rows_iter_yields_every_row_even_with_zero_cols() {
+        // Regression: chunks_exact over the empty buffer yielded 0 rows.
+        let z = Matrix::zeros(4, 0);
+        let rows: Vec<&[f32]> = z.rows_iter().collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0f32, 2.0][..], &[3.0, 4.0][..]]);
     }
 
     #[test]

@@ -2,17 +2,90 @@
 //!
 //! These are plain forward-math functions; the autograd crate pairs each with
 //! its adjoint. Kernels take references and return fresh matrices — the
-//! training-loop hot paths are the matmuls, which go through a
-//! rayon-parallel tile kernel above [`PAR_THRESHOLD`] multiply-accumulate
-//! operations.
+//! training-loop hot paths are the matmuls (forward `matmul`, backward
+//! `matmul_tn`/`matmul_nt`), which go through rayon-parallel kernels above
+//! [`PAR_THRESHOLD`] multiply-accumulate operations; the data-movement
+//! kernels (`transpose`, segment pooling, `repeat_rows`) parallelize above
+//! [`PAR_ELEMS`] touched elements.
+//!
+//! ## Bit-identity invariant
+//!
+//! Every parallel path performs the *same floating-point operations in the
+//! same per-element order* as its serial reference: work is partitioned over
+//! disjoint **output** blocks and each output element accumulates over `k`
+//! in ascending order, exactly as the serial loop does. Parallel and serial
+//! results are therefore bit-identical, which `agnn bench --kernels` and the
+//! property tests enforce. (A per-thread partial-sum reduction over `k`
+//! blocks would be faster on huge `k` but breaks this invariant — float
+//! addition is not associative.)
+//!
+//! [`set_parallel_mode`] installs a thread-local override used by tests and
+//! the kernel benchmark to force either path regardless of size thresholds.
 
+use crate::profile::{timed, Kernel};
 use crate::{shape, Matrix};
 use rayon::prelude::*;
+use std::cell::Cell;
 
-/// Flop threshold above which matmul parallelizes across row blocks.
+/// Flop threshold above which the matmul family parallelizes.
 pub const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
+/// Element threshold above which data-movement kernels (transpose, segment
+/// pooling, row repetition) parallelize. These kernels do O(1) work per
+/// element, so the cutover sits higher than a flop count would suggest.
+pub const PAR_ELEMS: usize = 64 * 1024;
+
+/// How kernels choose between their serial and parallel paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// Size thresholds decide (production default).
+    #[default]
+    Auto,
+    /// Always take the serial reference path.
+    ForceSerial,
+    /// Always take the parallel path, even for tiny inputs.
+    ForceParallel,
+}
+
+thread_local! {
+    static PARALLEL_MODE: Cell<ParallelMode> = const { Cell::new(ParallelMode::Auto) };
+}
+
+/// Overrides kernel dispatch on the *calling thread* (kernels invoked from
+/// other threads keep their own mode). Used by the parallel-vs-serial
+/// property tests and `agnn bench --kernels`; production code leaves this at
+/// [`ParallelMode::Auto`].
+pub fn set_parallel_mode(mode: ParallelMode) {
+    PARALLEL_MODE.with(|m| m.set(mode));
+}
+
+/// The calling thread's current dispatch mode.
+pub fn parallel_mode() -> ParallelMode {
+    PARALLEL_MODE.with(Cell::get)
+}
+
+/// Decides serial vs parallel for `work` units against `threshold`,
+/// honoring the thread-local [`ParallelMode`] override.
+#[inline]
+fn use_parallel(work: usize, threshold: usize) -> bool {
+    match parallel_mode() {
+        ParallelMode::Auto => work >= threshold,
+        ParallelMode::ForceSerial => false,
+        ParallelMode::ForceParallel => true,
+    }
+}
+
+/// Worker count used to size per-thread output blocks.
+#[inline]
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// `a (m×k) · b (k×n) → (m×n)`.
+///
+/// Parallelizes across output rows when `m > 1`; a single-row product
+/// (row-vector × weight matrix) over the threshold parallelizes across
+/// column blocks instead, so `1×k · k×n` still uses every core.
 ///
 /// # Panics
 /// Panics if the inner dimensions disagree.
@@ -20,28 +93,54 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let (_, n) = b.shape();
     let _ = shape::matmul(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
-    let mut out = Matrix::zeros(m, n);
-    if k == 0 {
-        return out; // empty inner dimension: the zero matrix
-    }
-    if m * n * k >= PAR_THRESHOLD && m > 1 {
-        let bs = b.as_slice();
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(k))
-            .for_each(|(orow, arow)| matmul_row(arow, bs, n, orow));
-    } else {
-        let bs = b.as_slice();
-        for (orow, arow) in out.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(k)) {
-            matmul_row(arow, bs, n, orow);
+    timed(Kernel::MatMul, || {
+        let mut out = Matrix::zeros(m, n);
+        if k == 0 || out.is_empty() {
+            return out; // empty inner dimension: the zero matrix
         }
-    }
-    out
+        let bs = b.as_slice();
+        if use_parallel(m * n * k, PAR_THRESHOLD) {
+            if m > 1 {
+                out.as_mut_slice()
+                    .par_chunks_mut(n)
+                    .zip(a.as_slice().par_chunks(k))
+                    .for_each(|(orow, arow)| matmul_row(arow, bs, n, orow));
+            } else {
+                // Single output row: split it into column blocks. Each block
+                // accumulates over k in ascending order with the same
+                // zero-skip, so the result is bit-identical to matmul_row.
+                let arow = a.as_slice();
+                let nb = n.div_ceil(num_threads()).max(1);
+                out.as_mut_slice().par_chunks_mut(nb).enumerate().for_each(|(ci, oblock)| {
+                    let j0 = ci * nb;
+                    for (kk, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let bblock = &bs[kk * n + j0..kk * n + j0 + oblock.len()];
+                        for (o, &bv) in oblock.iter_mut().zip(bblock) {
+                            *o += av * bv;
+                        }
+                    }
+                });
+            }
+        } else {
+            for (orow, arow) in out.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(k)) {
+                matmul_row(arow, bs, n, orow);
+            }
+        }
+        out
+    })
 }
 
 #[inline]
 fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
     for (kk, &av) in arow.iter().enumerate() {
+        // IEEE deviation: skipping the whole b-row when `av == 0.0` masks a
+        // non-finite value in `b` where strict IEEE 754 would propagate it
+        // (0·NaN = NaN, 0·∞ = NaN). Checked tapes compensate by scanning
+        // both operands before eval (`Graph::record` in agnn-autograd), so
+        // the audit still sees what the fast path hides.
         if av == 0.0 {
             continue;
         }
@@ -53,52 +152,107 @@ fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
 }
 
 /// `aᵀ (k×m) · b (k×n) → (m×n)` without materializing the transpose.
+///
+/// This is the weight-gradient kernel of the backward pass (`∂L/∂W` for
+/// `y = x·W`). The serial reference iterates `k` in the outer loop, which
+/// races on `out` if parallelized naively; the parallel path instead
+/// partitions `out` into disjoint row blocks and runs the same k-outer loop
+/// inside each block, preserving per-element accumulation order exactly.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let (k, m) = a.shape();
     let (_, n) = b.shape();
     let _ = shape::matmul_tn(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
-    let mut out = Matrix::zeros(m, n);
-    // out[i][j] = sum_k a[k][i] * b[k][j]
-    for kk in 0..k {
-        let arow = a.row(kk);
-        let brow = b.row(kk);
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    timed(Kernel::MatMulTn, || {
+        let mut out = Matrix::zeros(m, n);
+        if out.is_empty() || k == 0 {
+            return out;
+        }
+        if use_parallel(m * n * k, PAR_THRESHOLD) {
+            let asl = a.as_slice();
+            let bsl = b.as_slice();
+            let rb = m.div_ceil(num_threads()).max(1);
+            out.as_mut_slice().par_chunks_mut(rb * n).enumerate().for_each(|(ci, oblock)| {
+                let i0 = ci * rb;
+                for kk in 0..k {
+                    let arow = &asl[kk * m..(kk + 1) * m];
+                    let brow = &bsl[kk * n..(kk + 1) * n];
+                    for (ii, orow) in oblock.chunks_mut(n).enumerate() {
+                        let av = arow[i0 + ii];
+                        // Same IEEE deviation as matmul_row: 0·NaN is skipped.
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            });
+        } else {
+            // out[i][j] = sum_k a[k][i] * b[k][j]
+            for kk in 0..k {
+                let arow = a.row(kk);
+                let brow = b.row(kk);
+                for (i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
             }
         }
-    }
-    out
+        out
+    })
 }
 
 /// `a (m×k) · bᵀ (n×k) → (m×n)` without materializing the transpose.
+///
+/// The input-gradient kernel of the backward pass (`∂L/∂x` for `y = x·W`).
+/// Parallelizes across output rows; a single-row product over the threshold
+/// parallelizes across column blocks (each output element is one `dot`, so
+/// any partition is bit-identical).
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let (n, _) = b.shape();
     let _ = shape::matmul_nt(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
-    let mut out = Matrix::zeros(m, n);
-    if m * n * k >= PAR_THRESHOLD && m > 1 {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .zip(a.as_slice().par_chunks(k))
-            .for_each(|(orow, arow)| {
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o = dot(arow, b.row(j));
+    timed(Kernel::MatMulNt, || {
+        let mut out = Matrix::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
+        if use_parallel(m * n * k, PAR_THRESHOLD) {
+            if m > 1 {
+                out.as_mut_slice()
+                    .par_chunks_mut(n)
+                    .zip(a.as_slice().par_chunks(k.max(1)))
+                    .for_each(|(orow, arow)| {
+                        for (j, o) in orow.iter_mut().enumerate() {
+                            *o = dot(arow, b.row(j));
+                        }
+                    });
+            } else {
+                let arow = a.as_slice();
+                let nb = n.div_ceil(num_threads()).max(1);
+                out.as_mut_slice().par_chunks_mut(nb).enumerate().for_each(|(ci, oblock)| {
+                    let j0 = ci * nb;
+                    for (jj, o) in oblock.iter_mut().enumerate() {
+                        *o = dot(arow, b.row(j0 + jj));
+                    }
+                });
+            }
+        } else {
+            for i in 0..m {
+                let arow = a.row(i);
+                for j in 0..n {
+                    out.set(i, j, dot(arow, b.row(j)));
                 }
-            });
-    } else {
-        for i in 0..m {
-            let arow = a.row(i);
-            for j in 0..n {
-                out.set(i, j, dot(arow, b.row(j)));
             }
         }
-    }
-    out
+        out
+    })
 }
 
 /// Dot product of two equal-length slices.
@@ -108,10 +262,51 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Transpose.
+/// Transpose. Cache-tiled; parallelizes over output row blocks above
+/// [`PAR_ELEMS`] elements. Pure data movement, so serial and parallel paths
+/// are trivially bit-identical.
 pub fn transpose(a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
-    Matrix::from_fn(n, m, |r, c| a.get(c, r))
+    timed(Kernel::Transpose, || {
+        let mut out = Matrix::zeros(n, m);
+        if out.is_empty() {
+            return out;
+        }
+        let src = a.as_slice();
+        if use_parallel(m * n, PAR_ELEMS) {
+            // Block rows per thread, rounded up to a whole tile.
+            let rb = n.div_ceil(num_threads()).max(1).div_ceil(TRANSPOSE_TILE) * TRANSPOSE_TILE;
+            out.as_mut_slice()
+                .par_chunks_mut(rb * m)
+                .enumerate()
+                .for_each(|(ci, oblock)| transpose_block(src, m, n, ci * rb, oblock));
+        } else {
+            transpose_block(src, m, n, 0, out.as_mut_slice());
+        }
+        out
+    })
+}
+
+const TRANSPOSE_TILE: usize = 32;
+
+/// Writes out rows `[r_base, r_base + oblock.len()/m)` of the transpose of
+/// the `m × n` matrix `src` into `oblock`, tile by tile so both the source
+/// column reads and destination row writes stay cache-resident.
+fn transpose_block(src: &[f32], m: usize, n: usize, r_base: usize, oblock: &mut [f32]) {
+    let rows = oblock.len() / m;
+    for r0 in (0..rows).step_by(TRANSPOSE_TILE) {
+        let r1 = (r0 + TRANSPOSE_TILE).min(rows);
+        for c0 in (0..m).step_by(TRANSPOSE_TILE) {
+            let c1 = (c0 + TRANSPOSE_TILE).min(m);
+            for r in r0..r1 {
+                let orow = &mut oblock[r * m..(r + 1) * m];
+                let src_col = r_base + r;
+                for c in c0..c1 {
+                    orow[c] = src[c * n + src_col];
+                }
+            }
+        }
+    }
 }
 
 fn zip_map(a: &Matrix, b: &Matrix, what: &'static str, f: impl Fn(f32, f32) -> f32) -> Matrix {
@@ -145,6 +340,32 @@ pub fn axpy(a: &mut Matrix, scale: f32, b: &Matrix) {
     let _ = shape::elementwise("axpy", a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
     for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
         *x += scale * y;
+    }
+}
+
+/// In-place `a += b`. The gradient-accumulation kernel: unlike [`add`] it
+/// allocates nothing, which matters on the tape hot path where every node's
+/// adjoint lands in `accum`.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    let _ = shape::elementwise("add_assign", a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// In-place `a *= b` (Hadamard). Allocation-free counterpart of [`mul`] for
+/// adjoints that scale an owned upstream gradient by a mask or activation.
+pub fn mul_assign(a: &mut Matrix, b: &Matrix) {
+    let _ = shape::elementwise("mul_assign", a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+}
+
+/// In-place `a *= s`. Allocation-free counterpart of [`scale`].
+pub fn scale_assign(a: &mut Matrix, s: f32) {
+    for x in a.as_mut_slice() {
+        *x *= s;
     }
 }
 
@@ -206,51 +427,68 @@ pub fn sum_rows(a: &Matrix) -> Matrix {
             *o += v;
         }
     }
-    Matrix::row_vector(out)
+    let out = Matrix::row_vector(out);
+    assert_eq!(out.shape(), (1, a.cols()), "sum_rows: reduction shape drifted");
+    out
 }
 
 /// Row sums as an `m × 1` column vector.
 pub fn sum_cols(a: &Matrix) -> Matrix {
-    Matrix::col_vector(a.rows_iter().map(|r| r.iter().sum()).collect())
+    let out = Matrix::col_vector(a.rows_iter().map(|r| r.iter().sum()).collect());
+    assert_eq!(out.shape(), (a.rows(), 1), "sum_cols: reduction shape drifted");
+    out
 }
 
 /// Averages each consecutive group of `g` rows: `(m·g) × n → m × n`.
 ///
 /// This is the fixed-fan-out neighborhood pooling primitive (DESIGN.md §5.2).
+/// Output rows are independent, so the parallel path partitions them into
+/// disjoint blocks with unchanged within-group accumulation order.
 pub fn segment_mean_rows(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::segment_rows("segment_mean_rows", a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
-    let m = a.rows() / g;
-    let n = a.cols();
-    let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let orow = out.row_mut(i);
-        for j in 0..g {
-            for (o, &v) in orow.iter_mut().zip(a.row(i * g + j)) {
-                *o += v;
-            }
-        }
-        for o in orow.iter_mut() {
-            *o /= g as f32;
-        }
-    }
-    out
+    timed(Kernel::SegmentMeanRows, || segment_pool_rows(a, g, true))
 }
 
 /// Sums each consecutive group of `g` rows: `(m·g) × n → m × n`.
 pub fn segment_sum_rows(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::segment_rows("segment_sum_rows", a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
+    timed(Kernel::SegmentSumRows, || segment_pool_rows(a, g, false))
+}
+
+fn segment_pool_rows(a: &Matrix, g: usize, mean: bool) -> Matrix {
     let m = a.rows() / g;
     let n = a.cols();
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let orow = out.row_mut(i);
-        for j in 0..g {
-            for (o, &v) in orow.iter_mut().zip(a.row(i * g + j)) {
+    if out.is_empty() {
+        return out;
+    }
+    if use_parallel(a.len(), PAR_ELEMS) {
+        let rb = m.div_ceil(num_threads()).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(rb * n)
+            .zip(a.as_slice().par_chunks(rb * g * n))
+            .for_each(|(oblock, ablock)| segment_pool_block(oblock, ablock, g, n, mean));
+    } else {
+        segment_pool_block(out.as_mut_slice(), a.as_slice(), g, n, mean);
+    }
+    out
+}
+
+/// Pools each consecutive group of `g` source rows into one output row.
+/// `oblock`/`ablock` are matching slices of whole output/input rows.
+fn segment_pool_block(oblock: &mut [f32], ablock: &[f32], g: usize, n: usize, mean: bool) {
+    for (orow, agroup) in oblock.chunks_mut(n).zip(ablock.chunks(g * n)) {
+        for arow in agroup.chunks(n) {
+            for (o, &v) in orow.iter_mut().zip(arow) {
                 *o += v;
             }
         }
+        if mean {
+            for o in orow.iter_mut() {
+                *o /= g as f32;
+            }
+        }
     }
-    out
 }
 
 /// Multiplies each row `i` of an `m × n` matrix by the scalar `col[i]` of an `m × 1` column.
@@ -267,15 +505,32 @@ pub fn mul_col_broadcast(a: &Matrix, col: &Matrix) -> Matrix {
 }
 
 /// Repeats each row `g` times: `m × n → (m·g) × n` (adjoint of segment sum).
+/// Pure data movement; parallelizes per source row above [`PAR_ELEMS`].
 pub fn repeat_rows(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::repeat_rows(a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
-    let mut out = Matrix::zeros(a.rows() * g, a.cols());
-    for i in 0..a.rows() {
-        for j in 0..g {
-            out.row_mut(i * g + j).copy_from_slice(a.row(i));
+    timed(Kernel::RepeatRows, || {
+        let n = a.cols();
+        let mut out = Matrix::zeros(a.rows() * g, n);
+        if out.is_empty() {
+            return out;
         }
-    }
-    out
+        if use_parallel(out.len(), PAR_ELEMS) {
+            out.as_mut_slice().par_chunks_mut(g * n).zip(a.as_slice().par_chunks(n)).for_each(
+                |(oblock, arow)| {
+                    for orow in oblock.chunks_mut(n) {
+                        orow.copy_from_slice(arow);
+                    }
+                },
+            );
+        } else {
+            for i in 0..a.rows() {
+                for j in 0..g {
+                    out.row_mut(i * g + j).copy_from_slice(a.row(i));
+                }
+            }
+        }
+        out
+    })
 }
 
 /// Row-wise softmax (each row sums to 1). Numerically stabilized.
@@ -299,7 +554,7 @@ pub fn softmax_rows(a: &Matrix) -> Matrix {
 pub fn segment_softmax_col(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::segment_softmax_col(a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
     let reshaped = a.reshape(a.rows() / g, g);
-    softmax_rows(&reshaped).reshape(a.rows(), 1)
+    softmax_rows(&reshaped).into_reshape(a.rows(), 1)
 }
 
 // --- activations -----------------------------------------------------------
@@ -341,6 +596,22 @@ mod tests {
 
     fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
         Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    /// Runs `f` under both forced modes and asserts bit-identical results.
+    fn assert_modes_agree(what: &str, f: impl Fn() -> Matrix) {
+        set_parallel_mode(ParallelMode::ForceSerial);
+        let serial = f();
+        set_parallel_mode(ParallelMode::ForceParallel);
+        let parallel = f();
+        set_parallel_mode(ParallelMode::Auto);
+        assert_eq!(serial.shape(), parallel.shape(), "{what}: shape diverged");
+        let bitwise_equal = serial
+            .as_slice()
+            .iter()
+            .zip(parallel.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(bitwise_equal, "{what}: parallel path diverged from serial");
     }
 
     #[test]
@@ -387,6 +658,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_paths_bit_identical() {
+        // Sprinkle exact zeros so the zero-skip fast path fires in both modes.
+        let a = Matrix::from_fn(37, 23, |r, c| {
+            if (r + c) % 5 == 0 {
+                0.0
+            } else {
+                ((r * 31 + c * 17) % 13) as f32 * 0.1 - 0.5
+            }
+        });
+        let b = Matrix::from_fn(23, 29, |r, c| ((r * 11 + c * 7) % 17) as f32 * 0.05 - 0.3);
+        let tall = Matrix::from_fn(37, 41, |r, c| ((r * 13 + c * 5) % 19) as f32 * 0.07 - 0.6);
+        assert_modes_agree("matmul", || matmul(&a, &b));
+        assert_modes_agree("matmul_tn", || matmul_tn(&a, &tall));
+        assert_modes_agree("matmul_nt", || matmul_nt(&a, &transpose(&b)));
+        assert_modes_agree("transpose", || transpose(&a));
+        let seg = Matrix::from_fn(36, 7, |r, c| (r as f32 - c as f32) * 0.25);
+        assert_modes_agree("segment_mean_rows", || segment_mean_rows(&seg, 4));
+        assert_modes_agree("segment_sum_rows", || segment_sum_rows(&seg, 4));
+        assert_modes_agree("repeat_rows", || repeat_rows(&b, 3));
+    }
+
+    #[test]
+    fn single_row_matmul_parallelizes() {
+        // 1×k · k×n used to be pinned serial by the `m > 1` guard; the column
+        // path must agree bitwise with the serial row kernel.
+        let a = Matrix::from_fn(1, 300, |_, c| ((c * 7) % 23) as f32 * 0.1 - 1.0);
+        let b = Matrix::from_fn(300, 90, |r, c| ((r * 3 + c * 11) % 29) as f32 * 0.05 - 0.7);
+        assert_modes_agree("matmul 1×k", || matmul(&a, &b));
+        let bt = transpose(&b);
+        assert_modes_agree("matmul_nt 1×k", || matmul_nt(&a, &bt));
+    }
+
+    #[test]
+    fn degenerate_shapes_survive_forced_parallel() {
+        set_parallel_mode(ParallelMode::ForceParallel);
+        let e = Matrix::zeros(0, 5);
+        assert_eq!(matmul(&e, &Matrix::zeros(5, 3)).shape(), (0, 3));
+        assert_eq!(matmul_tn(&Matrix::zeros(5, 0), &Matrix::zeros(5, 3)).shape(), (0, 3));
+        assert_eq!(matmul_nt(&e, &Matrix::zeros(3, 5)).shape(), (0, 3));
+        assert_eq!(transpose(&e).shape(), (5, 0));
+        assert_eq!(segment_sum_rows(&Matrix::zeros(6, 0), 2).shape(), (3, 0));
+        assert_eq!(repeat_rows(&Matrix::zeros(0, 4), 3).shape(), (0, 4));
+        set_parallel_mode(ParallelMode::Auto);
+    }
+
+    #[test]
     fn broadcast_ops() {
         let a = m(2, 2, &[1., 2., 3., 4.]);
         let r = Matrix::row_vector(vec![10., 20.]);
@@ -401,6 +718,16 @@ mod tests {
         assert!((mean_all(&a) - 3.5).abs() < 1e-6);
         assert_eq!(sum_rows(&a).as_slice(), &[5., 7., 9.]);
         assert_eq!(sum_cols(&a).as_slice(), &[6., 15.]);
+    }
+
+    #[test]
+    fn reductions_on_zero_column_matrix_keep_shape() {
+        // Regression: rows_iter on m×0 used to yield 0 rows, so sum_cols
+        // returned 0×1 instead of m×1.
+        let a = Matrix::zeros(3, 0);
+        assert_eq!(sum_cols(&a).shape(), (3, 1));
+        assert_eq!(sum_cols(&a).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(sum_rows(&a).shape(), (1, 0));
     }
 
     #[test]
@@ -453,5 +780,27 @@ mod tests {
         let mut a = m(1, 2, &[1., 1.]);
         axpy(&mut a, 2.0, &m(1, 2, &[3., 4.]));
         assert_eq!(a.as_slice(), &[7., 9.]);
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ops() {
+        let a = m(2, 2, &[1., -2., 3., 4.]);
+        let b = m(2, 2, &[5., 6., -7., 8.]);
+        let mut x = a.clone();
+        add_assign(&mut x, &b);
+        assert_eq!(x.as_slice(), add(&a, &b).as_slice());
+        let mut y = a.clone();
+        mul_assign(&mut y, &b);
+        assert_eq!(y.as_slice(), mul(&a, &b).as_slice());
+        let mut z = a.clone();
+        scale_assign(&mut z, -1.5);
+        assert_eq!(z.as_slice(), scale(&a, -1.5).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "add_assign")]
+    fn add_assign_shape_mismatch_panics() {
+        let mut a = Matrix::zeros(2, 2);
+        add_assign(&mut a, &Matrix::zeros(2, 3));
     }
 }

@@ -2,9 +2,12 @@
 
 /// Min–max normalizes a slice in place to `[0, 1]`.
 ///
-/// A constant slice maps to all zeros (the paper sums two min–max-normalized
-/// proximities; a degenerate constant proximity should contribute nothing
-/// rather than NaN).
+/// Degenerate (constant) slices can't be rescaled, so they get a fixed
+/// value instead of NaN: a constant *positive* slice maps to all ones — a
+/// uniformly similar pool keeps full ranking weight (a single-candidate
+/// pool in `score_all_candidates` is the common case) — while a constant
+/// zero-or-negative slice maps to all zeros, so "no similarity at all"
+/// still contributes nothing to the paper's summed proximity.
 pub fn min_max_normalize(xs: &mut [f32]) {
     let Some((&min, &max)) = xs
         .iter()
@@ -17,7 +20,8 @@ pub fn min_max_normalize(xs: &mut [f32]) {
     };
     let range = max - min;
     if range <= f32::EPSILON {
-        xs.iter_mut().for_each(|v| *v = 0.0);
+        let fill = if max > 0.0 { 1.0 } else { 0.0 };
+        xs.iter_mut().for_each(|v| *v = fill);
     } else {
         xs.iter_mut().for_each(|v| *v = (*v - min) / range);
     }
@@ -81,12 +85,27 @@ mod tests {
     }
 
     #[test]
-    fn min_max_constant_maps_to_zero() {
+    fn min_max_constant_positive_maps_to_one() {
+        // Regression: a constant positive slice used to map to all zeros,
+        // erasing the ranking weight of uniformly-similar candidate pools.
         let mut xs = vec![3.0; 4];
         min_max_normalize(&mut xs);
-        assert!(xs.iter().all(|&v| v == 0.0));
+        assert!(xs.iter().all(|&v| v == 1.0));
+        let mut single = vec![0.25];
+        min_max_normalize(&mut single);
+        assert_eq!(single, vec![1.0]);
         let mut empty: Vec<f32> = vec![];
         min_max_normalize(&mut empty);
+    }
+
+    #[test]
+    fn min_max_constant_nonpositive_maps_to_zero() {
+        let mut zeros = vec![0.0; 3];
+        min_max_normalize(&mut zeros);
+        assert!(zeros.iter().all(|&v| v == 0.0));
+        let mut negs = vec![-2.0; 3];
+        min_max_normalize(&mut negs);
+        assert!(negs.iter().all(|&v| v == 0.0));
     }
 
     #[test]

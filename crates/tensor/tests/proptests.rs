@@ -1,5 +1,6 @@
 //! Property-based tests for the tensor kernels.
 
+use agnn_tensor::ops::ParallelMode;
 use agnn_tensor::{ops, sparse::SparseVec, stats, Matrix};
 use proptest::prelude::*;
 
@@ -10,6 +11,85 @@ fn small_dims() -> impl Strategy<Value = (usize, usize)> {
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f32..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Runs `f` under forced-serial then forced-parallel dispatch, restoring
+/// [`ParallelMode::Auto`] before returning, and yields both outputs.
+#[allow(dead_code)] // referenced only inside `proptest!` bodies, which the offline stub expands to nothing
+fn both_modes(f: impl Fn() -> Matrix) -> (Matrix, Matrix) {
+    ops::set_parallel_mode(ParallelMode::ForceSerial);
+    let serial = f();
+    ops::set_parallel_mode(ParallelMode::ForceParallel);
+    let parallel = f();
+    ops::set_parallel_mode(ParallelMode::Auto);
+    (serial, parallel)
+}
+
+#[allow(dead_code)] // referenced only inside `proptest!` bodies, which the offline stub expands to nothing
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+// Serial and parallel dispatch must agree **bitwise** for every parallelized
+// kernel: the parallel paths partition disjoint output blocks and keep the
+// serial accumulation order within each block, so float non-associativity
+// never enters. `assert_eq!` on `to_bits` (not an epsilon) is the contract.
+proptest! {
+    #[test]
+    fn matmul_family_parallel_is_bit_identical(
+        (m, k) in (1usize..24, 1usize..24),
+        n in 1usize..24,
+        vals in proptest::collection::vec(-10.0f32..10.0, 2 * 24 * 24),
+    ) {
+        // Entries near zero are snapped to exact 0.0 so the matmul
+        // zero-skip fast path fires on both dispatch paths.
+        let take = |off: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| { let x = vals[(off + i) % vals.len()]; if x.abs() < 2.5 { 0.0 } else { x } })
+                .collect()
+        };
+        let a = Matrix::from_vec(m, k, take(0, m * k));
+        let b = Matrix::from_vec(k, n, take(m * k, k * n));
+        let (s, p) = both_modes(|| ops::matmul(&a, &b));
+        prop_assert_eq!(bits(&s), bits(&p));
+
+        // matmul_tn: a is k-major (k×m), b is k×n.
+        let at = ops::transpose(&a);
+        let (s, p) = both_modes(|| ops::matmul_tn(&at, &b));
+        prop_assert_eq!(bits(&s), bits(&p));
+
+        // matmul_nt: a is m×k, b is n×k.
+        let bt = ops::transpose(&b);
+        let (s, p) = both_modes(|| ops::matmul_nt(&a, &bt));
+        prop_assert_eq!(bits(&s), bits(&p));
+    }
+
+    #[test]
+    fn data_movement_parallel_is_bit_identical(
+        (m, n) in (1usize..32, 1usize..32),
+        g in 1usize..6,
+        vals in proptest::collection::vec(-100.0f32..100.0, 32 * 32),
+    ) {
+        let a = Matrix::from_vec(m, n, vals[..m * n].to_vec());
+        let (s, p) = both_modes(|| ops::transpose(&a));
+        prop_assert_eq!(bits(&s), bits(&p));
+
+        let (s, p) = both_modes(|| ops::repeat_rows(&a, g));
+        prop_assert_eq!(bits(&s), bits(&p));
+
+        // Segment pooling needs rows divisible by the group size.
+        let seg = Matrix::from_vec(m * g, n, {
+            let mut v = Vec::with_capacity(m * g * n);
+            while v.len() < m * g * n {
+                v.extend_from_slice(&vals[..(m * g * n - v.len()).min(vals.len())]);
+            }
+            v
+        });
+        let (s, p) = both_modes(|| ops::segment_mean_rows(&seg, g));
+        prop_assert_eq!(bits(&s), bits(&p));
+        let (s, p) = both_modes(|| ops::segment_sum_rows(&seg, g));
+        prop_assert_eq!(bits(&s), bits(&p));
+    }
 }
 
 proptest! {

@@ -10,6 +10,7 @@ use crate::report::TrainReport;
 use agnn_autograd::ParamStore;
 use agnn_check::{AuditAccumulator, AuditReport, TapeAudit};
 use agnn_data::Rating;
+use agnn_tensor::profile::OpProfile;
 use std::time::Instant;
 
 /// What a hook's `on_epoch_end` tells the driver.
@@ -67,6 +68,10 @@ pub trait TrainHook {
     fn on_preflight_audit(&mut self, _audit: &TapeAudit) -> Signal {
         Signal::Continue
     }
+    /// Fires after `on_epoch_end` with the epoch's per-kernel wall-clock
+    /// drain when op profiling is live (the `op-profile` feature plus
+    /// `agnn_tensor::profile::set_profiling(true)`); never fires otherwise.
+    fn on_op_profile(&mut self, _epoch: usize, _profile: &OpProfile) {}
 }
 
 /// Lets callers register `&mut hook` and read the hook's state afterwards.
@@ -82,6 +87,9 @@ impl<H: TrainHook + ?Sized> TrainHook for &mut H {
     }
     fn on_preflight_audit(&mut self, audit: &TapeAudit) -> Signal {
         (**self).on_preflight_audit(audit)
+    }
+    fn on_op_profile(&mut self, epoch: usize, profile: &OpProfile) {
+        (**self).on_op_profile(epoch, profile);
     }
 }
 
@@ -148,6 +156,12 @@ impl<'h> HookList<'h> {
             }
         }
         signal
+    }
+
+    pub(crate) fn op_profile(&mut self, epoch: usize, profile: &OpProfile) {
+        for h in &mut self.hooks {
+            h.on_op_profile(epoch, profile);
+        }
     }
 
     /// A hook that forwards **only** `on_preflight_audit` back to this list.
@@ -373,6 +387,46 @@ impl TrainHook for ReportCollector {
     }
 }
 
+/// Accumulates per-kernel wall-clock drains across epochs (register `&mut
+/// hook` and read [`OpProfiler::totals`] after the fit). Only receives data
+/// when op profiling is live — see [`TrainHook::on_op_profile`]; the CLI's
+/// `agnn train --profile-ops` wires the whole path up.
+#[derive(Default)]
+pub struct OpProfiler {
+    /// Merged kernel totals across every epoch observed so far.
+    pub totals: OpProfile,
+    /// Number of epochs that delivered a (non-empty) profile.
+    pub epochs: usize,
+}
+
+impl OpProfiler {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the totals as an aligned per-kernel table, slowest first.
+    pub fn render(&self) -> String {
+        let mut entries = self.totals.entries.clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.nanos));
+        let total = self.totals.total_nanos().max(1);
+        let mut out = String::from("kernel               calls       total_ms     share\n");
+        for e in &entries {
+            let ms = e.nanos as f64 / 1e6;
+            let share = 100.0 * e.nanos as f64 / total as f64;
+            out.push_str(&format!("{:<18} {:>8} {:>13.3} {:>8.1}%\n", e.kernel, e.calls, ms, share));
+        }
+        out
+    }
+}
+
+impl TrainHook for OpProfiler {
+    fn on_op_profile(&mut self, _epoch: usize, profile: &OpProfile) {
+        self.totals.merge(profile);
+        self.epochs += 1;
+    }
+}
+
 /// Convenience: true when `report.stopped_early` should be considered a
 /// success given an early-stopping hook's state.
 pub fn stopped_by(report: &TrainReport, hook: &EarlyStopping) -> bool {
@@ -434,5 +488,29 @@ mod tests {
         assert_eq!(hooks.len(), 2);
         assert_eq!(hooks.epoch_end(&stats(0, 1.0), &store), Signal::Continue);
         assert_eq!(hooks.epoch_end(&stats(1, 1.0), &store), Signal::Stop);
+    }
+
+    #[test]
+    fn op_profiler_merges_epoch_drains() {
+        use agnn_tensor::profile::OpTiming;
+        let mut prof = OpProfiler::new();
+        let epoch0 = OpProfile { entries: vec![OpTiming { kernel: "matmul_tn", calls: 4, nanos: 4000 }] };
+        let epoch1 = OpProfile {
+            entries: vec![
+                OpTiming { kernel: "matmul_tn", calls: 2, nanos: 1000 },
+                OpTiming { kernel: "transpose", calls: 1, nanos: 500 },
+            ],
+        };
+        {
+            let mut hooks = HookList::new().with(&mut prof);
+            hooks.op_profile(0, &epoch0);
+            hooks.op_profile(1, &epoch1);
+        }
+        assert_eq!(prof.epochs, 2);
+        assert_eq!(prof.totals.total_nanos(), 5500);
+        let table = prof.render();
+        // Slowest kernel leads the table.
+        let first_data_line = table.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with("matmul_tn"), "{table}");
     }
 }

@@ -43,7 +43,8 @@ pub mod trainer;
 
 pub use config::TrainConfig;
 pub use hooks::{
-    BatchStats, EarlyStopping, EpochStats, HookList, LossLogger, PreflightAudit, Signal, Timing, TrainHook, Validation,
+    BatchStats, EarlyStopping, EpochStats, HookList, LossLogger, OpProfiler, PreflightAudit, Signal, Timing, TrainHook,
+    Validation,
 };
 pub use report::{EpochLosses, TrainReport};
 pub use step::{StepCtx, StepLosses, TrainStep};

@@ -148,7 +148,17 @@ impl Trainer {
             let denom = n.max(1) as f64;
             let stats = EpochStats { epoch, prediction: pred_sum / denom, reconstruction: recon_sum / denom, batches: n };
             report.epochs.push(EpochLosses { prediction: stats.prediction, reconstruction: stats.reconstruction });
-            if hooks.epoch_end(&stats, &*store) == Signal::Stop {
+            let stop = hooks.epoch_end(&stats, &*store) == Signal::Stop;
+            // Drain the kernel-timing registry once per epoch while
+            // profiling is live, so hooks see per-epoch buckets instead of
+            // one run-wide smear. No-op (single atomic load) otherwise.
+            if agnn_tensor::profile::profiling_enabled() {
+                let profile = agnn_tensor::profile::take();
+                if !profile.entries.is_empty() {
+                    hooks.op_profile(epoch, &profile);
+                }
+            }
+            if stop {
                 report.stopped_early = true;
                 break;
             }
@@ -189,6 +199,28 @@ mod tests {
             let l = loss::mse(g, pred, target);
             StepLosses::prediction_only(g, l)
         })
+    }
+
+    #[test]
+    fn profiling_drains_into_hooks_each_epoch() {
+        use crate::hooks::OpProfiler;
+        agnn_tensor::profile::reset();
+        agnn_tensor::profile::set_profiling(true);
+        let mut profiler = OpProfiler::new();
+        let mut hooks = HookList::new().with(&mut profiler);
+        let cfg = TrainConfig { epochs: 3, batch_size: 8, lr: 1e-2, ..TrainConfig::default() };
+        fit_toy(cfg, &mut hooks);
+        drop(hooks);
+        agnn_tensor::profile::set_profiling(false);
+        // One drain per epoch, and the toy step's repeat_rows shows up with
+        // real timings in the rendered table.
+        assert_eq!(profiler.epochs, 3);
+        assert!(
+            profiler.totals.entries.iter().any(|e| e.kernel == "repeat_rows" && e.calls > 0),
+            "expected repeat_rows in {:?}",
+            profiler.totals.entries
+        );
+        assert!(profiler.render().contains("repeat_rows"), "{}", profiler.render());
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! The kernel parallelization must be invisible to training: forced-serial
+//! and forced-parallel dispatch have to produce **bit-identical** loss
+//! trajectories and predictions, because every parallel kernel partitions
+//! disjoint output blocks and keeps the serial accumulation order within
+//! each block. A tolerance here would hide real divergence, so everything
+//! is compared exactly.
+
+use agnn_core::model::RatingModel;
+use agnn_core::{Agnn, AgnnConfig};
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use agnn_tensor::ops::{self, ParallelMode};
+
+fn tiny() -> AgnnConfig {
+    AgnnConfig { embed_dim: 8, vae_latent_dim: 4, fanout: 3, epochs: 3, batch_size: 64, ..AgnnConfig::default() }
+}
+
+fn fit_under(mode: ParallelMode) -> (Vec<(u64, u64)>, Vec<u32>) {
+    let data = Preset::Ml100k.generate(0.06, 5);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 5));
+    ops::set_parallel_mode(mode);
+    let mut m = Agnn::new(tiny());
+    let report = m.fit(&data, &split);
+    let preds = m.predict_batch(&[(0, 0), (1, 1), (5, 9)]);
+    ops::set_parallel_mode(ParallelMode::Auto);
+    let losses = report.epochs.iter().map(|e| (e.prediction.to_bits(), e.reconstruction.to_bits())).collect();
+    (losses, preds.into_iter().map(f32::to_bits).collect())
+}
+
+#[test]
+fn agnn_loss_trajectory_is_bit_identical_across_dispatch_modes() {
+    let (serial_losses, serial_preds) = fit_under(ParallelMode::ForceSerial);
+    let (parallel_losses, parallel_preds) = fit_under(ParallelMode::ForceParallel);
+    assert_eq!(serial_losses.len(), 3, "expected one loss pair per epoch");
+    assert_eq!(
+        serial_losses, parallel_losses,
+        "per-epoch losses diverged between serial and parallel kernel dispatch"
+    );
+    assert_eq!(serial_preds, parallel_preds, "predictions diverged between dispatch modes");
+}
+
+#[test]
+fn auto_dispatch_matches_forced_serial() {
+    // The production path (Auto: size-based thresholds) must agree with the
+    // serial reference too — a threshold bug that routed a kernel to a
+    // non-equivalent path would surface here.
+    let (serial_losses, serial_preds) = fit_under(ParallelMode::ForceSerial);
+    let (auto_losses, auto_preds) = fit_under(ParallelMode::Auto);
+    assert_eq!(serial_losses, auto_losses);
+    assert_eq!(serial_preds, auto_preds);
+}
