@@ -465,8 +465,8 @@ impl Graph {
             Op::GatherRows(a, rows) => self.value(*a).gather_rows(rows),
             Op::SegmentMeanRows(a, g) => ops::segment_mean_rows(self.value(*a), *g),
             Op::SegmentSumRows(a, g) => ops::segment_sum_rows(self.value(*a), *g),
-            Op::SegmentSumRowsVar(a, o) => segment_reduce_var(self.value(*a), o, false),
-            Op::SegmentMeanRowsVar(a, o) => segment_reduce_var(self.value(*a), o, true),
+            Op::SegmentSumRowsVar(a, o) => ops::segment_sum_rows_var(self.value(*a), o),
+            Op::SegmentMeanRowsVar(a, o) => ops::segment_mean_rows_var(self.value(*a), o),
             Op::RepeatRows(a, g) => ops::repeat_rows(self.value(*a), *g),
             Op::LeakyRelu(a, slope) => ops::leaky_relu(self.value(*a), *slope),
             Op::Relu(a) => ops::relu(self.value(*a)),
@@ -1150,35 +1150,6 @@ impl Graph {
             }
         }
     }
-}
-
-/// Forward kernel shared by the variable-segment ops.
-fn segment_reduce_var(a: &Matrix, offsets: &[usize], mean: bool) -> Matrix {
-    assert!(offsets.len() >= 2 || (offsets.len() == 1 && a.rows() == 0), "segment offsets too short: {}", offsets.len());
-    let n = offsets.len() - 1;
-    assert_eq!(*offsets.last().expect("non-empty offsets"), a.rows(), "offsets end {} != {} rows", offsets.last().unwrap(), a.rows());
-    let cols = a.cols();
-    let mut out = Matrix::zeros(n, cols);
-    for i in 0..n {
-        let (lo, hi) = (offsets[i], offsets[i + 1]);
-        assert!(lo <= hi, "offsets not monotone at {i}: {lo} > {hi}");
-        if lo == hi {
-            continue;
-        }
-        let orow = out.row_mut(i);
-        for r in lo..hi {
-            for (o, &v) in orow.iter_mut().zip(a.row(r)) {
-                *o += v;
-            }
-        }
-        if mean {
-            let inv = 1.0 / (hi - lo) as f32;
-            for o in orow.iter_mut() {
-                *o *= inv;
-            }
-        }
-    }
-    out
 }
 
 /// Backward kernel: broadcast each grad row back over its segment.

@@ -1,0 +1,303 @@
+//! Inference throughput benchmark behind `agnn bench --infer`.
+//!
+//! Fits one AGNN model on a generated strict-cold-start split, snapshots
+//! it, and times scoring the same pair batches two ways: through the
+//! training tape (`Agnn::predict_batch`) and through the tape-free
+//! [`agnn_infer::InferenceEngine`] with materialized embeddings — the
+//! serving configuration. Each row reports p50/p99 latency for both paths,
+//! the engine's requests/sec, the tape→engine speedup, and whether the two
+//! paths agreed bit for bit (they must; CI gates on it).
+//!
+//! JSON is emitted by hand (not serde) so the `BENCH_infer.json` schema is
+//! stable and independent of serializer availability.
+
+use agnn_core::{Agnn, AgnnConfig, RatingModel};
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use agnn_infer::InferenceEngine;
+use std::time::Instant;
+
+/// Benchmark configuration: model/fit shape and the batch-size sweep.
+#[derive(Debug, Clone)]
+pub struct InferBenchConfig {
+    /// Dataset scale passed to [`Preset::Ml100k`] generation.
+    pub scale: f64,
+    /// Training epochs (the model just needs trained-shaped weights).
+    pub epochs: usize,
+    /// Seed for generation, split and fit.
+    pub seed: u64,
+    /// Request batch sizes to sweep.
+    pub batch_sizes: Vec<usize>,
+    /// Timed repetitions per (path, batch size); percentiles come from these.
+    pub reps: usize,
+    /// Untimed warmup repetitions per (path, batch size).
+    pub warmup: usize,
+}
+
+impl InferBenchConfig {
+    /// Full sweep: serving-shaped batches from single pairs up to chunks.
+    pub fn representative() -> Self {
+        Self { scale: 0.1, epochs: 2, seed: 7, batch_sizes: vec![1, 16, 64, 256], reps: 30, warmup: 3 }
+    }
+
+    /// Tiny sweep for CI: exercises both paths and the bit-identity gate
+    /// in a few seconds.
+    pub fn smoke() -> Self {
+        Self { scale: 0.05, epochs: 1, seed: 7, batch_sizes: vec![1, 16], reps: 5, warmup: 1 }
+    }
+}
+
+/// Measurements for one request batch size.
+#[derive(Debug, Clone)]
+pub struct InferTiming {
+    /// Pairs per request.
+    pub batch: usize,
+    /// Sorted per-rep wall clock of the tape path, nanoseconds.
+    pub tape_ns: Vec<u64>,
+    /// Sorted per-rep wall clock of the tape-free engine, nanoseconds.
+    pub free_ns: Vec<u64>,
+    /// Whether tape and engine scores matched bitwise.
+    pub identical: bool,
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() * p) / 100).min(sorted.len() - 1)]
+}
+
+impl InferTiming {
+    /// Median tape latency.
+    pub fn tape_p50(&self) -> u64 {
+        percentile(&self.tape_ns, 50)
+    }
+
+    /// Tail tape latency.
+    pub fn tape_p99(&self) -> u64 {
+        percentile(&self.tape_ns, 99)
+    }
+
+    /// Median engine latency.
+    pub fn free_p50(&self) -> u64 {
+        percentile(&self.free_ns, 50)
+    }
+
+    /// Tail engine latency.
+    pub fn free_p99(&self) -> u64 {
+        percentile(&self.free_ns, 99)
+    }
+
+    /// Scored pairs per second through the engine, at median latency.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.batch as f64 / (self.free_p50().max(1) as f64 / 1e9)
+    }
+
+    /// Tape median over engine median (> 1: the engine is faster).
+    pub fn speedup(&self) -> f64 {
+        self.tape_p50() as f64 / self.free_p50().max(1) as f64
+    }
+}
+
+/// Everything `agnn bench --infer` measured.
+#[derive(Debug, Clone)]
+pub struct InferBenchReport {
+    /// Dataset the model was fitted on.
+    pub dataset: String,
+    /// User count.
+    pub users: usize,
+    /// Item count.
+    pub items: usize,
+    /// Worker threads available to the parallel kernels.
+    pub threads: usize,
+    /// Timed repetitions behind each percentile.
+    pub reps: usize,
+    /// Wall-clock cost of [`InferenceEngine::materialize`], nanoseconds.
+    pub materialize_ns: u64,
+    /// One row per batch size.
+    pub results: Vec<InferTiming>,
+}
+
+impl InferBenchReport {
+    /// True when the engine matched the tape bitwise at every batch size.
+    /// CI fails the bench job on `false`.
+    pub fn all_identical(&self) -> bool {
+        self.results.iter().all(|r| r.identical)
+    }
+
+    /// The `BENCH_infer.json` document (stable hand-written schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"infer\",\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"users\": {},\n", self.users));
+        out.push_str(&format!("  \"items\": {},\n", self.items));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!("  \"materialize_ns\": {},\n", self.materialize_ns));
+        out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"batch\": {}, \"tape_p50_ns\": {}, \"tape_p99_ns\": {}, \"free_p50_ns\": {}, \"free_p99_ns\": {}, \"requests_per_sec\": {:.1}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                r.batch,
+                r.tape_p50(),
+                r.tape_p99(),
+                r.free_p50(),
+                r.free_p99(),
+                r.requests_per_sec(),
+                r.speedup(),
+                r.identical,
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for stdout.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "infer bench · {} ({} users × {} items) · {} thread(s) · {} rep(s) · materialize {:.1}ms\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}  {}\n",
+            self.dataset,
+            self.users,
+            self.items,
+            self.threads,
+            self.reps,
+            self.materialize_ns as f64 / 1e6,
+            "batch",
+            "tape_p50_us",
+            "tape_p99_us",
+            "free_p50_us",
+            "free_p99_us",
+            "req_per_s",
+            "speedup",
+            "identical"
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.0} {:>7.2}x  {}\n",
+                r.batch,
+                r.tape_p50() as f64 / 1e3,
+                r.tape_p99() as f64 / 1e3,
+                r.free_p50() as f64 / 1e3,
+                r.free_p99() as f64 / 1e3,
+                r.requests_per_sec(),
+                r.speedup(),
+                r.identical
+            ));
+        }
+        out
+    }
+}
+
+/// A deterministic pair batch: walks the user×item grid with a stride so
+/// consecutive pairs hit different rows of both sides (no RNG — the bench
+/// must issue the same requests in every build and environment).
+fn pair_batch(n: usize, users: usize, items: usize) -> Vec<(u32, u32)> {
+    (0..n)
+        .map(|k| {
+            let u = (k.wrapping_mul(7) + 3) % users;
+            let i = (k.wrapping_mul(11) + 5) % items;
+            (u as u32, i as u32)
+        })
+        .collect()
+}
+
+fn timed_reps(reps: usize, warmup: usize, f: impl Fn() -> Vec<f32>) -> (Vec<u64>, Vec<f32>) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut times = Vec::with_capacity(reps);
+    let mut out = Vec::new();
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        out = std::hint::black_box(f());
+        times.push(t.elapsed().as_nanos() as u64);
+    }
+    times.sort_unstable();
+    (times, out)
+}
+
+/// Fits the model, materializes the engine, and runs the sweep.
+pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
+    let data = Preset::Ml100k.generate(cfg.scale, cfg.seed);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, cfg.seed));
+    let model_cfg = AgnnConfig {
+        embed_dim: 16,
+        vae_latent_dim: 8,
+        fanout: 5,
+        epochs: cfg.epochs,
+        batch_size: 64,
+        seed: cfg.seed,
+        ..AgnnConfig::default()
+    };
+    let mut model = Agnn::new(model_cfg);
+    model.fit(&data, &split);
+    let snap = model.export_snapshot().expect("fitted model snapshots");
+    let mut engine = InferenceEngine::from_snapshot(&snap).expect("snapshot resolves");
+    let t = Instant::now();
+    engine.materialize();
+    let materialize_ns = t.elapsed().as_nanos() as u64;
+
+    let mut results = Vec::with_capacity(cfg.batch_sizes.len());
+    for &batch in &cfg.batch_sizes {
+        let pairs = pair_batch(batch, data.num_users, data.num_items);
+        let (tape_ns, tape_out) = timed_reps(cfg.reps, cfg.warmup, || model.predict_batch(&pairs));
+        let (free_ns, free_out) = timed_reps(cfg.reps, cfg.warmup, || engine.score_batch(&pairs));
+        let identical = tape_out.len() == free_out.len()
+            && tape_out.iter().zip(&free_out).all(|(a, b)| a.to_bits() == b.to_bits());
+        results.push(InferTiming { batch, tape_ns, free_ns, identical });
+    }
+    InferBenchReport {
+        dataset: data.name.clone(),
+        users: data.num_users,
+        items: data.num_items,
+        threads: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        reps: cfg.reps,
+        materialize_ns,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_and_paths_agree() {
+        let report = run_infer_bench(&InferBenchConfig::smoke());
+        assert_eq!(report.results.len(), 2);
+        assert!(report.all_identical(), "tape vs engine divergence: {report:?}");
+        assert!(report.results.iter().all(|r| r.requests_per_sec() > 0.0));
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = InferBenchReport {
+            dataset: "unit".into(),
+            users: 3,
+            items: 4,
+            threads: 2,
+            reps: 3,
+            materialize_ns: 1000,
+            results: vec![InferTiming { batch: 16, tape_ns: vec![100, 200, 300], free_ns: vec![50, 60, 70], identical: true }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"infer\""));
+        assert!(json.contains("\"speedup\": 3.333"));
+        assert!(json.contains("\"all_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = report.render_table();
+        assert!(table.contains("speedup"), "{table}");
+    }
+
+    #[test]
+    fn percentiles_read_sorted_reps() {
+        let t = InferTiming { batch: 1, tape_ns: vec![10, 20, 30, 40], free_ns: vec![1, 2, 3, 4], identical: true };
+        assert_eq!(t.tape_p50(), 30);
+        assert_eq!(t.tape_p99(), 40);
+        assert_eq!(t.free_p50(), 3);
+        assert_eq!(t.free_p99(), 4);
+    }
+}

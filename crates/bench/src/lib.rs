@@ -22,13 +22,18 @@
 //!
 //! The [`kernels`] module is the serial-vs-parallel kernel benchmark behind
 //! `agnn bench --kernels`; it writes the `BENCH_kernels.json` perf baseline
-//! and doubles as a bit-identity gate in CI.
+//! and doubles as a bit-identity gate in CI. The [`infer`] module is the
+//! serving-throughput benchmark behind `agnn bench --infer`: tape vs
+//! tape-free scoring latency (p50/p99), requests/sec, and one more
+//! bit-identity gate, written to `BENCH_infer.json`.
 
 pub mod args;
+pub mod infer;
 pub mod kernels;
 pub mod runner;
 pub mod table;
 
 pub use args::HarnessArgs;
+pub use infer::{run_infer_bench, InferBenchConfig, InferBenchReport, InferTiming};
 pub use kernels::{run_kernel_bench, KernelBenchConfig, KernelBenchReport, KernelShape, KernelTiming};
 pub use runner::{run_cell, CellResult, CellSpec};

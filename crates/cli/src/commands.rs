@@ -1,4 +1,5 @@
-//! The `generate` / `train` / `predict` / `check` / `bench` subcommands.
+//! The `generate` / `train` / `predict` / `serve` / `check` / `bench`
+//! subcommands.
 
 use crate::opts::{parse_pairs, Opts};
 use agnn_baselines::common::BaselineConfig;
@@ -42,10 +43,11 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         "generate" => generate(opts),
         "train" => train(opts),
         "predict" => predict(opts),
+        "serve" => serve(opts),
         "check" => check(opts),
         "bench" => bench(opts),
         other => Err(CliError(format!(
-            "unknown subcommand {other:?}; expected generate | train | predict | check | bench"
+            "unknown subcommand {other:?}; expected generate | train | predict | serve | check | bench"
         ))),
     }
 }
@@ -122,7 +124,7 @@ struct TrainReportJson {
 fn train(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report", "patience", "log-every",
-        "profile-ops",
+        "profile-ops", "save",
     ])?;
     let data = load_dataset(opts)?;
     let kind = scenario(opts)?;
@@ -177,38 +179,127 @@ fn train(opts: &Opts) -> Result<String, CliError> {
         msg.push('\n');
         msg.push_str(&profiler.render());
     }
+    if let Some(path) = opts.get("save") {
+        let snap = model
+            .snapshot()
+            .ok_or_else(|| CliError(format!("--save: model {} does not export snapshots (only agnn does)", json.model)))?;
+        snap.save(std::path::Path::new(path)).map_err(|e| CliError(e.to_string()))?;
+        msg.push_str(&format!("\nsaved snapshot to {path}"));
+    }
     Ok(msg)
 }
 
-/// `agnn bench --kernels` — serial-vs-parallel kernel sweep.
+/// `agnn serve --model <snapshot.json>` — tape-free batched scoring.
 ///
-/// Times every parallelized `agnn-tensor` kernel under forced serial and
-/// forced parallel dispatch across representative AGNN shapes, writes the
-/// perf baseline to `--out` (default `BENCH_kernels.json`), and fails if
-/// any parallel path is not bit-identical to its serial reference — CI runs
-/// this in `--smoke` mode as a divergence gate.
-fn bench(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["kernels", "smoke", "out"])?;
-    if opts.get("kernels") != Some("true") {
-        return Err(CliError("bench: pass --kernels (the kernel sweep is the only bench surface)".into()));
+/// Loads a [`agnn_core::ModelSnapshot`] written by `train --save`, builds
+/// the [`agnn_infer::InferenceEngine`] (no autograd tape), materializes the
+/// embedding cache unless `--no-materialize`, and scores `user:item` pairs
+/// either one-shot (`--pairs 0:5,3:12`) or as a stdin request loop
+/// (`--stdin`, one comma-separated pair list per line, blank line or EOF to
+/// stop). Scores are clamped to the snapshot's rating scale and printed in
+/// the same `user U item I: S` shape as `predict`.
+fn serve(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["model", "pairs", "stdin", "no-materialize"])?;
+    let path = opts.required("model")?;
+    let snap = agnn_core::ModelSnapshot::load(std::path::Path::new(path)).map_err(|e| CliError(e.to_string()))?;
+    let mut engine = agnn_infer::InferenceEngine::from_snapshot(&snap).map_err(|e| CliError(e.to_string()))?;
+    if opts.get("no-materialize") != Some("true") {
+        engine.materialize();
     }
-    let cfg = if opts.get("smoke") == Some("true") {
-        agnn_bench::KernelBenchConfig::smoke()
-    } else {
-        agnn_bench::KernelBenchConfig::representative()
+    let score_lines = |pairs: &[(u32, u32)]| -> Result<String, CliError> {
+        for &(u, i) in pairs {
+            if u as usize >= engine.num_users() || i as usize >= engine.num_items() {
+                return Err(CliError(format!(
+                    "pair {u}:{i} out of range ({} users, {} items)",
+                    engine.num_users(),
+                    engine.num_items()
+                )));
+            }
+        }
+        let scores = engine.score_batch(pairs);
+        let mut out = String::new();
+        for (&(u, i), s) in pairs.iter().zip(scores) {
+            out.push_str(&format!("user {u} item {i}: {:.2}\n", engine.clamp(s)));
+        }
+        Ok(out.trim_end().to_string())
     };
-    let report = agnn_bench::run_kernel_bench(&cfg);
-    let out = opts.get("out").unwrap_or("BENCH_kernels.json");
-    std::fs::write(out, report.to_json())?;
-    let mut text = report.render_table();
-    text.push_str(&format!("wrote {out}"));
-    if report.all_identical() {
-        Ok(text)
-    } else {
-        Err(CliError(format!(
-            "{text}\nserial/parallel DIVERGENCE in {} kernel timing(s)",
-            report.divergent().len()
-        )))
+    if let Some(spec) = opts.get("pairs") {
+        return score_lines(&parse_pairs(spec)?);
+    }
+    if opts.get("stdin") != Some("true") {
+        return Err(CliError("serve: pass --pairs u:i,u:i for one-shot scoring or --stdin for a request loop".into()));
+    }
+    use std::io::BufRead;
+    eprintln!(
+        "serving {} snapshot ({} users × {} items, cache {}) — one u:i,u:i line per request, blank line to stop",
+        engine.dataset(),
+        engine.num_users(),
+        engine.num_items(),
+        if engine.is_materialized() { "materialized" } else { "off" }
+    );
+    let mut served = 0usize;
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        match parse_pairs(line).map_err(CliError).and_then(|pairs| score_lines(&pairs).map(|out| (pairs.len(), out))) {
+            Ok((n, out)) => {
+                println!("{out}");
+                served += n;
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(format!("served {served} pair(s)"))
+}
+
+/// `agnn bench --kernels | --infer` — the two perf-baseline sweeps.
+///
+/// `--kernels` times every parallelized `agnn-tensor` kernel under forced
+/// serial and forced parallel dispatch across representative AGNN shapes,
+/// writes the perf baseline to `--out` (default `BENCH_kernels.json`), and
+/// fails if any parallel path is not bit-identical to its serial reference.
+/// `--infer` times tape vs tape-free scoring across request batch sizes,
+/// writes `BENCH_infer.json`, and fails on any tape/engine bit divergence.
+/// CI runs both in `--smoke` mode as divergence gates.
+fn bench(opts: &Opts) -> Result<String, CliError> {
+    opts.assert_known(&["kernels", "infer", "smoke", "out"])?;
+    let smoke = opts.get("smoke") == Some("true");
+    match (opts.get("kernels") == Some("true"), opts.get("infer") == Some("true")) {
+        (true, false) => {
+            let cfg =
+                if smoke { agnn_bench::KernelBenchConfig::smoke() } else { agnn_bench::KernelBenchConfig::representative() };
+            let report = agnn_bench::run_kernel_bench(&cfg);
+            let out = opts.get("out").unwrap_or("BENCH_kernels.json");
+            std::fs::write(out, report.to_json())?;
+            let mut text = report.render_table();
+            text.push_str(&format!("wrote {out}"));
+            if report.all_identical() {
+                Ok(text)
+            } else {
+                Err(CliError(format!(
+                    "{text}\nserial/parallel DIVERGENCE in {} kernel timing(s)",
+                    report.divergent().len()
+                )))
+            }
+        }
+        (false, true) => {
+            let cfg =
+                if smoke { agnn_bench::InferBenchConfig::smoke() } else { agnn_bench::InferBenchConfig::representative() };
+            let report = agnn_bench::run_infer_bench(&cfg);
+            let out = opts.get("out").unwrap_or("BENCH_infer.json");
+            std::fs::write(out, report.to_json())?;
+            let mut text = report.render_table();
+            text.push_str(&format!("wrote {out}"));
+            if report.all_identical() {
+                Ok(text)
+            } else {
+                Err(CliError(format!("{text}\ntape/engine DIVERGENCE — the tape-free path is wrong, do not ship")))
+            }
+        }
+        _ => Err(CliError("bench: pass exactly one of --kernels | --infer".into())),
     }
 }
 
@@ -406,6 +497,52 @@ mod tests {
         )))
         .unwrap();
         assert!(msg.lines().count() == 2, "{msg}");
+
+        // train --save writes a snapshot the tape-free serve path can score.
+        let snap_path = tmp("roundtrip-snap.json");
+        let msg = run(&opts(&format!(
+            "train --data {data_path} --model agnn --scenario ics --epochs 1 --save {snap_path}"
+        )))
+        .unwrap();
+        assert!(msg.contains(&format!("saved snapshot to {snap_path}")), "{msg}");
+        let msg = run(&opts(&format!("serve --model {snap_path} --pairs 0:1,2:3"))).unwrap();
+        assert!(msg.lines().count() == 2, "{msg}");
+        assert!(msg.contains("user 0 item 1"), "{msg}");
+    }
+
+    /// Serve coverage that skips `generate`'s serde path: fit on the tracer
+    /// dataset directly, snapshot, then drive the subcommand.
+    #[test]
+    fn serve_scores_saved_snapshot_tape_free() {
+        use agnn_core::variants::VariantName;
+        let data = agnn_data::tracer::dataset();
+        let split = agnn_data::tracer::split(&data);
+        let mut model = Agnn::new(AgnnConfig {
+            embed_dim: 8,
+            vae_latent_dim: 4,
+            fanout: 3,
+            epochs: 1,
+            batch_size: 2,
+            variant: VariantName::Full.variant(),
+            ..AgnnConfig::default()
+        });
+        model.fit(&data, &split);
+        let snap_path = tmp("serve-snap.json");
+        model.snapshot().unwrap().save(std::path::Path::new(&snap_path)).unwrap();
+
+        let msg = run(&opts(&format!("serve --model {snap_path} --pairs 0:0,0:1,1:0,1:1"))).unwrap();
+        assert_eq!(msg.lines().count(), 4, "{msg}");
+        assert!(msg.contains("user 1 item 0: "), "{msg}");
+        // --no-materialize computes embeddings per request — same scores.
+        let lazy = run(&opts(&format!("serve --model {snap_path} --pairs 0:0,0:1,1:0,1:1 --no-materialize"))).unwrap();
+        assert_eq!(msg, lazy);
+
+        // Graceful errors: out-of-range pair, missing snapshot, no input mode.
+        let err = run(&opts(&format!("serve --model {snap_path} --pairs 9:0"))).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+        assert!(run(&opts("serve --model /nonexistent-snap.json --pairs 0:0")).is_err());
+        let err = run(&opts(&format!("serve --model {snap_path}"))).unwrap_err();
+        assert!(err.0.contains("--pairs"), "{err}");
     }
 
     #[test]
@@ -478,8 +615,22 @@ mod tests {
     }
 
     #[test]
-    fn bench_requires_the_kernels_flag_and_rejects_typos() {
+    fn bench_infer_smoke_writes_baseline() {
+        let out = tmp("bench_infer.json");
+        let msg = run(&opts(&format!("bench --infer --smoke --out {out}"))).unwrap();
+        assert!(msg.contains("speedup"), "{msg}");
+        assert!(msg.contains(&format!("wrote {out}")), "{msg}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"infer\""), "{json}");
+        assert!(json.contains("\"all_identical\": true"), "{json}");
+        // Two smoke batch sizes.
+        assert_eq!(json.matches("\"batch\":").count(), 2, "{json}");
+    }
+
+    #[test]
+    fn bench_requires_exactly_one_surface_and_rejects_typos() {
         assert!(run(&opts("bench")).is_err());
+        assert!(run(&opts("bench --kernels --infer")).is_err());
         assert!(run(&opts("bench --kernels --bogus")).is_err());
     }
 

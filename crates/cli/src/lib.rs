@@ -1,13 +1,15 @@
 //! Library backing the `agnn` command-line tool.
 //!
-//! Four subcommands cover the zero-to-prediction path a downstream user
-//! walks, plus the static-analysis gate CI runs:
+//! The subcommands cover the zero-to-serving path a downstream user walks,
+//! plus the static-analysis gate CI runs:
 //!
 //! ```text
 //! agnn generate --preset ml-100k --scale 0.2 --seed 7 --out data.json
-//! agnn train    --data data.json --model agnn --scenario ics --epochs 8 --report report.json
+//! agnn train    --data data.json --model agnn --scenario ics --epochs 8 --save model.json
 //! agnn predict  --data data.json --model agnn --scenario ics --pairs "0:5,0:12,3:5"
+//! agnn serve    --model model.json --pairs "0:5,0:12,3:5"   # tape-free; --stdin for a loop
 //! agnn check                       # audit every model's tape; --model NFM for one
+//! agnn bench    --kernels          # perf baselines; --infer for the serving sweep
 //! ```
 //!
 //! `check` dry-runs AGNN, all twelve registry baselines, and the standalone

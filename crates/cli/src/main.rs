@@ -8,7 +8,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: agnn <generate|train|predict|check|bench> [--flag value ...]");
+            eprintln!("usage: agnn <generate|train|predict|serve|check|bench> [--flag value ...]");
             std::process::exit(2);
         }
     };

@@ -5,6 +5,7 @@ use crate::evae::{blend_preference, warm_mask, EVae};
 use crate::gnn::GnnLayer;
 use crate::interaction::{AttrInteraction, AttrLists};
 use crate::model::{RatingModel, TrainReport};
+use crate::snapshot::{ModelSnapshot, ParamEntry, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 use agnn_autograd::nn::{Activation, Embedding, Linear, Mlp};
 use agnn_autograd::{loss, Graph, ParamId, ParamStore, Var};
 use agnn_data::batch::unzip_batch;
@@ -51,6 +52,9 @@ struct Fitted {
     item_attrs: AttrLists,
     user_cold: Vec<bool>,
     item_cold: Vec<bool>,
+    /// Dataset identity captured at fit time, for snapshot export.
+    dataset_name: String,
+    rating_scale: (f32, f32),
 }
 
 /// The AGNN rating predictor. Construct with a config (variants included),
@@ -312,6 +316,46 @@ impl Agnn {
         g.add(s3, mu_rows)
     }
 
+    /// Exports the fitted state as a [`ModelSnapshot`] for the tape-free
+    /// inference engine. Parameters are emitted in `ParamStore` insertion
+    /// order (deterministic: `build_side` registers them in a fixed
+    /// sequence), addressed by their stable names. Errors before fit or on
+    /// non-finite parameters — a snapshot must be exactly reloadable, and
+    /// the JSON encoding has no representation for NaN/∞.
+    pub fn export_snapshot(&self) -> Result<ModelSnapshot, SnapshotError> {
+        let f = self
+            .fitted
+            .as_ref()
+            .ok_or_else(|| SnapshotError("export_snapshot before fit".into()))?;
+        let mut params = Vec::with_capacity(f.store.len());
+        for id in f.store.ids() {
+            let value = f.store.value(id);
+            if !value.all_finite() {
+                return Err(SnapshotError(format!("parameter `{}` has non-finite entries", f.store.name(id))));
+            }
+            params.push(ParamEntry {
+                name: f.store.name(id).to_string(),
+                rows: value.rows(),
+                cols: value.cols(),
+                data: value.as_slice().to_vec(),
+            });
+        }
+        Ok(ModelSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            model: self.name(),
+            dataset: f.dataset_name.clone(),
+            rating_scale: f.rating_scale,
+            config: self.cfg,
+            params,
+            user_pools: f.user_pools.clone(),
+            item_pools: f.item_pools.clone(),
+            user_attrs: f.user_attrs.clone(),
+            item_attrs: f.item_attrs.clone(),
+            user_cold: f.user_cold.clone(),
+            item_cold: f.item_cold.clone(),
+        })
+    }
+
     fn build_pools(
         cfg: &AgnnConfig,
         dataset: &Dataset,
@@ -444,6 +488,8 @@ impl RatingModel for Agnn {
             item_attrs,
             user_cold,
             item_cold,
+            dataset_name: dataset.name.clone(),
+            rating_scale: dataset.rating_scale,
         });
         report
     }
@@ -484,6 +530,10 @@ impl RatingModel for Agnn {
             out.extend(acc.into_iter().map(|v| v / passes as f32));
         }
         out
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        self.export_snapshot().ok()
     }
 }
 

@@ -19,10 +19,11 @@ use agnn_autograd::nn::Linear;
 use agnn_autograd::{Graph, ParamId, ParamStore, Var};
 use agnn_tensor::{init, SparseVec};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
 /// Precomputed per-node active-attribute index lists.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AttrLists {
     lists: Vec<Vec<u32>>,
     dim: usize,
@@ -39,6 +40,17 @@ impl AttrLists {
                 a.indices().to_vec()
             })
             .collect();
+        Self { lists, dim }
+    }
+
+    /// Rebuilds from raw per-node index lists (snapshot deserialization).
+    /// Panics on an index outside the encoding dimensionality.
+    pub fn from_lists(lists: Vec<Vec<u32>>, dim: usize) -> Self {
+        for (n, list) in lists.iter().enumerate() {
+            for &i in list {
+                assert!((i as usize) < dim, "AttrLists::from_lists: node {n} attr {i} >= dim {dim}");
+            }
+        }
         Self { lists, dim }
     }
 

@@ -1,0 +1,351 @@
+//! Minimal hand-rolled JSON reader for the model-snapshot format.
+//!
+//! The snapshot's on-disk encoding is written by hand (see
+//! [`crate::snapshot`]) so that the bytes are a pure function of the model
+//! state: fields appear in a fixed order and floats use Rust's shortest
+//! round-trip `Display`, which parses back bit-exactly. This module is the
+//! matching reader. Numbers are kept as raw tokens and parsed on demand, so
+//! an `f32` never round-trips through `f64` (double rounding would break
+//! bit-exactness).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Raw number token exactly as it appeared in the input.
+    Num(String),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that errors with the missing key's name.
+    pub fn req(&self, key: &str) -> Result<&JsonValue, String> {
+        self.get(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_arr(&self) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Arr(a) => Ok(a),
+            other => Err(format!("expected array, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_f32(&self) -> Result<f32, String> {
+        match self {
+            JsonValue::Num(t) => t.parse::<f32>().map_err(|e| format!("bad f32 `{t}`: {e}")),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            JsonValue::Num(t) => t.parse::<u64>().map_err(|e| format!("bad u64 `{t}`: {e}")),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_usize(&self) -> Result<usize, String> {
+        match self {
+            JsonValue::Num(t) => t.parse::<usize>().map_err(|e| format!("bad usize `{t}`: {e}")),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_u32(&self) -> Result<u32, String> {
+        match self {
+            JsonValue::Num(t) => t.parse::<u32>().map_err(|e| format!("bad u32 `{t}`: {e}")),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Arr(_) => "array",
+            JsonValue::Obj(_) => "object",
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f32` in shortest round-trip decimal form. Non-finite values
+/// have no JSON encoding; callers must reject them before serializing.
+pub(crate) fn push_json_f32(out: &mut String, v: f32) {
+    debug_assert!(v.is_finite(), "non-finite f32 in snapshot JSON");
+    let _ = write!(out, "{v}");
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte `{}` at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(format!("empty number at byte {start}"));
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        Ok(JsonValue::Num(tok.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for snapshot
+                            // content; reject rather than mis-decode.
+                            let c = char::from_u32(code).ok_or("\\u escape outside BMP scalar range")?;
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| "invalid utf8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = JsonValue::parse(r#"{"a": [1, -2.5, 3e-4], "b": {"c": "x\ny"}, "d": true, "e": null}"#).unwrap();
+        assert_eq!(v.req("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.req("a").unwrap().as_arr().unwrap()[1].as_f32().unwrap(), -2.5);
+        assert_eq!(v.req("b").unwrap().req("c").unwrap().as_str().unwrap(), "x\ny");
+        assert!(v.req("d").unwrap().as_bool().unwrap());
+        assert_eq!(v.req("e").unwrap(), &JsonValue::Null);
+    }
+
+    #[test]
+    fn f32_display_round_trips_bit_exactly() {
+        // The writer uses Display (shortest round-trip); the reader parses
+        // the raw token straight into f32. Probe awkward values.
+        for v in [0.1f32, -3.4028235e38, 1.1754944e-38, 5e-4, 1.0 / 3.0, f32::MIN_POSITIVE, 123456790.0] {
+            let mut s = String::new();
+            push_json_f32(&mut s, v);
+            let parsed = JsonValue::parse(&s).unwrap().as_f32().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "value {v} encoded as {s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" back\\ tab\t nl\n unicode→";
+        let mut s = String::new();
+        push_json_str(&mut s, original);
+        assert_eq!(JsonValue::parse(&s).unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(JsonValue::parse("{} x").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{\"a\"}").is_err());
+    }
+}

@@ -43,9 +43,12 @@ pub mod config;
 pub mod evae;
 pub mod gnn;
 pub mod interaction;
+mod jsonio;
 pub mod model;
+pub mod snapshot;
 pub mod variants;
 
 pub use agnn::Agnn;
 pub use config::{AgnnConfig, AgnnVariant, ColdStartModule, GnnKind, GraphKind};
 pub use model::{evaluate, RatingModel, TrainReport};
+pub use snapshot::{ModelSnapshot, ParamEntry, SnapshotError};

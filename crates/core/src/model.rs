@@ -40,6 +40,14 @@ pub trait RatingModel {
     fn predict(&self, user: u32, item: u32) -> f32 {
         self.predict_batch(&[(user, item)])[0]
     }
+
+    /// Exports the fitted state for the tape-free inference engine, if the
+    /// model supports snapshots. The default (baselines, test doubles)
+    /// returns `None`; AGNN overrides this with
+    /// [`crate::Agnn::export_snapshot`].
+    fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
+        None
+    }
 }
 
 /// Runs a trained model over a test set, clamping predictions onto the

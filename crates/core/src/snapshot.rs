@@ -1,0 +1,547 @@
+//! Trained-model snapshots: everything `agnn-infer` needs to score without
+//! the autograd tape (DESIGN.md §5b5).
+//!
+//! A [`ModelSnapshot`] bundles the fitted parameter matrices (in
+//! `ParamStore` insertion order, addressed by their stable names), the
+//! candidate pools, attribute lists, cold flags and the config. It is
+//! serde-serializable, but its canonical on-disk encoding is the hand-
+//! written JSON of [`ModelSnapshot::to_json_string`]: fields in fixed
+//! order, floats in shortest round-trip decimal. That makes the bytes a
+//! pure function of the trained state — two identical training runs save
+//! byte-identical files, and `save → load → score` is bit-exact.
+
+use crate::config::{AgnnConfig, AgnnVariant, ColdStartModule, GnnKind, GraphKind};
+use crate::interaction::AttrLists;
+use crate::jsonio::{push_json_f32, push_json_str, JsonValue};
+use agnn_graph::{CandidatePools, PoolConfig, ProximityMode};
+use agnn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever the snapshot encoding changes shape.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// One named parameter matrix, row-major.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParamEntry {
+    /// Stable parameter name (e.g. `user.evae.enc_mu.w`).
+    pub name: String,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Row-major values, `rows × cols` of them.
+    pub data: Vec<f32>,
+}
+
+impl ParamEntry {
+    /// Rebuilds the dense matrix.
+    pub fn matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.clone())
+    }
+}
+
+/// A fitted AGNN model, detached from the training stack.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Encoding version ([`SNAPSHOT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Model family; currently always `"AGNN"`.
+    pub model: String,
+    /// Name of the dataset the model was fitted on.
+    pub dataset: String,
+    /// Rating scale `(lo, hi)` for clamping served scores.
+    pub rating_scale: (f32, f32),
+    /// The training configuration (hyper-parameters + variant switches).
+    pub config: AgnnConfig,
+    /// Every parameter, in `ParamStore` insertion order.
+    pub params: Vec<ParamEntry>,
+    /// User-side candidate pools.
+    pub user_pools: CandidatePools,
+    /// Item-side candidate pools.
+    pub item_pools: CandidatePools,
+    /// User attribute index lists.
+    pub user_attrs: AttrLists,
+    /// Item attribute index lists.
+    pub item_attrs: AttrLists,
+    /// Per-user strict-cold flags.
+    pub user_cold: Vec<bool>,
+    /// Per-item strict-cold flags.
+    pub item_cold: Vec<bool>,
+}
+
+/// Snapshot encode/decode/lookup failure with a human-readable cause.
+#[derive(Debug)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<String> for SnapshotError {
+    fn from(s: String) -> Self {
+        SnapshotError(s)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError(e.to_string())
+    }
+}
+
+impl ModelSnapshot {
+    /// The entry named `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&ParamEntry> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// The matrix named `name`, or an error naming what's missing.
+    pub fn require(&self, name: &str) -> Result<Matrix, SnapshotError> {
+        self.param(name)
+            .map(ParamEntry::matrix)
+            .ok_or_else(|| SnapshotError(format!("parameter `{name}` not in snapshot (model `{}`)", self.model)))
+    }
+
+    /// Canonical byte-stable JSON encoding. Panics (via debug assert) only
+    /// on non-finite floats, which [`crate::Agnn::export_snapshot`] rejects.
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::with_capacity(4096 + self.params.iter().map(|p| p.data.len() * 8).sum::<usize>());
+        s.push_str("{\n");
+        s.push_str(&format!("\"format_version\": {},\n", self.format_version));
+        s.push_str("\"model\": ");
+        push_json_str(&mut s, &self.model);
+        s.push_str(",\n\"dataset\": ");
+        push_json_str(&mut s, &self.dataset);
+        s.push_str(",\n\"rating_scale\": [");
+        push_json_f32(&mut s, self.rating_scale.0);
+        s.push_str(", ");
+        push_json_f32(&mut s, self.rating_scale.1);
+        s.push_str("],\n\"config\": ");
+        write_config(&mut s, &self.config);
+        s.push_str(",\n\"params\": [\n");
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            s.push_str("{\"name\": ");
+            push_json_str(&mut s, &p.name);
+            s.push_str(&format!(", \"rows\": {}, \"cols\": {}, \"data\": [", p.rows, p.cols));
+            for (j, &v) in p.data.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                push_json_f32(&mut s, v);
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n],\n\"user_pools\": ");
+        write_pools(&mut s, &self.user_pools);
+        s.push_str(",\n\"item_pools\": ");
+        write_pools(&mut s, &self.item_pools);
+        s.push_str(",\n\"user_attrs\": ");
+        write_attrs(&mut s, &self.user_attrs);
+        s.push_str(",\n\"item_attrs\": ");
+        write_attrs(&mut s, &self.item_attrs);
+        s.push_str(",\n\"user_cold\": ");
+        write_bools(&mut s, &self.user_cold);
+        s.push_str(",\n\"item_cold\": ");
+        write_bools(&mut s, &self.item_cold);
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parses the canonical encoding.
+    pub fn from_json_str(text: &str) -> Result<Self, SnapshotError> {
+        let v = JsonValue::parse(text)?;
+        let format_version = v.req("format_version")?.as_u32().map_err(SnapshotError)?;
+        if format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError(format!(
+                "unsupported snapshot format_version {format_version} (this build reads {SNAPSHOT_FORMAT_VERSION})"
+            )));
+        }
+        let scale = v.req("rating_scale")?.as_arr().map_err(SnapshotError)?;
+        if scale.len() != 2 {
+            return Err(SnapshotError(format!("rating_scale must have 2 entries, got {}", scale.len())));
+        }
+        let params = v
+            .req("params")?
+            .as_arr()
+            .map_err(SnapshotError)?
+            .iter()
+            .map(read_param)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ModelSnapshot {
+            format_version,
+            model: v.req("model")?.as_str().map_err(SnapshotError)?.to_string(),
+            dataset: v.req("dataset")?.as_str().map_err(SnapshotError)?.to_string(),
+            rating_scale: (scale[0].as_f32().map_err(SnapshotError)?, scale[1].as_f32().map_err(SnapshotError)?),
+            config: read_config(v.req("config")?)?,
+            params,
+            user_pools: read_pools(v.req("user_pools")?)?,
+            item_pools: read_pools(v.req("item_pools")?)?,
+            user_attrs: read_attrs(v.req("user_attrs")?)?,
+            item_attrs: read_attrs(v.req("item_attrs")?)?,
+            user_cold: read_bools(v.req("user_cold")?)?,
+            item_cold: read_bools(v.req("item_cold")?)?,
+        })
+    }
+
+    /// Writes the canonical encoding to `path`.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_json_string())?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Self, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json_str(&text)
+    }
+}
+
+fn write_bools(s: &mut String, flags: &[bool]) {
+    s.push('[');
+    for (i, &b) in flags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(if b { "true" } else { "false" });
+    }
+    s.push(']');
+}
+
+fn read_bools(v: &JsonValue) -> Result<Vec<bool>, SnapshotError> {
+    v.as_arr()
+        .map_err(SnapshotError)?
+        .iter()
+        .map(|b| b.as_bool().map_err(SnapshotError))
+        .collect()
+}
+
+fn read_param(v: &JsonValue) -> Result<ParamEntry, SnapshotError> {
+    let rows = v.req("rows")?.as_usize().map_err(SnapshotError)?;
+    let cols = v.req("cols")?.as_usize().map_err(SnapshotError)?;
+    let data = v
+        .req("data")?
+        .as_arr()
+        .map_err(SnapshotError)?
+        .iter()
+        .map(|x| x.as_f32().map_err(SnapshotError))
+        .collect::<Result<Vec<_>, _>>()?;
+    let name = v.req("name")?.as_str().map_err(SnapshotError)?.to_string();
+    if data.len() != rows * cols {
+        return Err(SnapshotError(format!("param `{name}`: {} values for {rows}×{cols}", data.len())));
+    }
+    Ok(ParamEntry { name, rows, cols, data })
+}
+
+fn write_attrs(s: &mut String, attrs: &AttrLists) {
+    s.push_str(&format!("{{\"dim\": {}, \"lists\": [", attrs.dim()));
+    for n in 0..attrs.num_nodes() {
+        if n > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        for (i, &a) in attrs.of(n).iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&a.to_string());
+        }
+        s.push(']');
+    }
+    s.push_str("]}");
+}
+
+fn read_attrs(v: &JsonValue) -> Result<AttrLists, SnapshotError> {
+    let dim = v.req("dim")?.as_usize().map_err(SnapshotError)?;
+    let lists = v
+        .req("lists")?
+        .as_arr()
+        .map_err(SnapshotError)?
+        .iter()
+        .map(|l| {
+            l.as_arr()
+                .map_err(SnapshotError)?
+                .iter()
+                .map(|x| x.as_u32().map_err(SnapshotError))
+                .collect::<Result<Vec<u32>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AttrLists::from_lists(lists, dim))
+}
+
+fn write_pools(s: &mut String, pools: &CandidatePools) {
+    let cfg = pools.config();
+    s.push_str(&format!(
+        "{{\"config\": {{\"top_percent\": {}, \"mode\": \"{}\", \"bucket_cap\": {}, \"min_pool\": {}}}, \"pools\": [",
+        cfg.top_percent,
+        proximity_tag(cfg.mode),
+        cfg.bucket_cap,
+        cfg.min_pool
+    ));
+    for n in 0..pools.num_nodes() {
+        if n > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        for (i, &(c, w)) in pools.pool(n as u32).iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{c},"));
+            push_json_f32(s, w);
+            s.push(']');
+        }
+        s.push(']');
+    }
+    s.push_str("]}");
+}
+
+fn read_pools(v: &JsonValue) -> Result<CandidatePools, SnapshotError> {
+    let c = v.req("config")?;
+    let config = PoolConfig {
+        top_percent: c.req("top_percent")?.as_f32().map_err(SnapshotError)?,
+        mode: parse_proximity(c.req("mode")?.as_str().map_err(SnapshotError)?)?,
+        bucket_cap: c.req("bucket_cap")?.as_usize().map_err(SnapshotError)?,
+        min_pool: c.req("min_pool")?.as_usize().map_err(SnapshotError)?,
+    };
+    let pools = v
+        .req("pools")?
+        .as_arr()
+        .map_err(SnapshotError)?
+        .iter()
+        .map(|pool| {
+            pool.as_arr()
+                .map_err(SnapshotError)?
+                .iter()
+                .map(|entry| {
+                    let e = entry.as_arr().map_err(SnapshotError)?;
+                    if e.len() != 2 {
+                        return Err(SnapshotError(format!("pool entry must be [id, score], got {} fields", e.len())));
+                    }
+                    Ok((e[0].as_u32().map_err(SnapshotError)?, e[1].as_f32().map_err(SnapshotError)?))
+                })
+                .collect::<Result<Vec<(u32, f32)>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CandidatePools::from_scored(pools, config))
+}
+
+fn proximity_tag(m: ProximityMode) -> &'static str {
+    match m {
+        ProximityMode::Both => "Both",
+        ProximityMode::PreferenceOnly => "PreferenceOnly",
+        ProximityMode::AttributeOnly => "AttributeOnly",
+    }
+}
+
+fn parse_proximity(s: &str) -> Result<ProximityMode, SnapshotError> {
+    match s {
+        "Both" => Ok(ProximityMode::Both),
+        "PreferenceOnly" => Ok(ProximityMode::PreferenceOnly),
+        "AttributeOnly" => Ok(ProximityMode::AttributeOnly),
+        other => Err(SnapshotError(format!("unknown proximity mode `{other}`"))),
+    }
+}
+
+fn gnn_tag(k: GnnKind) -> &'static str {
+    match k {
+        GnnKind::Gated => "Gated",
+        GnnKind::GatedNoAggregateGate => "GatedNoAggregateGate",
+        GnnKind::GatedNoFilterGate => "GatedNoFilterGate",
+        GnnKind::None => "None",
+        GnnKind::Gcn => "Gcn",
+        GnnKind::Gat => "Gat",
+    }
+}
+
+fn parse_gnn(s: &str) -> Result<GnnKind, SnapshotError> {
+    match s {
+        "Gated" => Ok(GnnKind::Gated),
+        "GatedNoAggregateGate" => Ok(GnnKind::GatedNoAggregateGate),
+        "GatedNoFilterGate" => Ok(GnnKind::GatedNoFilterGate),
+        "None" => Ok(GnnKind::None),
+        "Gcn" => Ok(GnnKind::Gcn),
+        "Gat" => Ok(GnnKind::Gat),
+        other => Err(SnapshotError(format!("unknown gnn kind `{other}`"))),
+    }
+}
+
+fn cold_tag(c: ColdStartModule) -> &'static str {
+    match c {
+        ColdStartModule::EVae => "EVae",
+        ColdStartModule::Vae => "Vae",
+        ColdStartModule::None => "None",
+        ColdStartModule::Mask => "Mask",
+        ColdStartModule::Dropout => "Dropout",
+        ColdStartModule::Llae => "Llae",
+        ColdStartModule::LlaePlus => "LlaePlus",
+    }
+}
+
+fn parse_cold(s: &str) -> Result<ColdStartModule, SnapshotError> {
+    match s {
+        "EVae" => Ok(ColdStartModule::EVae),
+        "Vae" => Ok(ColdStartModule::Vae),
+        "None" => Ok(ColdStartModule::None),
+        "Mask" => Ok(ColdStartModule::Mask),
+        "Dropout" => Ok(ColdStartModule::Dropout),
+        "Llae" => Ok(ColdStartModule::Llae),
+        "LlaePlus" => Ok(ColdStartModule::LlaePlus),
+        other => Err(SnapshotError(format!("unknown cold-start module `{other}`"))),
+    }
+}
+
+fn graph_tag(g: GraphKind) -> String {
+    match g {
+        GraphKind::Dynamic(m) => format!("Dynamic:{}", proximity_tag(m)),
+        GraphKind::StaticKnn => "StaticKnn".to_string(),
+        GraphKind::CoPurchase => "CoPurchase".to_string(),
+    }
+}
+
+fn parse_graph(s: &str) -> Result<GraphKind, SnapshotError> {
+    if let Some(mode) = s.strip_prefix("Dynamic:") {
+        return Ok(GraphKind::Dynamic(parse_proximity(mode)?));
+    }
+    match s {
+        "StaticKnn" => Ok(GraphKind::StaticKnn),
+        "CoPurchase" => Ok(GraphKind::CoPurchase),
+        other => Err(SnapshotError(format!("unknown graph kind `{other}`"))),
+    }
+}
+
+fn write_config(s: &mut String, c: &AgnnConfig) {
+    s.push_str("{\"embed_dim\": ");
+    s.push_str(&c.embed_dim.to_string());
+    s.push_str(", \"vae_latent_dim\": ");
+    s.push_str(&c.vae_latent_dim.to_string());
+    s.push_str(", \"fanout\": ");
+    s.push_str(&c.fanout.to_string());
+    s.push_str(", \"gnn_layers\": ");
+    s.push_str(&c.gnn_layers.to_string());
+    s.push_str(", \"top_percent\": ");
+    push_json_f32(s, c.top_percent);
+    s.push_str(", \"lambda\": ");
+    push_json_f32(s, c.lambda);
+    s.push_str(", \"epochs\": ");
+    s.push_str(&c.epochs.to_string());
+    s.push_str(", \"batch_size\": ");
+    s.push_str(&c.batch_size.to_string());
+    s.push_str(", \"lr\": ");
+    push_json_f32(s, c.lr);
+    s.push_str(", \"leaky_slope\": ");
+    push_json_f32(s, c.leaky_slope);
+    s.push_str(", \"grad_clip_norm\": ");
+    push_json_f32(s, c.grad_clip_norm);
+    s.push_str(", \"mask_rate\": ");
+    push_json_f32(s, c.mask_rate);
+    s.push_str(", \"seed\": ");
+    s.push_str(&c.seed.to_string());
+    s.push_str(", \"variant\": {\"gnn\": \"");
+    s.push_str(gnn_tag(c.variant.gnn));
+    s.push_str("\", \"cold\": \"");
+    s.push_str(cold_tag(c.variant.cold));
+    s.push_str("\", \"graph\": \"");
+    s.push_str(&graph_tag(c.variant.graph));
+    s.push_str("\"}}");
+}
+
+fn read_config(v: &JsonValue) -> Result<AgnnConfig, SnapshotError> {
+    let variant = v.req("variant")?;
+    Ok(AgnnConfig {
+        embed_dim: v.req("embed_dim")?.as_usize().map_err(SnapshotError)?,
+        vae_latent_dim: v.req("vae_latent_dim")?.as_usize().map_err(SnapshotError)?,
+        fanout: v.req("fanout")?.as_usize().map_err(SnapshotError)?,
+        gnn_layers: v.req("gnn_layers")?.as_usize().map_err(SnapshotError)?,
+        top_percent: v.req("top_percent")?.as_f32().map_err(SnapshotError)?,
+        lambda: v.req("lambda")?.as_f32().map_err(SnapshotError)?,
+        epochs: v.req("epochs")?.as_usize().map_err(SnapshotError)?,
+        batch_size: v.req("batch_size")?.as_usize().map_err(SnapshotError)?,
+        lr: v.req("lr")?.as_f32().map_err(SnapshotError)?,
+        leaky_slope: v.req("leaky_slope")?.as_f32().map_err(SnapshotError)?,
+        grad_clip_norm: v.req("grad_clip_norm")?.as_f32().map_err(SnapshotError)?,
+        mask_rate: v.req("mask_rate")?.as_f32().map_err(SnapshotError)?,
+        seed: v.req("seed")?.as_u64().map_err(SnapshotError)?,
+        variant: AgnnVariant {
+            gnn: parse_gnn(variant.req("gnn")?.as_str().map_err(SnapshotError)?)?,
+            cold: parse_cold(variant.req("cold")?.as_str().map_err(SnapshotError)?)?,
+            graph: parse_graph(variant.req("graph")?.as_str().map_err(SnapshotError)?)?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_snapshot() -> ModelSnapshot {
+        let cfg = AgnnConfig { embed_dim: 4, vae_latent_dim: 2, epochs: 1, ..AgnnConfig::default() };
+        ModelSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            model: "AGNN".into(),
+            dataset: "unit".into(),
+            rating_scale: (1.0, 5.0),
+            config: cfg,
+            params: vec![
+                ParamEntry { name: "user.pref".into(), rows: 2, cols: 4, data: vec![0.25, -0.5, 1.0 / 3.0, 5e-4, 0.0, 1.0, -2.0, 0.125] },
+                ParamEntry { name: "global_bias".into(), rows: 1, cols: 1, data: vec![3.140625] },
+            ],
+            user_pools: CandidatePools::from_scored(vec![vec![(1, 0.5)], vec![(0, 0.25)]], PoolConfig::default()),
+            item_pools: CandidatePools::from_scored(vec![vec![], vec![(0, 1.0)]], PoolConfig::default()),
+            user_attrs: AttrLists::from_lists(vec![vec![0, 2], vec![1]], 3),
+            item_attrs: AttrLists::from_lists(vec![vec![], vec![0]], 2),
+            user_cold: vec![false, true],
+            item_cold: vec![true, false],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact_and_byte_stable() {
+        let snap = tiny_snapshot();
+        let text = snap.to_json_string();
+        let back = ModelSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back.params, snap.params);
+        assert_eq!(back.user_cold, snap.user_cold);
+        assert_eq!(back.config.seed, snap.config.seed);
+        assert_eq!(back.config.variant, snap.config.variant);
+        assert_eq!(back.user_attrs.of(0), snap.user_attrs.of(0));
+        assert_eq!(back.user_pools.pool(0), snap.user_pools.pool(0));
+        assert_eq!(back.rating_scale, snap.rating_scale);
+        // Re-encoding the parsed snapshot reproduces the bytes exactly.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn param_lookup_by_name() {
+        let snap = tiny_snapshot();
+        assert_eq!(snap.require("global_bias").unwrap().get(0, 0), 3.140625);
+        let err = snap.require("user.nope").unwrap_err();
+        assert!(err.to_string().contains("user.nope"), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let text = tiny_snapshot().to_json_string().replace("\"format_version\": 1", "\"format_version\": 99");
+        let err = ModelSnapshot::from_json_str(&text).unwrap_err();
+        assert!(err.to_string().contains("format_version 99"), "{err}");
+    }
+
+    #[test]
+    fn graph_kind_tags_round_trip() {
+        for g in [
+            GraphKind::Dynamic(ProximityMode::Both),
+            GraphKind::Dynamic(ProximityMode::PreferenceOnly),
+            GraphKind::Dynamic(ProximityMode::AttributeOnly),
+            GraphKind::StaticKnn,
+            GraphKind::CoPurchase,
+        ] {
+            assert_eq!(parse_graph(&graph_tag(g)).unwrap(), g);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The inference engine: snapshot loading, the embedding materializer and
+//! the batched scorer.
+
+use crate::layers::{blend_preference, ColdGenerator, InferAttrInteraction, InferGnnLayer, InferLinear, InferMlp};
+use agnn_core::evae::warm_mask;
+use agnn_core::interaction::AttrLists;
+use agnn_core::{AgnnConfig, GnnKind, GraphKind, ModelSnapshot, SnapshotError};
+use agnn_graph::CandidatePools;
+use agnn_tensor::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which side of the bipartite problem a node batch belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// User nodes.
+    User,
+    /// Item nodes.
+    Item,
+}
+
+/// Everything one side needs to embed node batches.
+struct SideState {
+    /// Trained preference embedding table, `n × D`.
+    pref: Matrix,
+    attr: InferAttrInteraction,
+    fuse: InferLinear,
+    cold_gen: ColdGenerator,
+    gnn: Vec<InferGnnLayer>,
+    /// Per-node rating bias, `n × 1`.
+    bias: Matrix,
+    pools: CandidatePools,
+    attrs: AttrLists,
+    cold: Vec<bool>,
+    /// Materialized pre-GNN embeddings (`n × D`), when precomputed.
+    cache: Option<Matrix>,
+}
+
+/// Batch size for both scoring (mirroring `Agnn::predict_batch`) and
+/// embedding materialization.
+const CHUNK: usize = 512;
+
+/// Sampled-neighborhood ensemble size at eval — must match
+/// `Agnn::predict_batch`'s `EVAL_NEIGHBORHOOD_SAMPLES`.
+const EVAL_NEIGHBORHOOD_SAMPLES: usize = 3;
+
+/// A tape-free AGNN scorer built from a [`ModelSnapshot`].
+///
+/// Construction resolves every parameter by its stable name; scoring then
+/// touches no autograd machinery at all. [`InferenceEngine::score_batch`]
+/// is bit-identical to `Agnn::predict_batch` on the model the snapshot was
+/// exported from, with or without [`InferenceEngine::materialize`].
+pub struct InferenceEngine {
+    cfg: AgnnConfig,
+    user: SideState,
+    item: SideState,
+    pred_mlp: InferMlp,
+    /// `1 × 1` global rating mean.
+    global_bias: Matrix,
+    rating_scale: (f32, f32),
+    dataset: String,
+}
+
+fn build_side(snap: &ModelSnapshot, name: &str, cfg: &AgnnConfig) -> Result<(InferAttrInteraction, InferLinear, ColdGenerator, Vec<InferGnnLayer>), SnapshotError> {
+    let attr = InferAttrInteraction::from_snapshot(snap, &format!("{name}.attr"), cfg.leaky_slope)?;
+    let fuse = InferLinear::from_snapshot(snap, &format!("{name}.fuse"), true)?;
+    let cold_gen = ColdGenerator::from_snapshot(snap, name, cfg.variant.cold)?;
+    let gnn = (0..cfg.gnn_layers)
+        .map(|l| InferGnnLayer::from_snapshot(snap, name, l, cfg.variant.gnn, cfg.leaky_slope))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((attr, fuse, cold_gen, gnn))
+}
+
+fn side_state(snap: &ModelSnapshot, name: &str, cfg: &AgnnConfig, side: Side) -> Result<SideState, SnapshotError> {
+    let (pref, bias, pools, attrs, cold) = match side {
+        Side::User => (
+            snap.require("user.pref")?,
+            snap.require("user.bias")?,
+            snap.user_pools.clone(),
+            snap.user_attrs.clone(),
+            snap.user_cold.clone(),
+        ),
+        Side::Item => (
+            snap.require("item.pref")?,
+            snap.require("item.bias")?,
+            snap.item_pools.clone(),
+            snap.item_attrs.clone(),
+            snap.item_cold.clone(),
+        ),
+    };
+    let n = pref.rows();
+    for (what, got) in [("cold flags", cold.len()), ("attribute lists", attrs.num_nodes()), ("candidate pools", pools.num_nodes())] {
+        if got != n {
+            return Err(SnapshotError(format!("{name} side: {got} {what} for {n} preference rows")));
+        }
+    }
+    if bias.shape() != (n, 1) {
+        return Err(SnapshotError(format!("{name}.bias is {:?}, want ({n}, 1)", bias.shape())));
+    }
+    let (attr, fuse, cold_gen, gnn) = build_side(snap, name, cfg)?;
+    if attr.attr_dim() != attrs.dim() {
+        return Err(SnapshotError(format!(
+            "{name} side: attribute table has {} rows for encoding dim {}",
+            attr.attr_dim(),
+            attrs.dim()
+        )));
+    }
+    Ok(SideState { pref, attr, fuse, cold_gen, gnn, bias, pools, attrs, cold, cache: None })
+}
+
+impl InferenceEngine {
+    /// Builds an engine from a snapshot, resolving all parameters by name
+    /// and cross-checking shapes. Fails on anything missing or mismatched —
+    /// a half-resolved scorer must never come into existence.
+    pub fn from_snapshot(snap: &ModelSnapshot) -> Result<Self, SnapshotError> {
+        if snap.model != "AGNN" {
+            return Err(SnapshotError(format!("engine serves AGNN snapshots, got model `{}`", snap.model)));
+        }
+        let cfg = snap.config;
+        let user = side_state(snap, "user", &cfg, Side::User)?;
+        let item = side_state(snap, "item", &cfg, Side::Item)?;
+        let pred_mlp = InferMlp::from_snapshot(snap, "pred", cfg.leaky_slope)?;
+        let global_bias = snap.require("global_bias")?;
+        if global_bias.shape() != (1, 1) {
+            return Err(SnapshotError(format!("global_bias is {:?}, want (1, 1)", global_bias.shape())));
+        }
+        Ok(Self { cfg, user, item, pred_mlp, global_bias, rating_scale: snap.rating_scale, dataset: snap.dataset.clone() })
+    }
+
+    /// The training configuration the snapshot carries.
+    pub fn config(&self) -> &AgnnConfig {
+        &self.cfg
+    }
+
+    /// Name of the dataset the model was fitted on.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// Rating scale `(lo, hi)` for [`InferenceEngine::clamp`].
+    pub fn rating_scale(&self) -> (f32, f32) {
+        self.rating_scale
+    }
+
+    /// Number of user nodes.
+    pub fn num_users(&self) -> usize {
+        self.user.pref.rows()
+    }
+
+    /// Number of item nodes.
+    pub fn num_items(&self) -> usize {
+        self.item.pref.rows()
+    }
+
+    /// Whether [`InferenceEngine::materialize`] has run.
+    pub fn is_materialized(&self) -> bool {
+        self.user.cache.is_some() && self.item.cache.is_some()
+    }
+
+    /// Clamps a served score onto the rating scale (same policy as
+    /// `Dataset::clamp_rating` at evaluation).
+    pub fn clamp(&self, score: f32) -> f32 {
+        score.clamp(self.rating_scale.0, self.rating_scale.1)
+    }
+
+    /// Pre-GNN embedding of a node batch — the eval arms of
+    /// `Agnn::embed_nodes`, kernel for kernel: preference gather, attribute
+    /// interaction, cold-row substitution, fuse.
+    fn embed_nodes(cfg: &AgnnConfig, side: &SideState, nodes: &[usize]) -> Matrix {
+        let n = nodes.len();
+        let m = side.pref.gather_rows(nodes);
+        let x = side.attr.forward(&side.attrs, nodes);
+        let warm = warm_mask(&side.cold, nodes);
+        let generated = side.cold_gen.generate(&x, n, cfg.embed_dim);
+        let m_used = blend_preference(&m, &generated, &warm);
+        let cat = Matrix::hconcat(&[&m_used, &x]);
+        side.fuse.forward(&cat)
+    }
+
+    /// Batch embedding: gathers from the materialized cache when present,
+    /// otherwise computes. Bit-identical either way (every kernel on the
+    /// embedding path is row-independent).
+    fn embed(&self, side: &SideState, nodes: &[usize]) -> Matrix {
+        match &side.cache {
+            Some(cache) => cache.gather_rows(nodes),
+            None => Self::embed_nodes(&self.cfg, side, nodes),
+        }
+    }
+
+    /// Precomputes the pre-GNN embedding of **every** node on both sides —
+    /// warm nodes from their trained preference rows, strict cold start
+    /// ones through the generation path — so scoring reduces to gathers
+    /// plus the GNN and prediction layers.
+    pub fn materialize(&mut self) {
+        let cfg = self.cfg;
+        for side in [&mut self.user, &mut self.item] {
+            let n = side.pref.rows();
+            let mut parts = Vec::with_capacity(n.div_ceil(CHUNK));
+            let mut start = 0;
+            while start < n {
+                let nodes: Vec<usize> = (start..(start + CHUNK).min(n)).collect();
+                parts.push(Self::embed_nodes(&cfg, side, &nodes));
+                start += CHUNK;
+            }
+            let refs: Vec<&Matrix> = parts.iter().collect();
+            side.cache = Some(if refs.is_empty() { Matrix::zeros(0, cfg.embed_dim) } else { Matrix::vstack(&refs) });
+        }
+    }
+
+    /// Drops the materialized caches (fresh-compute mode again).
+    pub fn dematerialize(&mut self) {
+        self.user.cache = None;
+        self.item.cache = None;
+    }
+
+    /// Embeds targets, draws + embeds neighborhoods, aggregates — the eval
+    /// path of `Agnn::side_forward`. The neighborhood draw order (all
+    /// levels first, then embeddings) matches the tape so the shared rng
+    /// stream stays aligned.
+    fn side_forward(&self, which: Side, nodes: &[usize], sample: bool, rng: &mut StdRng) -> Matrix {
+        let side = match which {
+            Side::User => &self.user,
+            Side::Item => &self.item,
+        };
+        let cfg = &self.cfg;
+        let target = self.embed(side, nodes);
+        if cfg.variant.gnn == GnnKind::None {
+            return target;
+        }
+        let dynamic = matches!(cfg.variant.graph, GraphKind::Dynamic(_) | GraphKind::CoPurchase);
+        let draw = |frontier: &[usize], rng: &mut StdRng| {
+            let mut ids = Vec::with_capacity(frontier.len() * cfg.fanout);
+            for &node in frontier {
+                let ns = if sample && dynamic {
+                    side.pools.sample_neighbors(node as u32, cfg.fanout, rng)
+                } else {
+                    side.pools.top_neighbors(node as u32, cfg.fanout)
+                };
+                ids.extend(ns);
+            }
+            ids
+        };
+        let hops = side.gnn.len();
+        let mut levels: Vec<Vec<usize>> = vec![nodes.to_vec()];
+        for _ in 0..hops {
+            let next = draw(levels.last().expect("non-empty"), rng);
+            levels.push(next);
+        }
+        let mut h = self.embed(side, &levels[hops]);
+        for l in (0..hops).rev() {
+            let level_target = if l == 0 { target.clone() } else { self.embed(side, &levels[l]) };
+            h = side.gnn[hops - 1 - l].forward(cfg.variant.gnn, &level_target, &h, cfg.fanout);
+        }
+        h
+    }
+
+    /// Prediction layer (Eq. 14) on aggregated embeddings — mirrors
+    /// `Agnn::predict_scores`.
+    fn predict_scores(&self, p_user: &Matrix, q_item: &Matrix, users: &[usize], items: &[usize]) -> Matrix {
+        let cat = Matrix::hconcat(&[p_user, q_item]);
+        let mlp_out = self.pred_mlp.forward(&cat); // B × 1
+        let prod = ops::mul(p_user, q_item);
+        let dot = ops::sum_cols(&prod); // B × 1
+        let bu = self.user.bias.gather_rows(users);
+        let bi = self.item.bias.gather_rows(items);
+        let mu_rows = ops::repeat_rows(&self.global_bias, users.len());
+        let s1 = ops::add(&mlp_out, &dot);
+        let s2 = ops::add(&bu, &bi);
+        let s3 = ops::add(&s1, &s2);
+        ops::add(&s3, &mu_rows)
+    }
+
+    /// Scores `(user, item)` pairs. Protocol-identical to
+    /// `Agnn::predict_batch`: 512-pair chunks, a fixed-seed rng shared
+    /// across the whole call, and per chunk one deterministic
+    /// top-neighborhood pass plus [`EVAL_NEIGHBORHOOD_SAMPLES`] sampled
+    /// passes, averaged. Panics on out-of-range ids.
+    pub fn score_batch(&self, pairs: &[(u32, u32)]) -> Vec<f32> {
+        let (nu, ni) = (self.num_users(), self.num_items());
+        for &(u, i) in pairs {
+            assert!((u as usize) < nu, "score_batch: user {u} out of range ({nu} users)");
+            assert!((i as usize) < ni, "score_batch: item {i} out of range ({ni} items)");
+        }
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        for chunk in pairs.chunks(CHUNK) {
+            let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
+            let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
+            let mut acc = vec![0.0f32; chunk.len()];
+            let passes = 1 + EVAL_NEIGHBORHOOD_SAMPLES;
+            for pass in 0..passes {
+                let sample = pass > 0;
+                let pu = self.side_forward(Side::User, &users, sample, &mut rng);
+                let qi = self.side_forward(Side::Item, &items, sample, &mut rng);
+                let scores = self.predict_scores(&pu, &qi, &users, &items);
+                for (a, &v) in acc.iter_mut().zip(scores.as_slice()) {
+                    *a += v;
+                }
+            }
+            out.extend(acc.into_iter().map(|v| v / passes as f32));
+        }
+        out
+    }
+
+    /// Single-pair convenience wrapper.
+    pub fn score(&self, user: u32, item: u32) -> f32 {
+        self.score_batch(&[(user, item)])[0]
+    }
+}

@@ -1,0 +1,329 @@
+//! Tape-free mirrors of AGNN's layers.
+//!
+//! Each `forward` here performs **exactly** the kernel sequence its tape
+//! counterpart records (`agnn_core::interaction`, `::evae`, `::gnn`,
+//! `agnn_autograd::nn`) — same ops, same operand order — so the produced
+//! floats are bit-identical to evaluating the tape. When editing either
+//! side, keep the other in lockstep; the conformance suite will catch
+//! drift, but the comment trail should make it unnecessary.
+
+use agnn_core::interaction::AttrLists;
+use agnn_core::{ColdStartModule, ModelSnapshot, SnapshotError};
+use agnn_tensor::{ops, Matrix};
+
+/// A dense layer holding resolved weights: `y = x·W (+ b)`.
+pub struct InferLinear {
+    w: Matrix,
+    b: Option<Matrix>,
+}
+
+impl InferLinear {
+    /// Resolves `{name}.w` (and `{name}.b` when `bias`) from a snapshot.
+    pub fn from_snapshot(snap: &ModelSnapshot, name: &str, bias: bool) -> Result<Self, SnapshotError> {
+        let w = snap.require(&format!("{name}.w"))?;
+        let b = if bias { Some(snap.require(&format!("{name}.b"))?) } else { None };
+        if let Some(b) = &b {
+            if b.shape() != (1, w.cols()) {
+                return Err(SnapshotError(format!(
+                    "`{name}.b` is {:?}, want (1, {})",
+                    b.shape(),
+                    w.cols()
+                )));
+            }
+        }
+        Ok(Self { w, b })
+    }
+
+    /// Mirrors `Linear::forward`: matmul, then optional bias broadcast.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.w.rows(), "InferLinear::forward: input width {} != in_dim {}", x.cols(), self.w.rows());
+        let wx = ops::matmul(x, &self.w);
+        match &self.b {
+            Some(b) => ops::add_row_broadcast(&wx, b),
+            None => wx,
+        }
+    }
+}
+
+/// The prediction MLP: hidden LeakyReLU, identity output — mirrors
+/// `Mlp::forward` with `Activation::LeakyRelu(slope)`.
+pub struct InferMlp {
+    layers: Vec<InferLinear>,
+    slope: f32,
+}
+
+impl InferMlp {
+    /// Resolves `{name}.l0`, `{name}.l1`, … until a layer is missing.
+    pub fn from_snapshot(snap: &ModelSnapshot, name: &str, slope: f32) -> Result<Self, SnapshotError> {
+        let mut layers = Vec::new();
+        while snap.param(&format!("{name}.l{}.w", layers.len())).is_some() {
+            layers.push(InferLinear::from_snapshot(snap, &format!("{name}.l{}", layers.len()), true)?);
+        }
+        if layers.is_empty() {
+            return Err(SnapshotError(format!("MLP `{name}` has no layers in snapshot")));
+        }
+        Ok(Self { layers, slope })
+    }
+
+    /// Applies every layer; LeakyReLU between them, identity at the end.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut h = self.layers[0].forward(x);
+        if last > 0 {
+            h = ops::leaky_relu(&h, self.slope);
+        }
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            h = layer.forward(&h);
+            if i < last {
+                h = ops::leaky_relu(&h, self.slope);
+            }
+        }
+        h
+    }
+}
+
+/// Attribute interaction layer (Eqs. 2–4) over resolved parameters.
+pub struct InferAttrInteraction {
+    table: Matrix,
+    w_bi: InferLinear,
+    w_lin: InferLinear,
+    bias: Matrix,
+    embed_dim: usize,
+    slope: f32,
+}
+
+impl InferAttrInteraction {
+    /// Resolves the four parameters registered under `{name}`.
+    pub fn from_snapshot(snap: &ModelSnapshot, name: &str, slope: f32) -> Result<Self, SnapshotError> {
+        let table = snap.require(&format!("{name}.attr_table"))?;
+        let w_bi = InferLinear::from_snapshot(snap, &format!("{name}.w_bi"), false)?;
+        let w_lin = InferLinear::from_snapshot(snap, &format!("{name}.w_lin"), false)?;
+        let bias = snap.require(&format!("{name}.bias"))?;
+        let embed_dim = table.cols();
+        Ok(Self { table, w_bi, w_lin, bias, embed_dim, slope })
+    }
+
+    /// Attribute vocabulary size the table was trained with.
+    pub fn attr_dim(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Mirrors `AttrInteraction::forward` — including the all-attributeless
+    /// batch shortcut, which is bit-equal to the general path (a zero-row
+    /// matmul contributes exact `+0.0`).
+    pub fn forward(&self, lists: &AttrLists, nodes: &[usize]) -> Matrix {
+        let (flat, offsets) = lists.flatten(nodes);
+        if flat.is_empty() {
+            let zeros = Matrix::zeros(nodes.len(), self.embed_dim);
+            let biased = ops::add_row_broadcast(&zeros, &self.bias);
+            return ops::leaky_relu(&biased, self.slope);
+        }
+        let v = self.table.gather_rows(&flat); // T × D
+        let sum = ops::segment_sum_rows_var(&v, &offsets); // n × D  (= f_L)
+        let v_sq = ops::map(&v, |x| x * x);
+        let sum_sq = ops::segment_sum_rows_var(&v_sq, &offsets);
+        let sum2 = ops::map(&sum, |x| x * x);
+        let diff = ops::sub(&sum2, &sum_sq);
+        let f_bi = ops::scale(&diff, 0.5);
+
+        let proj_bi = self.w_bi.forward(&f_bi);
+        let proj_lin = self.w_lin.forward(&sum);
+        let total = ops::add(&proj_bi, &proj_lin);
+        let biased = ops::add_row_broadcast(&total, &self.bias);
+        ops::leaky_relu(&biased, self.slope)
+    }
+}
+
+/// Deterministic eVAE generation path: `x' = dec(μ(x))`. The log-variance
+/// head exists only for training-time sampling/KL; `μ` and the decode do
+/// not read it, so skipping it keeps the generated rows bit-identical.
+pub struct InferEVae {
+    enc_mu: InferLinear,
+    dec: InferLinear,
+}
+
+impl InferEVae {
+    /// Resolves the encoder-mean and decoder weights under `{name}`.
+    pub fn from_snapshot(snap: &ModelSnapshot, name: &str) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            enc_mu: InferLinear::from_snapshot(snap, &format!("{name}.enc_mu"), true)?,
+            dec: InferLinear::from_snapshot(snap, &format!("{name}.dec"), true)?,
+        })
+    }
+
+    /// Mirrors `EVae::generate` at eval: decode the mean.
+    pub fn generate(&self, x: &Matrix) -> Matrix {
+        let mu = self.enc_mu.forward(x);
+        self.dec.forward(&mu)
+    }
+}
+
+/// Mirrors `blend_preference`: keep warm rows of `preference`, substitute
+/// `generated` on cold rows, via the same two col-broadcasts and add.
+pub fn blend_preference(preference: &Matrix, generated: &Matrix, warm: &[f32]) -> Matrix {
+    let warm_col = Matrix::col_vector(warm.to_vec());
+    let cold_col = Matrix::col_vector(warm.iter().map(|w| 1.0 - w).collect());
+    let keep = ops::mul_col_broadcast(preference, &warm_col);
+    let gen = ops::mul_col_broadcast(generated, &cold_col);
+    ops::add(&keep, &gen)
+}
+
+/// How cold rows get their preference substitute at eval. The training-only
+/// behaviors collapse: `None` and `Dropout` both blend zeros (dropout never
+/// fires at eval), `Mask` blends the learned token rows.
+pub enum ColdGenerator {
+    /// eVAE / plain VAE: `dec(μ(x))`.
+    EVae(InferEVae),
+    /// Zero substitute (`ColdStartModule::None` and `Dropout` at eval).
+    Zeros,
+    /// Learned mask token broadcast to every row.
+    Mask {
+        /// The `1 × D` token.
+        token: Matrix,
+    },
+    /// Linear auto-encoder: `dec(enc(x))`.
+    Llae {
+        /// Encoder (no bias).
+        enc: InferLinear,
+        /// Decoder (no bias).
+        dec: InferLinear,
+    },
+}
+
+impl ColdGenerator {
+    /// Resolves the generator a side of the given variant needs.
+    pub fn from_snapshot(snap: &ModelSnapshot, side: &str, cold: ColdStartModule) -> Result<Self, SnapshotError> {
+        Ok(match cold {
+            ColdStartModule::EVae | ColdStartModule::Vae => {
+                ColdGenerator::EVae(InferEVae::from_snapshot(snap, &format!("{side}.evae"))?)
+            }
+            ColdStartModule::None | ColdStartModule::Dropout => ColdGenerator::Zeros,
+            ColdStartModule::Mask => ColdGenerator::Mask { token: snap.require(&format!("{side}.mask_token"))? },
+            ColdStartModule::Llae | ColdStartModule::LlaePlus => ColdGenerator::Llae {
+                enc: InferLinear::from_snapshot(snap, &format!("{side}.llae_enc"), false)?,
+                dec: InferLinear::from_snapshot(snap, &format!("{side}.llae_dec"), false)?,
+            },
+        })
+    }
+
+    /// The substitute rows for a batch, mirroring the eval arms of
+    /// `Agnn::embed_nodes`.
+    pub fn generate(&self, x: &Matrix, n: usize, embed_dim: usize) -> Matrix {
+        match self {
+            ColdGenerator::EVae(evae) => evae.generate(x),
+            ColdGenerator::Zeros => Matrix::zeros(n, embed_dim),
+            ColdGenerator::Mask { token } => {
+                let zeros = Matrix::zeros(n, embed_dim);
+                ops::add_row_broadcast(&zeros, token)
+            }
+            ColdGenerator::Llae { enc, dec } => dec.forward(&enc.forward(x)),
+        }
+    }
+}
+
+/// One aggregator hop over resolved gate weights — mirrors
+/// `GnnLayer::forward` arm for arm.
+pub struct InferGnnLayer {
+    w_agg: Option<InferLinear>,
+    w_filter: Option<InferLinear>,
+    w_gcn: Option<InferLinear>,
+    w_attn: Option<InferLinear>,
+    slope: f32,
+}
+
+impl InferGnnLayer {
+    /// Resolves the gates layer `l` of `side` registered for `kind`.
+    pub fn from_snapshot(
+        snap: &ModelSnapshot,
+        side: &str,
+        l: usize,
+        kind: agnn_core::GnnKind,
+        slope: f32,
+    ) -> Result<Self, SnapshotError> {
+        use agnn_core::GnnKind;
+        let mut layer = Self { w_agg: None, w_filter: None, w_gcn: None, w_attn: None, slope };
+        let name = format!("{side}.gnn{l}");
+        match kind {
+            GnnKind::Gated => {
+                layer.w_agg = Some(InferLinear::from_snapshot(snap, &format!("{name}.agate"), true)?);
+                layer.w_filter = Some(InferLinear::from_snapshot(snap, &format!("{name}.fgate"), true)?);
+            }
+            GnnKind::GatedNoAggregateGate => {
+                layer.w_filter = Some(InferLinear::from_snapshot(snap, &format!("{name}.fgate"), true)?);
+            }
+            GnnKind::GatedNoFilterGate => {
+                layer.w_agg = Some(InferLinear::from_snapshot(snap, &format!("{name}.agate"), true)?);
+            }
+            GnnKind::None => {}
+            GnnKind::Gcn => {
+                layer.w_gcn = Some(InferLinear::from_snapshot(snap, &format!("{name}.gcn"), true)?);
+            }
+            GnnKind::Gat => {
+                layer.w_attn = Some(InferLinear::from_snapshot(snap, &format!("{name}.attn"), true)?);
+            }
+        }
+        Ok(layer)
+    }
+
+    /// Aggregates `neighbors` (`(B·g) × D`) into `target` (`B × D`).
+    pub fn forward(&self, kind: agnn_core::GnnKind, target: &Matrix, neighbors: &Matrix, fanout: usize) -> Matrix {
+        use agnn_core::GnnKind;
+        let b = target.rows();
+        assert_eq!(
+            neighbors.rows(),
+            b * fanout,
+            "InferGnnLayer::forward: {} neighbor rows for batch {} × fanout {}",
+            neighbors.rows(),
+            b,
+            fanout
+        );
+        match kind {
+            GnnKind::None => target.clone(),
+            GnnKind::Gated | GnnKind::GatedNoAggregateGate | GnnKind::GatedNoFilterGate => {
+                let aggregated = if let Some(wa) = &self.w_agg {
+                    let rep = ops::repeat_rows(target, fanout);
+                    let cat = Matrix::hconcat(&[&rep, neighbors]);
+                    let gate = ops::sigmoid(&wa.forward(&cat));
+                    let gated = ops::mul(neighbors, &gate);
+                    ops::segment_mean_rows(&gated, fanout)
+                } else {
+                    ops::segment_mean_rows(neighbors, fanout)
+                };
+                let remaining = if let Some(wf) = &self.w_filter {
+                    let nb_mean = ops::segment_mean_rows(neighbors, fanout);
+                    let cat = Matrix::hconcat(&[target, &nb_mean]);
+                    let fgate = ops::sigmoid(&wf.forward(&cat));
+                    let neg = ops::scale(&fgate, -1.0);
+                    let one_minus = ops::map(&neg, |x| x + 1.0);
+                    ops::mul(target, &one_minus)
+                } else {
+                    target.clone()
+                };
+                let combined = ops::add(&remaining, &aggregated);
+                ops::leaky_relu(&combined, self.slope)
+            }
+            GnnKind::Gcn => {
+                let nb_mean = ops::segment_mean_rows(neighbors, fanout);
+                let gf = fanout as f32;
+                let t_part = ops::scale(target, 1.0 / (gf + 1.0));
+                let n_part = ops::scale(&nb_mean, gf / (gf + 1.0));
+                let avg = ops::add(&t_part, &n_part);
+                let w = self.w_gcn.as_ref().expect("gcn weights");
+                let proj = w.forward(&avg);
+                ops::leaky_relu(&proj, self.slope)
+            }
+            GnnKind::Gat => {
+                let w = self.w_attn.as_ref().expect("attention weights");
+                let rep = ops::repeat_rows(target, fanout);
+                let cat = Matrix::hconcat(&[&rep, neighbors]);
+                let scores = w.forward(&cat); // (B·g) × 1
+                let scores = ops::leaky_relu(&scores, 0.2);
+                let alpha = ops::segment_softmax_col(&scores, fanout);
+                let weighted = ops::mul_col_broadcast(neighbors, &alpha);
+                let agg = ops::segment_sum_rows(&weighted, fanout);
+                let combined = ops::add(target, &agg);
+                ops::leaky_relu(&combined, self.slope)
+            }
+        }
+    }
+}

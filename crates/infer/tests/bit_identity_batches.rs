@@ -1,0 +1,144 @@
+//! Bit-identity on a strict-cold-start split: batches that are SCS-only,
+//! warm-only and mixed must all score identically through the tape and the
+//! tape-free engine — plus randomized batches via proptest.
+//!
+//! The tracer conformance suite covers every variant; this file covers the
+//! id space a real serving workload draws from: a generated ML100K-shaped
+//! dataset whose split holds out strict cold start items, scored through a
+//! **materialized** engine (the cache is how serving actually runs).
+
+use agnn_core::{Agnn, AgnnConfig, RatingModel};
+use agnn_data::{ColdStartKind, Degrees, Preset, Split, SplitConfig};
+use agnn_infer::InferenceEngine;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+struct Ctx {
+    model: Agnn,
+    engine: InferenceEngine,
+    warm_items: Vec<u32>,
+    cold_items: Vec<u32>,
+    num_users: usize,
+    num_items: usize,
+}
+
+static CTX: OnceLock<Ctx> = OnceLock::new();
+
+fn ctx() -> &'static Ctx {
+    CTX.get_or_init(|| {
+        let data = Preset::Ml100k.generate(0.05, 7);
+        let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, 7));
+        let deg = Degrees::from_split(&data, &split);
+        let item_cold = deg.item_cold();
+        let cold_items: Vec<u32> = (0..data.num_items as u32).filter(|&i| item_cold[i as usize]).collect();
+        let warm_items: Vec<u32> = (0..data.num_items as u32).filter(|&i| !item_cold[i as usize]).collect();
+        assert!(!cold_items.is_empty(), "StrictItem split produced no cold items");
+        assert!(!warm_items.is_empty(), "StrictItem split produced no warm items");
+
+        let cfg = AgnnConfig { embed_dim: 8, vae_latent_dim: 4, fanout: 3, epochs: 1, batch_size: 64, ..AgnnConfig::default() };
+        let mut model = Agnn::new(cfg);
+        model.fit(&data, &split);
+        let snap = model.export_snapshot().unwrap();
+        let mut engine = InferenceEngine::from_snapshot(&snap).unwrap();
+        engine.materialize();
+        Ctx { model, engine, warm_items, cold_items, num_users: data.num_users, num_items: data.num_items }
+    })
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical(pairs: &[(u32, u32)]) {
+    let c = ctx();
+    assert_eq!(bits(&c.engine.score_batch(pairs)), bits(&c.model.predict_batch(pairs)), "pairs: {pairs:?}");
+}
+
+#[test]
+fn scs_only_batch_is_bit_identical() {
+    let c = ctx();
+    let pairs: Vec<(u32, u32)> = (0..c.num_users as u32)
+        .flat_map(|u| c.cold_items.iter().map(move |&i| (u, i)))
+        .take(60)
+        .collect();
+    assert_identical(&pairs);
+}
+
+#[test]
+fn warm_only_batch_is_bit_identical() {
+    let c = ctx();
+    let pairs: Vec<(u32, u32)> = (0..c.num_users as u32)
+        .flat_map(|u| c.warm_items.iter().map(move |&i| (u, i)))
+        .take(60)
+        .collect();
+    assert_identical(&pairs);
+}
+
+#[test]
+fn mixed_batch_is_bit_identical() {
+    let c = ctx();
+    let pairs: Vec<(u32, u32)> = c
+        .cold_items
+        .iter()
+        .zip(c.warm_items.iter().cycle())
+        .enumerate()
+        .flat_map(|(n, (&cold, &warm))| {
+            let u = (n % c.num_users) as u32;
+            [(u, cold), (u, warm)]
+        })
+        .take(64)
+        .collect();
+    assert_identical(&pairs);
+}
+
+#[test]
+fn single_pair_matches_batch_and_tape() {
+    let c = ctx();
+    let cold = c.cold_items[0];
+    let tape = c.model.predict(0, cold);
+    assert_eq!(c.engine.score(0, cold).to_bits(), tape.to_bits());
+}
+
+#[test]
+fn seeded_random_batches_are_bit_identical() {
+    // Deterministic twin of the proptest below, so this coverage also runs
+    // under the offline stub build (whose `proptest!` expands to nothing).
+    let c = ctx();
+    let mut rng = StdRng::seed_from_u64(0xb175);
+    for round in 0..8 {
+        let n = 1 + rng.gen_range(0..48);
+        let pairs: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0..c.num_users as u32), rng.gen_range(0..c.num_items as u32)))
+            .collect();
+        assert_identical(&pairs);
+        let _ = round;
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_batches_bit_identical(seed in 0u64..256, n in 1usize..48) {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0..c.num_users as u32), rng.gen_range(0..c.num_items as u32)))
+            .collect();
+        prop_assert_eq!(bits(&c.engine.score_batch(&pairs)), bits(&c.model.predict_batch(&pairs)));
+    }
+
+    #[test]
+    fn random_scs_only_batches_bit_identical(seed in 0u64..64, n in 1usize..32) {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc01d);
+        let pairs: Vec<(u32, u32)> = (0..n)
+            .map(|_| {
+                let u = rng.gen_range(0..c.num_users as u32);
+                let i = c.cold_items[rng.gen_range(0..c.cold_items.len())];
+                (u, i)
+            })
+            .collect();
+        prop_assert_eq!(bits(&c.engine.score_batch(&pairs)), bits(&c.model.predict_batch(&pairs)));
+    }
+}

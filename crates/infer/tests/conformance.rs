@@ -1,0 +1,25 @@
+//! The conformance suite: tape-free scoring must be bit-identical to the
+//! training tape for every model variant, under every parallel dispatch
+//! mode, with and without the materialized embedding cache.
+
+use agnn_core::variants::VariantName;
+use agnn_infer::conformance::check_tracer_variant;
+
+#[test]
+fn full_model_bit_identical_on_tracer() {
+    check_tracer_variant(VariantName::Full).unwrap();
+}
+
+#[test]
+fn table3_ablations_bit_identical_on_tracer() {
+    for name in VariantName::TABLE3.into_iter().skip(1) {
+        check_tracer_variant(name).unwrap();
+    }
+}
+
+#[test]
+fn table4_replacements_bit_identical_on_tracer() {
+    for name in VariantName::TABLE4.into_iter().skip(1) {
+        check_tracer_variant(name).unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Snapshot determinism: identical training runs must produce
+//! byte-identical snapshot files, `save → load → score` must be bit-exact,
+//! and the parameter registration order — which the byte stability rides
+//! on — is locked by a regression test.
+
+use agnn_core::variants::VariantName;
+use agnn_core::{Agnn, ModelSnapshot, RatingModel};
+use agnn_data::tracer;
+use agnn_infer::conformance::tracer_config;
+use agnn_infer::InferenceEngine;
+
+fn fitted_full() -> Agnn {
+    let data = tracer::dataset();
+    let split = tracer::split(&data);
+    let mut model = Agnn::new(tracer_config(VariantName::Full));
+    model.fit(&data, &split);
+    model
+}
+
+#[test]
+fn identical_runs_save_identical_bytes() {
+    let a = fitted_full().export_snapshot().unwrap().to_json_string();
+    let b = fitted_full().export_snapshot().unwrap().to_json_string();
+    assert!(a == b, "two identically-seeded training runs produced different snapshot bytes");
+}
+
+#[test]
+fn save_load_score_is_bit_exact() {
+    let model = fitted_full();
+    let snap = model.export_snapshot().unwrap();
+    let path = std::env::temp_dir().join(format!("agnn-snap-test-{}.json", std::process::id()));
+    snap.save(&path).unwrap();
+    let loaded = ModelSnapshot::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Re-encoding the loaded snapshot reproduces the file bytes.
+    assert!(loaded.to_json_string() == snap.to_json_string(), "load → re-encode changed the bytes");
+
+    // And the engine built from the loaded snapshot scores bit-identically
+    // to both the in-memory snapshot and the tape.
+    let direct = InferenceEngine::from_snapshot(&snap).unwrap();
+    let reloaded = InferenceEngine::from_snapshot(&loaded).unwrap();
+    let pairs = [(0u32, 0u32), (0, 1), (1, 0), (1, 1)];
+    let tape = model.predict_batch(&pairs);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&direct.score_batch(&pairs)), bits(&tape));
+    assert_eq!(bits(&reloaded.score_batch(&pairs)), bits(&tape));
+}
+
+/// Locks the `ParamStore` registration order for the full model. Snapshot
+/// byte-stability depends on this order being deterministic; if a refactor
+/// reorders `build_side`, this fails loudly instead of silently bumping
+/// every saved snapshot off its bytes (that requires a format-version
+/// bump).
+#[test]
+fn full_model_param_order_is_locked() {
+    let snap = fitted_full().export_snapshot().unwrap();
+    let names: Vec<&str> = snap.params.iter().map(|p| p.name.as_str()).collect();
+    let side = |s: &str| -> Vec<String> {
+        [
+            "evae.enc_mu.w",
+            "evae.enc_mu.b",
+            "evae.enc_logvar.w",
+            "evae.enc_logvar.b",
+            "evae.dec.w",
+            "evae.dec.b",
+            "pref",
+            "attr.attr_table",
+            "attr.w_bi.w",
+            "attr.w_lin.w",
+            "attr.bias",
+            "fuse.w",
+            "fuse.b",
+            "gnn0.agate.w",
+            "gnn0.agate.b",
+            "gnn0.fgate.w",
+            "gnn0.fgate.b",
+            "bias",
+        ]
+        .iter()
+        .map(|n| format!("{s}.{n}"))
+        .collect()
+    };
+    let mut expected: Vec<String> = side("user");
+    expected.extend(side("item"));
+    expected.extend(["pred.l0.w", "pred.l0.b", "pred.l1.w", "pred.l1.b", "global_bias"].map(String::from));
+    assert_eq!(names, expected.iter().map(String::as_str).collect::<Vec<_>>());
+}
+
+#[test]
+fn engine_rejects_foreign_model() {
+    let mut snap = fitted_full().export_snapshot().unwrap();
+    snap.model = "SVD".into();
+    let Err(err) = InferenceEngine::from_snapshot(&snap) else { panic!("foreign model accepted") };
+    assert!(err.to_string().contains("SVD"), "{err}");
+}
+
+#[test]
+fn engine_rejects_missing_param() {
+    let mut snap = fitted_full().export_snapshot().unwrap();
+    snap.params.retain(|p| p.name != "item.fuse.w");
+    let Err(err) = InferenceEngine::from_snapshot(&snap) else { panic!("missing param accepted") };
+    assert!(err.to_string().contains("item.fuse.w"), "{err}");
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_pair_panics() {
+    let snap = fitted_full().export_snapshot().unwrap();
+    let engine = InferenceEngine::from_snapshot(&snap).unwrap();
+    let _ = engine.score_batch(&[(99, 0)]);
+}

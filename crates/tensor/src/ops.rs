@@ -491,6 +491,54 @@ fn segment_pool_block(oblock: &mut [f32], ablock: &[f32], g: usize, n: usize, me
     }
 }
 
+/// Sums each variable-length row segment `offsets[i]..offsets[i+1]`.
+///
+/// `offsets` is a monotone prefix array whose last entry equals `a.rows()`;
+/// the output has `offsets.len() - 1` rows. Empty segments yield zero rows.
+/// This is the forward kernel behind the autograd tape's variable-segment
+/// ops *and* the tape-free inference path — both routes call this one
+/// implementation, so their outputs are bit-identical by construction.
+pub fn segment_sum_rows_var(a: &Matrix, offsets: &[usize]) -> Matrix {
+    segment_reduce_rows_var(a, offsets, false)
+}
+
+/// Averages each variable-length row segment `offsets[i]..offsets[i+1]`.
+/// See [`segment_sum_rows_var`] for the offsets contract.
+pub fn segment_mean_rows_var(a: &Matrix, offsets: &[usize]) -> Matrix {
+    segment_reduce_rows_var(a, offsets, true)
+}
+
+/// Serial reduction shared by the variable-segment kernels. Rows accumulate
+/// in ascending source order within each segment; output rows are
+/// independent, so any future parallel path must partition whole segments.
+fn segment_reduce_rows_var(a: &Matrix, offsets: &[usize], mean: bool) -> Matrix {
+    assert!(offsets.len() >= 2 || (offsets.len() == 1 && a.rows() == 0), "segment offsets too short: {}", offsets.len());
+    let n = offsets.len() - 1;
+    assert_eq!(*offsets.last().expect("non-empty offsets"), a.rows(), "offsets end {} != {} rows", offsets.last().expect("non-empty offsets"), a.rows());
+    let cols = a.cols();
+    let mut out = Matrix::zeros(n, cols);
+    for i in 0..n {
+        let (lo, hi) = (offsets[i], offsets[i + 1]);
+        assert!(lo <= hi, "offsets not monotone at {i}: {lo} > {hi}");
+        if lo == hi {
+            continue;
+        }
+        let orow = out.row_mut(i);
+        for r in lo..hi {
+            for (o, &v) in orow.iter_mut().zip(a.row(r)) {
+                *o += v;
+            }
+        }
+        if mean {
+            let inv = 1.0 / (hi - lo) as f32;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
 /// Multiplies each row `i` of an `m × n` matrix by the scalar `col[i]` of an `m × 1` column.
 pub fn mul_col_broadcast(a: &Matrix, col: &Matrix) -> Matrix {
     let _ = shape::col_broadcast("mul_col_broadcast", a.shape(), col.shape()).unwrap_or_else(|e| panic!("{e}"));
