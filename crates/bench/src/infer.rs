@@ -115,6 +115,9 @@ pub struct InferBenchReport {
     pub materialize_ns: u64,
     /// One row per batch size.
     pub results: Vec<InferTiming>,
+    /// Engine-side metric snapshot of the materialize + sweep phase
+    /// (`infer.*` counters and latency histograms).
+    pub metrics: agnn_obs::metrics::Snapshot,
 }
 
 impl InferBenchReport {
@@ -135,6 +138,7 @@ impl InferBenchReport {
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
         out.push_str(&format!("  \"materialize_ns\": {},\n", self.materialize_ns));
         out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str(&format!("  \"metrics\": {},\n", self.metrics.render_json()));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
@@ -236,6 +240,13 @@ pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
     model.fit(&data, &split);
     let snap = model.export_snapshot().expect("fitted model snapshots");
     let mut engine = InferenceEngine::from_snapshot(&snap).expect("snapshot resolves");
+    // Collect the engine's own instrumentation over materialize + sweep so
+    // the artifact records cache traffic and per-stage latency next to the
+    // end-to-end numbers. Enabled after the fit, so training noise stays
+    // out; the tape path is uninstrumented either way.
+    let metrics_was = agnn_obs::metrics::enabled();
+    agnn_obs::metrics::reset();
+    agnn_obs::metrics::set_enabled(true);
     let t = Instant::now();
     engine.materialize();
     let materialize_ns = t.elapsed().as_nanos() as u64;
@@ -249,6 +260,9 @@ pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
             && tape_out.iter().zip(&free_out).all(|(a, b)| a.to_bits() == b.to_bits());
         results.push(InferTiming { batch, tape_ns, free_ns, identical });
     }
+    agnn_obs::metrics::set_enabled(metrics_was);
+    let metrics = agnn_obs::metrics::snapshot();
+    agnn_obs::metrics::reset();
     InferBenchReport {
         dataset: data.name.clone(),
         users: data.num_users,
@@ -257,6 +271,7 @@ pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
         reps: cfg.reps,
         materialize_ns,
         results,
+        metrics,
     }
 }
 
@@ -270,6 +285,9 @@ mod tests {
         assert_eq!(report.results.len(), 2);
         assert!(report.all_identical(), "tape vs engine divergence: {report:?}");
         assert!(report.results.iter().all(|r| r.requests_per_sec() > 0.0));
+        // The engine's instrumentation landed in the artifact snapshot.
+        assert!(report.metrics.counter("infer.score.pairs").unwrap_or(0) > 0, "{:?}", report.metrics);
+        assert!(report.metrics.histogram("infer.score.chunk_ns").is_some());
     }
 
     #[test]
@@ -282,6 +300,7 @@ mod tests {
             reps: 3,
             materialize_ns: 1000,
             results: vec![InferTiming { batch: 16, tape_ns: vec![100, 200, 300], free_ns: vec![50, 60, 70], identical: true }],
+            metrics: Default::default(),
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"infer\""));

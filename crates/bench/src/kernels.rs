@@ -101,6 +101,10 @@ pub struct KernelBenchReport {
     pub reps: usize,
     /// One row per (kernel, shape).
     pub results: Vec<KernelTiming>,
+    /// Op-profile drain of the whole sweep (`tensor.<kernel>.calls` /
+    /// `.nanos` counters), collected into a private registry so parallel
+    /// test threads cannot pollute the artifact.
+    pub metrics: agnn_obs::metrics::Snapshot,
 }
 
 impl KernelBenchReport {
@@ -122,6 +126,7 @@ impl KernelBenchReport {
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
         out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str(&format!("  \"metrics\": {},\n", self.metrics.render_json()));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
@@ -209,6 +214,13 @@ fn measure(
 /// Runs the full serial-vs-parallel sweep. Restores [`ParallelMode::Auto`]
 /// before returning.
 pub fn run_kernel_bench(cfg: &KernelBenchConfig) -> KernelBenchReport {
+    // Profile the sweep so the artifact carries an op-level drain alongside
+    // the serial/parallel comparison (same `tensor.*` namespace as
+    // `--metrics-out`). The instrumentation is identical in both modes, so
+    // the comparison stays fair.
+    let profile_was = agnn_tensor::profile::profiling_enabled();
+    agnn_tensor::profile::reset();
+    agnn_tensor::profile::set_profiling(true);
     let mut results = Vec::new();
     for &shape in &cfg.shapes {
         let rows = shape.rows();
@@ -229,10 +241,14 @@ pub fn run_kernel_bench(cfg: &KernelBenchConfig) -> KernelBenchReport {
         results.push(measure("segment_sum_rows", shape, cfg, || ops::segment_sum_rows(&nbr, shape.fanout)));
         results.push(measure("repeat_rows", shape, cfg, || ops::repeat_rows(&pooled, shape.fanout)));
     }
+    agnn_tensor::profile::set_profiling(profile_was);
+    let reg = agnn_obs::metrics::Registry::new();
+    agnn_obs::bridge::record_op_profile_into(&reg, &agnn_tensor::profile::take());
     KernelBenchReport {
         threads: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
         reps: cfg.reps,
         results,
+        metrics: reg.snapshot(),
     }
 }
 
@@ -249,6 +265,9 @@ mod tests {
         assert!(report.threads >= 1);
         // Dispatch mode must be restored for subsequent code.
         assert_eq!(ops::parallel_mode(), ParallelMode::Auto);
+        // The sweep's op-profile drain lands in the artifact snapshot.
+        assert!(report.metrics.counter("tensor.matmul.calls").unwrap_or(0) > 0, "{:?}", report.metrics);
+        assert!(!agnn_tensor::profile::profiling_enabled(), "profiling switch must be restored");
     }
 
     #[test]
@@ -263,6 +282,7 @@ mod tests {
                 parallel_ns: 50,
                 identical: true,
             }],
+            metrics: Default::default(),
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));

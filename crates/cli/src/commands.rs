@@ -37,6 +37,74 @@ impl From<serde_json::Error> for CliError {
     }
 }
 
+/// Process-wide telemetry switches shared by `train` and `serve`:
+/// `--log-level` sets the log facade threshold, `--telemetry <path.jsonl>`
+/// installs a structured trace sink, and `--metrics-out <path>` (or a
+/// command-side need such as `serve --stats-every`) turns on global metric
+/// collection. [`Telemetry::finish`] flushes the sink and writes the
+/// Prometheus-style metrics file; `Drop` guarantees the global backends go
+/// back off even on an error path (important for in-process tests).
+struct Telemetry {
+    tracing: bool,
+    collecting: bool,
+    metrics_out: Option<String>,
+}
+
+fn telemetry_start(opts: &Opts, need_metrics: bool) -> Result<Telemetry, CliError> {
+    if let Some(spec) = opts.get("log-level") {
+        let level: agnn_obs::log::Level = spec.parse().map_err(CliError)?;
+        agnn_obs::log::set_level(level);
+    }
+    let tracing = match opts.get("telemetry") {
+        Some(path) => {
+            agnn_obs::trace::open_jsonl(std::path::Path::new(path))?;
+            true
+        }
+        None => false,
+    };
+    let metrics_out = opts.get("metrics-out").map(String::from);
+    let collecting = metrics_out.is_some() || need_metrics;
+    if collecting {
+        agnn_obs::metrics::reset();
+        agnn_obs::metrics::set_enabled(true);
+    }
+    Ok(Telemetry { tracing, collecting, metrics_out })
+}
+
+impl Telemetry {
+    /// Tears the backends down; returns a `wrote metrics to <path>` note
+    /// when `--metrics-out` was given.
+    fn finish(&mut self) -> Result<Option<String>, CliError> {
+        if self.tracing {
+            agnn_obs::trace::shutdown();
+            self.tracing = false;
+        }
+        let mut note = None;
+        if self.collecting {
+            agnn_obs::metrics::set_enabled(false);
+            self.collecting = false;
+            let snap = agnn_obs::metrics::snapshot();
+            agnn_obs::metrics::reset();
+            if let Some(path) = &self.metrics_out {
+                std::fs::write(path, snap.render_prometheus())?;
+                note = Some(format!("wrote metrics to {path}"));
+            }
+        }
+        Ok(note)
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        if self.tracing {
+            agnn_obs::trace::shutdown();
+        }
+        if self.collecting {
+            agnn_obs::metrics::set_enabled(false);
+        }
+    }
+}
+
 /// Runs the CLI against parsed options; returns the text to print.
 pub fn run(opts: &Opts) -> Result<String, CliError> {
     match opts.command.as_str() {
@@ -124,7 +192,7 @@ struct TrainReportJson {
 fn train(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report", "patience", "log-every",
-        "profile-ops", "save",
+        "profile-ops", "save", "telemetry", "metrics-out", "log-level",
     ])?;
     let data = load_dataset(opts)?;
     let kind = scenario(opts)?;
@@ -133,10 +201,16 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     let split = Split::create(&data, SplitConfig { kind, test_fraction: frac, seed });
     split.validate();
     let mut model = build_model(opts)?;
+    let mut tele = telemetry_start(opts, false)?;
     let profile_ops = opts.get("profile-ops") == Some("true");
+    // When metric collection is live the op-profile drain feeds the
+    // `tensor.*` counters too, so kernel time shows up in --metrics-out
+    // next to the loss gauges without also asking for --profile-ops.
+    let profile = profile_ops || agnn_obs::metrics::enabled();
     let mut profiler = OpProfiler::new();
-    // Optional training-engine hooks: early stopping, loss logging, and
-    // per-kernel op profiling.
+    // Optional training-engine hooks: early stopping, loss logging,
+    // per-kernel op profiling, and telemetry emission (the TelemetryHook is
+    // always registered — with both obs backends off it is a no-op).
     let mut hooks = HookList::new();
     if let Some(patience) = opts.get("patience") {
         let patience: usize = patience.parse().map_err(|_| format!("--patience: cannot parse {patience:?}"))?;
@@ -146,14 +220,17 @@ fn train(opts: &Opts) -> Result<String, CliError> {
         let every: usize = every.parse().map_err(|_| format!("--log-every: cannot parse {every:?}"))?;
         hooks.push(LossLogger::every(every));
     }
-    if profile_ops {
+    if profile {
         agnn_tensor::profile::reset();
         agnn_tensor::profile::set_profiling(true);
+    }
+    if profile_ops {
         hooks.push(&mut profiler);
     }
+    hooks.push(agnn_train::TelemetryHook::new());
     let report = model.fit_with(&data, &split, &mut hooks);
     drop(hooks);
-    if profile_ops {
+    if profile {
         agnn_tensor::profile::set_profiling(false);
     }
     let result = evaluate(model.as_ref(), &data, &split.test).finish();
@@ -171,6 +248,16 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     if let Some(path) = opts.get("report") {
         std::fs::write(path, serde_json::to_string_pretty(&json)?)?;
     }
+    agnn_obs::trace::event(
+        "train.done",
+        &[
+            ("model", agnn_obs::Field::from(json.model.as_str())),
+            ("scenario", agnn_obs::Field::from(json.scenario.as_str())),
+            ("epochs", agnn_obs::Field::from(json.epoch_pred_loss.len())),
+            ("rmse", agnn_obs::Field::from(json.rmse)),
+            ("mae", agnn_obs::Field::from(json.mae)),
+        ],
+    );
     let mut msg = format!(
         "{} on {} [{}]: RMSE {:.4}  MAE {:.4}  (n = {}, {:.1}s train)",
         json.model, data.name, json.scenario, json.rmse, json.mae, json.n, json.train_seconds
@@ -178,6 +265,10 @@ fn train(opts: &Opts) -> Result<String, CliError> {
     if profile_ops {
         msg.push('\n');
         msg.push_str(&profiler.render());
+    }
+    if let Some(note) = tele.finish()? {
+        msg.push('\n');
+        msg.push_str(&note);
     }
     if let Some(path) = opts.get("save") {
         let snap = model
@@ -198,8 +289,18 @@ fn train(opts: &Opts) -> Result<String, CliError> {
 /// (`--stdin`, one comma-separated pair list per line, blank line or EOF to
 /// stop). Scores are clamped to the snapshot's rating scale and printed in
 /// the same `user U item I: S` shape as `predict`.
+///
+/// Observability: `--stats-every N` prints a `p50/p90/p99` latency line
+/// (from the `serve.request.latency_ns` histogram) every `N` requests plus
+/// a final summary; `--telemetry`/`--metrics-out`/`--log-level` behave as
+/// on `train`. Unparseable request lines are counted in
+/// `serve.parse_errors` and warned about, never fatal.
 fn serve(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["model", "pairs", "stdin", "no-materialize"])?;
+    opts.assert_known(&[
+        "model", "pairs", "stdin", "no-materialize", "stats-every", "telemetry", "metrics-out", "log-level",
+    ])?;
+    let stats_every: usize = opts.parse_or("stats-every", 0usize)?;
+    let mut tele = telemetry_start(opts, stats_every > 0)?;
     let path = opts.required("model")?;
     let snap = agnn_core::ModelSnapshot::load(std::path::Path::new(path)).map_err(|e| CliError(e.to_string()))?;
     let mut engine = agnn_infer::InferenceEngine::from_snapshot(&snap).map_err(|e| CliError(e.to_string()))?;
@@ -224,35 +325,81 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
         Ok(out.trim_end().to_string())
     };
     if let Some(spec) = opts.get("pairs") {
-        return score_lines(&parse_pairs(spec)?);
+        let mut out = score_lines(&parse_pairs(spec)?)?;
+        if let Some(note) = tele.finish()? {
+            out.push('\n');
+            out.push_str(&note);
+        }
+        return Ok(out);
     }
     if opts.get("stdin") != Some("true") {
         return Err(CliError("serve: pass --pairs u:i,u:i for one-shot scoring or --stdin for a request loop".into()));
     }
     use std::io::BufRead;
-    eprintln!(
+    agnn_obs::log::info(format!(
         "serving {} snapshot ({} users × {} items, cache {}) — one u:i,u:i line per request, blank line to stop",
         engine.dataset(),
         engine.num_users(),
         engine.num_items(),
         if engine.is_materialized() { "materialized" } else { "off" }
-    );
+    ));
+    let stats_line = |requests: usize| {
+        if let Some(h) = agnn_obs::metrics::snapshot().histogram("serve.request.latency_ns") {
+            eprintln!(
+                "serve stats: {requests} request(s)  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+                h.p50_ns() as f64 / 1e3,
+                h.p90_ns() as f64 / 1e3,
+                h.p99_ns() as f64 / 1e3,
+                h.max_ns() as f64 / 1e3
+            );
+        }
+    };
     let mut served = 0usize;
+    let mut requests = 0usize;
     for line in std::io::stdin().lock().lines() {
         let line = line?;
         let line = line.trim();
         if line.is_empty() {
             break;
         }
-        match parse_pairs(line).map_err(CliError).and_then(|pairs| score_lines(&pairs).map(|out| (pairs.len(), out))) {
-            Ok((n, out)) => {
-                println!("{out}");
-                served += n;
+        let pairs = match parse_pairs(line) {
+            Ok(pairs) => pairs,
+            Err(e) => {
+                agnn_obs::metrics::counter_add("serve.parse_errors", 1);
+                agnn_obs::log::warn(format!("serve: {e}"));
+                continue;
             }
-            Err(e) => eprintln!("error: {e}"),
+        };
+        let span = agnn_obs::span("serve.request").with_field("pairs", pairs.len());
+        let scored = agnn_obs::metrics::timed("serve.request.latency_ns", || score_lines(&pairs));
+        drop(span);
+        match scored {
+            Ok(out) => {
+                println!("{out}");
+                served += pairs.len();
+                requests += 1;
+                agnn_obs::metrics::counter_add("serve.requests", 1);
+                agnn_obs::metrics::counter_add("serve.served_pairs", pairs.len() as u64);
+                if stats_every > 0 && requests % stats_every == 0 {
+                    stats_line(requests);
+                }
+            }
+            Err(e) => {
+                agnn_obs::metrics::counter_add("serve.request_errors", 1);
+                agnn_obs::log::warn(format!("serve: {e}"));
+            }
         }
     }
-    Ok(format!("served {served} pair(s)"))
+    if stats_every > 0 && requests > 0 && requests % stats_every != 0 {
+        // Exit summary for the tail that didn't land on a period boundary.
+        stats_line(requests);
+    }
+    let mut msg = format!("served {served} pair(s)");
+    if let Some(note) = tele.finish()? {
+        msg.push('\n');
+        msg.push_str(&note);
+    }
+    Ok(msg)
 }
 
 /// `agnn bench --kernels | --infer` — the two perf-baseline sweeps.

@@ -17,6 +17,14 @@
 //! non-finite ops, dead parameters, and orphan nodes (see `agnn-check`);
 //! it exits non-zero on any error-severity finding.
 //!
+//! `train` and `serve` additionally accept the telemetry flags
+//! `--telemetry <path.jsonl>` (structured span/event stream),
+//! `--metrics-out <path>` (Prometheus-style text exposition on exit), and
+//! `--log-level quiet|normal|verbose`; `serve --stdin --stats-every N`
+//! prints periodic p50/p99 request-latency lines. All of it is
+//! observation-only: scores and losses are bit-identical with telemetry on
+//! or off (locked by the `telemetry` integration test).
+//!
 //! Datasets travel as JSON (the [`agnn_data::Dataset`] serde form), so users
 //! can bring their own data by emitting the same schema.
 

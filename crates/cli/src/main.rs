@@ -7,15 +7,15 @@ fn main() {
     let opts = match Opts::parse(std::env::args()) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("usage: agnn <generate|train|predict|serve|check|bench> [--flag value ...]");
+            agnn_obs::log::error(format!("error: {e}"));
+            agnn_obs::log::error("usage: agnn <generate|train|predict|serve|check|bench> [--flag value ...]");
             std::process::exit(2);
         }
     };
     match agnn_cli::run(&opts) {
         Ok(msg) => println!("{msg}"),
         Err(e) => {
-            eprintln!("error: {e}");
+            agnn_obs::log::error(format!("error: {e}"));
             std::process::exit(1);
         }
     }

@@ -6,6 +6,7 @@ use agnn_core::evae::warm_mask;
 use agnn_core::interaction::AttrLists;
 use agnn_core::{AgnnConfig, GnnKind, GraphKind, ModelSnapshot, SnapshotError};
 use agnn_graph::CandidatePools;
+use agnn_obs::{metrics, trace};
 use agnn_tensor::{ops, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -182,8 +183,14 @@ impl InferenceEngine {
     /// embedding path is row-independent).
     fn embed(&self, side: &SideState, nodes: &[usize]) -> Matrix {
         match &side.cache {
-            Some(cache) => cache.gather_rows(nodes),
-            None => Self::embed_nodes(&self.cfg, side, nodes),
+            Some(cache) => {
+                metrics::counter_add("infer.embed.cache_hit_rows", nodes.len() as u64);
+                cache.gather_rows(nodes)
+            }
+            None => {
+                metrics::counter_add("infer.embed.cache_miss_rows", nodes.len() as u64);
+                Self::embed_nodes(&self.cfg, side, nodes)
+            }
         }
     }
 
@@ -193,18 +200,26 @@ impl InferenceEngine {
     /// plus the GNN and prediction layers.
     pub fn materialize(&mut self) {
         let cfg = self.cfg;
+        let mut span = trace::span("infer.materialize");
+        let mut total_rows = 0usize;
         for side in [&mut self.user, &mut self.item] {
             let n = side.pref.rows();
+            total_rows += n;
+            let cold_rows = side.cold.iter().filter(|&&c| c).count();
+            metrics::counter_add("infer.materialize.rows", n as u64);
+            metrics::counter_add("infer.materialize.cold_rows", cold_rows as u64);
+            metrics::counter_add("infer.materialize.warm_rows", (n - cold_rows) as u64);
             let mut parts = Vec::with_capacity(n.div_ceil(CHUNK));
             let mut start = 0;
             while start < n {
                 let nodes: Vec<usize> = (start..(start + CHUNK).min(n)).collect();
-                parts.push(Self::embed_nodes(&cfg, side, &nodes));
+                parts.push(metrics::timed("infer.materialize.chunk_ns", || Self::embed_nodes(&cfg, side, &nodes)));
                 start += CHUNK;
             }
             let refs: Vec<&Matrix> = parts.iter().collect();
             side.cache = Some(if refs.is_empty() { Matrix::zeros(0, cfg.embed_dim) } else { Matrix::vstack(&refs) });
         }
+        span.field("rows", total_rows);
     }
 
     /// Drops the materialized caches (fresh-compute mode again).
@@ -281,23 +296,38 @@ impl InferenceEngine {
             assert!((u as usize) < nu, "score_batch: user {u} out of range ({nu} users)");
             assert!((i as usize) < ni, "score_batch: item {i} out of range ({ni} items)");
         }
+        let mut span = trace::span("infer.score_batch").with_field("pairs", pairs.len());
+        span.field("materialized", self.is_materialized());
+        if metrics::enabled() {
+            let scs = pairs.iter().filter(|&&(u, i)| self.user.cold[u as usize] || self.item.cold[i as usize]).count();
+            metrics::counter_add("infer.score.pairs", pairs.len() as u64);
+            metrics::counter_add("infer.score.scs_pairs", scs as u64);
+            metrics::counter_add("infer.score.warm_pairs", (pairs.len() - scs) as u64);
+        }
         let mut out = Vec::with_capacity(pairs.len());
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
         for chunk in pairs.chunks(CHUNK) {
-            let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
-            let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
-            let mut acc = vec![0.0f32; chunk.len()];
-            let passes = 1 + EVAL_NEIGHBORHOOD_SAMPLES;
-            for pass in 0..passes {
-                let sample = pass > 0;
-                let pu = self.side_forward(Side::User, &users, sample, &mut rng);
-                let qi = self.side_forward(Side::Item, &items, sample, &mut rng);
-                let scores = self.predict_scores(&pu, &qi, &users, &items);
-                for (a, &v) in acc.iter_mut().zip(scores.as_slice()) {
-                    *a += v;
+            metrics::timed("infer.score.chunk_ns", || {
+                let users: Vec<usize> = chunk.iter().map(|&(u, _)| u as usize).collect();
+                let items: Vec<usize> = chunk.iter().map(|&(_, i)| i as usize).collect();
+                let mut acc = vec![0.0f32; chunk.len()];
+                let passes = 1 + EVAL_NEIGHBORHOOD_SAMPLES;
+                for pass in 0..passes {
+                    let sample = pass > 0;
+                    let pu = metrics::timed("infer.score.side_forward_ns", || {
+                        self.side_forward(Side::User, &users, sample, &mut rng)
+                    });
+                    let qi = metrics::timed("infer.score.side_forward_ns", || {
+                        self.side_forward(Side::Item, &items, sample, &mut rng)
+                    });
+                    let scores =
+                        metrics::timed("infer.score.predict_ns", || self.predict_scores(&pu, &qi, &users, &items));
+                    for (a, &v) in acc.iter_mut().zip(scores.as_slice()) {
+                        *a += v;
+                    }
                 }
-            }
-            out.extend(acc.into_iter().map(|v| v / passes as f32));
+                out.extend(acc.into_iter().map(|v| v / passes as f32));
+            });
         }
         out
     }

@@ -1,0 +1,52 @@
+//! Folds `agnn_tensor::profile` kernel-timing drains into the metrics
+//! registry, unifying the two observability systems: every kernel bucket
+//! becomes a `tensor.<kernel>.calls` / `tensor.<kernel>.nanos` counter
+//! pair, so `--metrics-out` and the BENCH artifacts report op timings in
+//! the same namespace as the serving and training metrics.
+
+use crate::metrics::{self, Registry};
+use agnn_tensor::profile::OpProfile;
+
+/// Records one profile drain into `reg` (used by benches building private
+/// artifact snapshots).
+pub fn record_op_profile_into(reg: &Registry, profile: &OpProfile) {
+    for e in &profile.entries {
+        reg.counter_add(&format!("tensor.{}.calls", e.kernel), e.calls);
+        reg.counter_add(&format!("tensor.{}.nanos", e.kernel), e.nanos);
+    }
+}
+
+/// Records one profile drain into the global registry. No-op while global
+/// collection is disabled.
+pub fn record_op_profile(profile: &OpProfile) {
+    if !metrics::enabled() {
+        return;
+    }
+    for e in &profile.entries {
+        metrics::counter_add(&format!("tensor.{}.calls", e.kernel), e.calls);
+        metrics::counter_add(&format!("tensor.{}.nanos", e.kernel), e.nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_tensor::profile::{OpProfile, OpTiming};
+
+    #[test]
+    fn drain_lands_in_tensor_namespace() {
+        let reg = Registry::new();
+        let profile = OpProfile {
+            entries: vec![
+                OpTiming { kernel: "matmul", calls: 3, nanos: 900 },
+                OpTiming { kernel: "transpose", calls: 1, nanos: 50 },
+            ],
+        };
+        record_op_profile_into(&reg, &profile);
+        record_op_profile_into(&reg, &profile);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("tensor.matmul.calls"), Some(6));
+        assert_eq!(snap.counter("tensor.matmul.nanos"), Some(1800));
+        assert_eq!(snap.counter("tensor.transpose.calls"), Some(2));
+    }
+}

@@ -1,0 +1,39 @@
+//! Unified telemetry layer for the AGNN workspace (DESIGN.md §5b6).
+//!
+//! Three cooperating facilities, all process-global, all observation-only
+//! (nothing in this crate may change what the instrumented code computes —
+//! the conformance guard in `agnn-cli` locks telemetry-on vs telemetry-off
+//! runs to bit-identical losses and scores):
+//!
+//! - [`trace`] — structured spans and events. [`trace::span`] returns an
+//!   RAII guard that stamps its wall-clock duration and any attached fields
+//!   into a JSONL sink on drop; [`trace::event`] writes a point-in-time
+//!   line. With no sink installed the whole path is one relaxed atomic
+//!   load.
+//! - [`metrics`] — a registry of named counters, gauges, and fixed-bucket
+//!   latency histograms (p50/p90/p99 summaries), rendered as a human
+//!   table, Prometheus-style text exposition, or canonical JSON for the
+//!   `BENCH_*.json` artifacts. Metric names follow the
+//!   `component.stage.metric` convention (`serve.request.latency_ns`,
+//!   `infer.embed.cache_hits`, `train.epoch.pred_loss`).
+//! - [`log`] — a leveled stderr facade (quiet / normal / verbose) that the
+//!   scattered CLI and trainer diagnostics route through, wired to
+//!   `--log-level`.
+//!
+//! [`bridge`] folds `agnn_tensor::profile` kernel-timing drains into the
+//! metrics registry under the `tensor.*` namespace, so op profiles and
+//! telemetry metrics are one unified view.
+
+pub mod bridge;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use trace::{event, span, Field, SpanGuard};
+
+/// True when any telemetry facility is live: a trace sink is installed or
+/// the metrics registry is collecting. Instrumented code uses this to skip
+/// work (like gradient-norm computation) that only feeds telemetry.
+pub fn telemetry_enabled() -> bool {
+    trace::enabled() || metrics::enabled()
+}

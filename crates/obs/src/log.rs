@@ -1,0 +1,116 @@
+//! Leveled stderr log facade.
+//!
+//! The workspace's diagnostics (trainer warnings, serve banners, loss
+//! logging) route through here instead of raw `eprintln!`, so `--log-level`
+//! controls them from one place. Policy:
+//!
+//! | level   | [`error`] | [`warn`] | [`info`] | [`debug`] |
+//! |---------|-----------|----------|----------|-----------|
+//! | quiet   | yes       | yes      | no       | no        |
+//! | normal  | yes       | yes      | yes      | no        |
+//! | verbose | yes       | yes      | yes      | yes       |
+//!
+//! Everything goes to stderr — stdout stays reserved for command results,
+//! matching the CLI's existing convention. Bench/experiment table rendering
+//! deliberately does *not* route through this facade.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity threshold, lowest to highest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Errors and warnings only.
+    Quiet,
+    /// Plus informational diagnostics (the default).
+    Normal,
+    /// Plus debug detail.
+    Verbose,
+}
+
+impl Level {
+    /// Stable lowercase name (the `--log-level` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Quiet => "quiet",
+            Level::Normal => "normal",
+            Level::Verbose => "verbose",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "quiet" | "q" => Ok(Level::Quiet),
+            "normal" | "n" => Ok(Level::Normal),
+            "verbose" | "v" => Ok(Level::Verbose),
+            other => Err(format!("unknown log level {other:?} (quiet | normal | verbose)")),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process-wide verbosity.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current verbosity.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        2 => Level::Verbose,
+        _ => Level::Normal,
+    }
+}
+
+/// Unconditional: errors always print.
+pub fn error(msg: impl AsRef<str>) {
+    eprintln!("{}", msg.as_ref());
+}
+
+/// Prints `warning: <msg>` at every level (quiet still surfaces warnings).
+pub fn warn(msg: impl AsRef<str>) {
+    eprintln!("warning: {}", msg.as_ref());
+}
+
+/// Informational diagnostics; suppressed by `quiet`.
+pub fn info(msg: impl AsRef<str>) {
+    if level() >= Level::Normal {
+        eprintln!("{}", msg.as_ref());
+    }
+}
+
+/// Debug detail; printed only at `verbose`.
+pub fn debug(msg: impl AsRef<str>) {
+    if level() >= Level::Verbose {
+        eprintln!("{}", msg.as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("quiet".parse::<Level>().unwrap(), Level::Quiet);
+        assert_eq!("v".parse::<Level>().unwrap(), Level::Verbose);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Quiet < Level::Normal);
+        assert!(Level::Normal < Level::Verbose);
+        assert_eq!(Level::Verbose.name(), "verbose");
+    }
+
+    #[test]
+    fn set_level_roundtrips() {
+        let before = level();
+        set_level(Level::Verbose);
+        assert_eq!(level(), Level::Verbose);
+        set_level(Level::Quiet);
+        assert_eq!(level(), Level::Quiet);
+        set_level(before);
+    }
+}

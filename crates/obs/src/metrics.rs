@@ -1,0 +1,580 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket latency
+//! histograms.
+//!
+//! Names follow `component.stage.metric` (`serve.request.latency_ns`,
+//! `infer.embed.cache_hits`). The first registration of a name fixes its
+//! kind; later operations of a different kind on the same name are ignored
+//! (observation code must never panic a serving process over a telemetry
+//! name clash).
+//!
+//! A process-global registry backs the free functions ([`counter_add`],
+//! [`gauge_set`], [`observe_ns`], [`timed`]); they are no-ops until
+//! [`set_enabled`]`(true)`, so idle cost is one relaxed atomic load per
+//! call site. [`Registry`] instances ignore the global switch — benches use
+//! private registries to build artifact snapshots without racing other
+//! threads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Histogram bucket upper bounds in nanoseconds (inclusive), log-spaced
+/// from 1µs to 10s. A final implicit overflow bucket catches everything
+/// beyond the last bound.
+pub const BUCKETS_NS: [u64; 22] = [
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+const N_BUCKETS: usize = BUCKETS_NS.len() + 1; // + overflow
+
+/// Fixed-bucket latency histogram with percentile summaries.
+///
+/// Percentiles resolve to the matched bucket's upper bound clamped to the
+/// maximum observed value, so resolution is bounded by the bucket ladder
+/// (documented, and locked by unit tests) — good enough for p50/p99 serving
+/// dashboards without storing raw samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { counts: [0; N_BUCKETS], count: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket `ns` falls into (`BUCKETS_NS` bounds are
+    /// inclusive; beyond the last bound lands in the overflow bucket).
+    pub fn bucket_index(ns: u64) -> usize {
+        BUCKETS_NS.iter().position(|&b| ns <= b).unwrap_or(BUCKETS_NS.len())
+    }
+
+    /// Records one observation. Count and sum saturate instead of wrapping.
+    pub fn observe(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] = self.counts[Self::bucket_index(ns)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest observation, 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// Smallest observation, 0 when empty.
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) as the matched bucket's upper
+    /// bound, clamped to the observed maximum. 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if cumulative >= rank {
+                let upper = if i < BUCKETS_NS.len() { BUCKETS_NS[i] } else { self.max_ns };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 90th percentile latency.
+    pub fn p90_ns(&self) -> u64 {
+        self.percentile_ns(90.0)
+    }
+
+    /// Tail latency.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// Folds another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One registered metric. The histogram is boxed so the enum stays two
+/// words for the (far more common) counter/gauge entries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotonic count (saturating on overflow).
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Latency distribution.
+    Histogram(Box<Histogram>),
+}
+
+impl Metric {
+    /// `counter` / `gauge` / `histogram` — used by every renderer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A thread-safe named-metric registry.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds `by` to the counter `name` (saturating; created at `by`).
+    pub fn counter_add(&self, name: &str, by: u64) {
+        let mut map = self.lock();
+        match map.get_mut(name) {
+            Some(Metric::Counter(v)) => *v = v.saturating_add(by),
+            Some(_) => {}
+            None => {
+                map.insert(name.to_string(), Metric::Counter(by));
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut map = self.lock();
+        match map.get_mut(name) {
+            Some(Metric::Gauge(v)) => *v = value,
+            Some(_) => {}
+            None => {
+                map.insert(name.to_string(), Metric::Gauge(value));
+            }
+        }
+    }
+
+    /// Records `ns` into the histogram `name` (created on first use).
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        let mut map = self.lock();
+        match map.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.observe(ns),
+            Some(_) => {}
+            None => {
+                let mut h = Histogram::new();
+                h.observe(ns);
+                map.insert(name.to_string(), Metric::Histogram(Box::new(h)));
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { entries: self.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect() }
+    }
+
+    /// Drops every metric.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+}
+
+/// A sorted, cloneable copy of a registry's state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, metric)` pairs, sorted by name.
+    pub entries: Vec<(String, Metric)>,
+}
+
+impl Snapshot {
+    /// Metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Counter value by name, when the name is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, when the name is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name, when the name is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Human-readable aligned table, one metric per line.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("metric                                    type       value\n");
+        for (name, metric) in &self.entries {
+            let value = match metric {
+                Metric::Counter(v) => v.to_string(),
+                Metric::Gauge(v) => format!("{v:.6}"),
+                Metric::Histogram(h) => format!(
+                    "count {}  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+                    h.count(),
+                    h.p50_ns() as f64 / 1e3,
+                    h.p90_ns() as f64 / 1e3,
+                    h.p99_ns() as f64 / 1e3,
+                    h.max_ns() as f64 / 1e3
+                ),
+            };
+            out.push_str(&format!("{:<41} {:<10} {}\n", name, metric.kind(), value));
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition: counters and gauges verbatim,
+    /// histograms as summaries with `quantile` labels plus `_sum`/`_count`.
+    /// Names are sanitized (`.` → `_`) and prefixed `agnn_`.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::from("agnn_");
+            out.extend(name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }));
+            out
+        }
+        let mut out = String::new();
+        for (name, metric) in &self.entries {
+            let pname = sanitize(name);
+            match metric {
+                Metric::Counter(v) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {pname} summary\n"));
+                    for (q, v) in [(0.5, h.p50_ns()), (0.9, h.p90_ns()), (0.99, h.p99_ns())] {
+                        out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!("{pname}_sum {}\n{pname}_count {}\n", h.sum_ns(), h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact canonical JSON object (sorted names, stable key order per
+    /// kind) for stamping into the hand-written `BENCH_*.json` artifacts.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match metric {
+                Metric::Counter(v) => out.push_str(&format!("\"{name}\": {{\"type\": \"counter\", \"value\": {v}}}")),
+                Metric::Gauge(v) => out.push_str(&format!("\"{name}\": {{\"type\": \"gauge\", \"value\": {v}}}")),
+                Metric::Histogram(h) => out.push_str(&format!(
+                    "\"{name}\": {{\"type\": \"histogram\", \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                    h.count(),
+                    h.sum_ns(),
+                    h.p50_ns(),
+                    h.p90_ns(),
+                    h.p99_ns(),
+                    h.max_ns()
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Turns global metric collection on or off. Collection is off by default
+/// so uninstrumented runs carry zero overhead beyond one atomic load per
+/// call site.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the global registry is collecting.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// [`Registry::counter_add`] on the global registry, gated by [`enabled`].
+pub fn counter_add(name: &str, by: u64) {
+    if enabled() {
+        global().counter_add(name, by);
+    }
+}
+
+/// [`Registry::gauge_set`] on the global registry, gated by [`enabled`].
+pub fn gauge_set(name: &str, value: f64) {
+    if enabled() {
+        global().gauge_set(name, value);
+    }
+}
+
+/// [`Registry::observe_ns`] on the global registry, gated by [`enabled`].
+pub fn observe_ns(name: &str, ns: u64) {
+    if enabled() {
+        global().observe_ns(name, ns);
+    }
+}
+
+/// Runs `f`, recording its wall clock into the histogram `name` when
+/// collection is live. When disabled this is exactly `f()` — not even the
+/// clock is read, so the instrumented code path is unchanged.
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let t = Instant::now();
+    let out = f();
+    global().observe_ns(name, t.elapsed().as_nanos() as u64);
+    out
+}
+
+/// Snapshot of the global registry (works whether or not collection is on).
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clears the global registry.
+pub fn reset() {
+    global().reset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1_000), 0);
+        assert_eq!(Histogram::bucket_index(1_001), 1);
+        assert_eq!(Histogram::bucket_index(2_500), 1);
+        assert_eq!(Histogram::bucket_index(10_000_000_000), BUCKETS_NS.len() - 1);
+        assert_eq!(Histogram::bucket_index(10_000_000_001), BUCKETS_NS.len());
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS_NS.len());
+    }
+
+    #[test]
+    fn percentiles_resolve_to_clamped_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.observe(1_000);
+        }
+        for _ in 0..4 {
+            h.observe(30_000);
+        }
+        for _ in 0..2 {
+            h.observe(400_000);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum_ns(), 4_000 + 120_000 + 800_000);
+        // rank(p50) = 5 lands in the 30_000 bucket (upper bound 50_000).
+        assert_eq!(h.p50_ns(), 50_000);
+        // rank(p90) = 9 lands in the 400_000 bucket (upper bound 500_000),
+        // clamped to the observed max.
+        assert_eq!(h.p90_ns(), 400_000);
+        assert_eq!(h.p99_ns(), 400_000);
+        assert_eq!(h.min_ns(), 1_000);
+        assert_eq!(h.max_ns(), 400_000);
+    }
+
+    #[test]
+    fn single_observation_percentiles_are_exactly_it_when_clamped() {
+        let mut h = Histogram::new();
+        h.observe(3_000);
+        // Bucket upper bound is 5_000, clamped to the max observation.
+        assert_eq!(h.p50_ns(), 3_000);
+        assert_eq!(h.p99_ns(), 3_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_percentile_reports_observed_max() {
+        let mut h = Histogram::new();
+        h.observe(20_000_000_000);
+        h.observe(30_000_000_000);
+        assert_eq!(h.p99_ns(), 30_000_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new();
+        a.observe(1_000);
+        let mut b = Histogram::new();
+        b.observe(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_ns(), 1_000);
+        assert_eq!(a.max_ns(), 100_000);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let reg = Registry::new();
+        reg.counter_add("c.overflow.total", u64::MAX - 1);
+        reg.counter_add("c.overflow.total", 5);
+        assert_eq!(reg.snapshot().counter("c.overflow.total"), Some(u64::MAX));
+        reg.counter_add("c.overflow.total", 1);
+        assert_eq!(reg.snapshot().counter("c.overflow.total"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn first_registration_fixes_the_kind() {
+        let reg = Registry::new();
+        reg.counter_add("x.y.z", 2);
+        reg.gauge_set("x.y.z", 9.0);
+        reg.observe_ns("x.y.z", 100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x.y.z"), Some(2));
+        assert_eq!(snap.gauge("x.y.z"), None);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renderers_cover_all_kinds() {
+        let reg = Registry::new();
+        reg.gauge_set("b.gauge", 1.25);
+        reg.counter_add("a.counter", 3);
+        reg.observe_ns("c.latency_ns", 2_000);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.counter", "b.gauge", "c.latency_ns"]);
+
+        let table = snap.render_table();
+        assert!(table.contains("a.counter"), "{table}");
+        assert!(table.contains("p50"), "{table}");
+
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("# TYPE agnn_a_counter counter\nagnn_a_counter 3\n"), "{prom}");
+        assert!(prom.contains("# TYPE agnn_b_gauge gauge\nagnn_b_gauge 1.25\n"), "{prom}");
+        assert!(prom.contains("agnn_c_latency_ns{quantile=\"0.5\"}"), "{prom}");
+        assert!(prom.contains("agnn_c_latency_ns_count 1\n"), "{prom}");
+
+        let json = snap.render_json();
+        assert!(json.contains("\"a.counter\": {\"type\": \"counter\", \"value\": 3}"), "{json}");
+        assert!(json.contains("\"c.latency_ns\": {\"type\": \"histogram\", \"count\": 1,"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    }
+
+    #[test]
+    fn global_functions_are_gated_on_enabled() {
+        // Private names so parallel tests in this binary cannot collide.
+        let name = "test.gating.unique_counter";
+        set_enabled(false);
+        counter_add(name, 1);
+        assert_eq!(snapshot().counter(name), None);
+        set_enabled(true);
+        counter_add(name, 2);
+        let v = snapshot().counter(name);
+        set_enabled(false);
+        assert_eq!(v, Some(2));
+        let ran = timed("test.gating.unique_hist", || 42);
+        assert_eq!(ran, 42);
+        assert!(snapshot().histogram("test.gating.unique_hist").is_none());
+    }
+}

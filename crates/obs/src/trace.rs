@@ -1,0 +1,314 @@
+//! Structured span/event tracing with a JSONL sink.
+//!
+//! One line per record, hand-serialized so the schema is locked (the
+//! integration test in `agnn-cli` asserts field names and types):
+//!
+//! ```json
+//! {"seq":0,"kind":"event","name":"train.start","fields":{"model":"AGNN"}}
+//! {"seq":1,"kind":"span","name":"train.epoch","us":5123,"fields":{"epoch":0}}
+//! ```
+//!
+//! `seq` is assigned under the sink lock, so sequence numbers are strictly
+//! increasing in file order. When tracing is disabled (the default) every
+//! entry point costs a single relaxed atomic load and [`span`] returns an
+//! inert guard that records nothing.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::type_complexity)]
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// A field value attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// Unsigned integer (serialized as a JSON number).
+    U64(u64),
+    /// Signed integer (serialized as a JSON number).
+    I64(i64),
+    /// Float (serialized as a JSON number; non-finite values as strings).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped).
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+impl From<u32> for Field {
+    fn from(v: u32) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+impl From<f32> for Field {
+    fn from(v: f32) -> Self {
+        Field::F64(f64::from(v))
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_value(v: &Field, out: &mut String) {
+    match v {
+        Field::U64(n) => out.push_str(&n.to_string()),
+        Field::I64(n) => out.push_str(&n.to_string()),
+        Field::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+        Field::F64(x) => {
+            // JSON has no NaN/Inf literal; stringify so the line stays valid.
+            out.push('"');
+            out.push_str(&format!("{x}"));
+            out.push('"');
+        }
+        Field::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Field::Str(s) => {
+            out.push('"');
+            escape_into(s, out);
+            out.push('"');
+        }
+    }
+}
+
+/// Installs a sink and turns tracing on. The sequence counter restarts so
+/// each sink's stream begins at `seq: 0`.
+pub fn install_sink(sink: Box<dyn Write + Send>) {
+    let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = Some(sink);
+    SEQ.store(0, Ordering::Relaxed);
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Creates (truncating) a JSONL file at `path` and installs it as the sink.
+pub fn open_jsonl(path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    install_sink(Box::new(std::io::BufWriter::new(file)));
+    Ok(())
+}
+
+/// Turns tracing off, flushes, and drops the sink.
+pub fn shutdown() {
+    TRACING.store(false, Ordering::Relaxed);
+    let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(mut sink) = guard.take() {
+        let _ = sink.flush();
+    }
+}
+
+/// Whether a sink is installed and tracing is live.
+pub fn enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+fn emit<'a>(kind: &str, name: &str, us: Option<u64>, fields: impl Iterator<Item = (&'a str, &'a Field)>) {
+    let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(sink) = guard.as_mut() else { return };
+    // Sequence assignment under the lock keeps seq strictly increasing in
+    // file order even with concurrent emitters.
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut line = String::with_capacity(96);
+    line.push_str(&format!("{{\"seq\":{seq},\"kind\":\"{kind}\",\"name\":\""));
+    escape_into(name, &mut line);
+    line.push('"');
+    if let Some(us) = us {
+        line.push_str(&format!(",\"us\":{us}"));
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        escape_into(key, &mut line);
+        line.push_str("\":");
+        push_value(value, &mut line);
+    }
+    line.push_str("}}\n");
+    // Flush per record: spans fire at epoch/request granularity, and an
+    // interrupted serve loop must not lose its tail.
+    let _ = sink.write_all(line.as_bytes());
+    let _ = sink.flush();
+}
+
+/// Writes a point-in-time event line (no duration). No-op when disabled.
+pub fn event(name: &str, fields: &[(&str, Field)]) {
+    if !enabled() {
+        return;
+    }
+    emit("event", name, None, fields.iter().map(|(k, v)| (*k, v)));
+}
+
+/// Starts a span. The returned guard stamps its wall-clock duration (µs)
+/// and attached fields into the sink when dropped. Inert when tracing is
+/// disabled at the time of the call.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name: String::new(), start: None, fields: Vec::new() };
+    }
+    SpanGuard { name: name.into(), start: Some(Instant::now()), fields: Vec::new() }
+}
+
+/// RAII guard for one span — see [`span`].
+pub struct SpanGuard {
+    name: String,
+    start: Option<Instant>,
+    fields: Vec<(String, Field)>,
+}
+
+impl SpanGuard {
+    /// True when the guard will emit a record on drop.
+    pub fn active(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Attaches a field (last write wins is *not* applied — callers attach
+    /// each key once). No-op on an inert guard.
+    pub fn field(&mut self, key: &str, value: impl Into<Field>) {
+        if self.start.is_some() {
+            self.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Builder-style [`SpanGuard::field`].
+    pub fn with_field(mut self, key: &str, value: impl Into<Field>) -> Self {
+        self.field(key, value);
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else { return };
+        let us = start.elapsed().as_micros() as u64;
+        emit("span", &self.name, Some(us), self.fields.iter().map(|(k, v)| (k.as_str(), v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// In-memory sink sharing its buffer with the test.
+    #[derive(Clone)]
+    struct Buf(Arc<StdMutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Global sink — serialize the tests that touch it.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn capture(f: impl FnOnce()) -> String {
+        let buf = Buf(Arc::new(StdMutex::new(Vec::new())));
+        install_sink(Box::new(buf.clone()));
+        f();
+        shutdown();
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn span_and_event_lines_are_schema_shaped() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = capture(|| {
+            event("unit.start", &[("model", Field::from("AGNN")), ("epochs", Field::from(2usize))]);
+            let mut s = span("unit.work").with_field("epoch", 0usize);
+            s.field("loss", 1.5f64);
+            drop(s);
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert_eq!(lines[0], "{\"seq\":0,\"kind\":\"event\",\"name\":\"unit.start\",\"fields\":{\"model\":\"AGNN\",\"epochs\":2}}");
+        assert!(lines[1].starts_with("{\"seq\":1,\"kind\":\"span\",\"name\":\"unit.work\",\"us\":"), "{out}");
+        assert!(lines[1].ends_with(",\"fields\":{\"epoch\":0,\"loss\":1.5}}"), "{out}");
+    }
+
+    #[test]
+    fn disabled_tracing_emits_nothing_and_guard_is_inert() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        shutdown();
+        assert!(!enabled());
+        let mut g = span("quiet");
+        assert!(!g.active());
+        g.field("k", 1u64);
+        drop(g);
+        event("quiet.event", &[]);
+        // Installing a sink afterwards sees a fresh stream at seq 0.
+        let out = capture(|| event("after", &[]));
+        assert!(out.starts_with("{\"seq\":0,"), "{out}");
+    }
+
+    #[test]
+    fn strings_are_json_escaped() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = capture(|| {
+            event("esc", &[("msg", Field::from("a\"b\\c\nd"))]);
+        });
+        assert!(out.contains("\"msg\":\"a\\\"b\\\\c\\nd\""), "{out}");
+    }
+
+    #[test]
+    fn non_finite_floats_stringify() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = capture(|| {
+            event("nan", &[("v", Field::from(f64::NAN)), ("w", Field::from(f64::INFINITY))]);
+        });
+        assert!(out.contains("\"v\":\"NaN\""), "{out}");
+        assert!(out.contains("\"w\":\"inf\""), "{out}");
+    }
+}

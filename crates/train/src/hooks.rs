@@ -33,6 +33,10 @@ pub struct BatchStats {
     pub prediction: f64,
     /// This batch's reconstruction loss.
     pub reconstruction: f64,
+    /// Global gradient L2 norm before clipping. Only populated while
+    /// telemetry is live (the extra norm pass is skipped otherwise) and the
+    /// loss reached a trainable leaf.
+    pub grad_norm: Option<f64>,
 }
 
 /// Per-epoch loss snapshot handed to `on_epoch_end`.
@@ -221,7 +225,8 @@ impl TrainHook for PreflightAudit {
     }
 }
 
-/// Logs epoch losses to stderr every `every` epochs.
+/// Logs epoch losses every `every` epochs via the `agnn-obs` log facade
+/// (suppressed at `--log-level quiet`).
 pub struct LossLogger {
     every: usize,
     prefix: String,
@@ -244,10 +249,10 @@ impl TrainHook for LossLogger {
     fn on_epoch_end(&mut self, stats: &EpochStats, _store: &ParamStore) -> Signal {
         if stats.epoch % self.every == 0 {
             let sep = if self.prefix.is_empty() { "" } else { " " };
-            eprintln!(
+            agnn_obs::log::info(format!(
                 "{}{}epoch {:>4}  pred {:.6}  recon {:.6}",
                 self.prefix, sep, stats.epoch, stats.prediction, stats.reconstruction
-            );
+            ));
         }
         Signal::Continue
     }

@@ -20,7 +20,8 @@
 //!   built-ins for loss logging ([`LossLogger`]), wall-clock timing
 //!   ([`Timing`]), periodic validation against a held-out split
 //!   ([`Validation`]), patience-based early stopping ([`EarlyStopping`]),
-//!   and static-analysis collection ([`PreflightAudit`]).
+//!   static-analysis collection ([`PreflightAudit`]), and telemetry
+//!   emission into `agnn-obs` spans/metrics ([`TelemetryHook`]).
 //!
 //! The driver also runs a **pre-flight audit**: the first few batches of
 //! epoch 0 build on a checked tape (`Graph::new_checked`) and are audited
@@ -39,6 +40,7 @@ pub mod config;
 pub mod hooks;
 pub mod report;
 pub mod step;
+pub mod telemetry;
 pub mod trainer;
 
 pub use config::TrainConfig;
@@ -48,4 +50,5 @@ pub use hooks::{
 };
 pub use report::{EpochLosses, TrainReport};
 pub use step::{StepCtx, StepLosses, TrainStep};
+pub use telemetry::TelemetryHook;
 pub use trainer::Trainer;

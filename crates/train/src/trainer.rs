@@ -122,18 +122,26 @@ impl Trainer {
                     report.stopped_early = true;
                     break 'training;
                 }
+                let mut grad_norm = None;
                 if connected {
                     g.grads_into(&mut *store);
+                    // The norm pass is observation-only and costs a full
+                    // parameter sweep, so it only runs while telemetry is
+                    // live. Reads happen before clipping mutates gradients,
+                    // keeping the optimizer path byte-identical either way.
+                    if agnn_obs::telemetry_enabled() {
+                        grad_norm = Some(f64::from(store.grad_norm()));
+                    }
                     if let Some(clip) = self.cfg.grad_clip_norm {
                         store.clip_grad_norm(clip);
                     }
                     self.opt.step(&mut *store);
                 } else if !warned_disconnected {
                     warned_disconnected = true;
-                    eprintln!(
+                    agnn_obs::log::warn(format!(
                         "trainer: loss depends on no trainable leaf (epoch {epoch} batch {batch_index}); \
                          skipping optimizer steps — run `agnn check` for the audit"
-                    );
+                    ));
                 }
                 pred_sum += losses.prediction;
                 recon_sum += losses.reconstruction;
@@ -143,6 +151,7 @@ impl Trainer {
                     batch_index,
                     prediction: losses.prediction,
                     reconstruction: losses.reconstruction,
+                    grad_norm,
                 });
             }
             let denom = n.max(1) as f64;
