@@ -1,0 +1,291 @@
+//! One-shot kernel-dispatch calibration behind `agnn bench --calibrate`.
+//!
+//! For every dispatched kernel the calibrator times the forced serial, SIMD
+//! and parallel paths across a ladder of AGNN-representative shapes, finds
+//! the work level where each faster path starts winning, and emits the
+//! result as a [`Calibration`] (persisted to `calibration.json`, loaded back
+//! by every CLI entry point). The sweep reuses [`kernel_op`] so thresholds
+//! are learned on exactly the workloads the kernel bench reports on, in the
+//! same work units `ops` hands to `dispatch::decide`.
+//!
+//! Crossover rule: walking the ladder from the largest shape down, a path's
+//! threshold is the smallest work level of the longest suffix on which it
+//! beats its baseline by ≥ 5% (serial for SIMD; the better of serial/SIMD
+//! for parallel — parallel must beat whatever `Auto` would otherwise pick
+//! below the parallel threshold). No winning suffix ⇒ `usize::MAX`, which
+//! disables the path: on a single-core host every parallel threshold
+//! calibrates to "never", and calibrated `Auto` degrades to serial instead
+//! of paying thread-pool overhead. The 5% margin keeps jittery ties from
+//! flapping the policy between runs.
+
+use crate::kernels::{best_of_interleaved, kernel_op, KernelShape};
+use agnn_core::calibration::Calibration;
+use agnn_tensor::dispatch::{KernelPolicy, KernelThresholds};
+use agnn_tensor::ops::{self, ParallelMode};
+use agnn_tensor::profile::Kernel;
+use agnn_tensor::Matrix;
+
+/// Calibration sweep configuration: the shape ladder and repetition counts.
+#[derive(Debug, Clone)]
+pub struct CalibrateConfig {
+    /// Shapes to measure, small to large; more rungs localize the crossover
+    /// more precisely.
+    pub shapes: Vec<KernelShape>,
+    /// Timed repetitions per (kernel, shape, path); the minimum is kept.
+    pub reps: usize,
+    /// Untimed warmup repetitions per (kernel, shape, path).
+    pub warmup: usize,
+}
+
+impl CalibrateConfig {
+    /// The full ladder: tiny shapes where serial must win, up through the
+    /// kernel bench's largest representative point.
+    pub fn representative() -> Self {
+        Self {
+            shapes: vec![
+                KernelShape { batch: 8, fanout: 4, embed: 8 },
+                KernelShape { batch: 16, fanout: 4, embed: 16 },
+                KernelShape { batch: 32, fanout: 8, embed: 24 },
+                KernelShape { batch: 64, fanout: 8, embed: 32 },
+                KernelShape { batch: 128, fanout: 16, embed: 40 },
+                KernelShape { batch: 256, fanout: 64, embed: 64 },
+            ],
+            reps: 5,
+            warmup: 2,
+        }
+    }
+
+    /// Truncated ladder for CI: exercises the full calibrate→persist→load
+    /// cycle in seconds. Thresholds from a smoke run are structurally valid
+    /// but not production-quality.
+    pub fn smoke() -> Self {
+        Self { shapes: Self::representative().shapes[..3].to_vec(), reps: 2, warmup: 1 }
+    }
+}
+
+/// One measured rung: a kernel at one shape, timed on every path.
+#[derive(Debug, Clone)]
+pub struct CrossoverRow {
+    /// Kernel name (matches `agnn_tensor::profile::Kernel::name`).
+    pub kernel: &'static str,
+    /// The shape this rung was measured at.
+    pub shape: KernelShape,
+    /// Dispatch work units of this rung (the threshold domain).
+    pub work: usize,
+    /// Best-of-`reps` forced-serial time.
+    pub serial_ns: u64,
+    /// Best-of-`reps` forced-SIMD time; `None` for kernels without a
+    /// vectorized body.
+    pub simd_ns: Option<u64>,
+    /// Best-of-`reps` forced-parallel time.
+    pub parallel_ns: u64,
+    /// Whether every measured path matched the serial output bitwise.
+    pub identical: bool,
+}
+
+/// The calibration sweep's outcome: the policy to install plus the raw
+/// measurements behind it.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// The measured policy, ready to persist via [`Calibration::save`].
+    pub calibration: Calibration,
+    /// One row per (kernel, shape) rung.
+    pub rows: Vec<CrossoverRow>,
+    /// Timed repetitions behind each number.
+    pub reps: usize,
+}
+
+impl CalibrationReport {
+    /// True when every rung's paths agreed bitwise. A divergence means the
+    /// dispatch layer is broken; the CLI refuses to write a calibration file.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Rows that diverged (for error reporting).
+    pub fn divergent(&self) -> Vec<&CrossoverRow> {
+        self.rows.iter().filter(|r| !r.identical).collect()
+    }
+
+    /// Human-readable sweep table plus the resolved thresholds.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "calibration sweep · {} thread(s) · best of {} rep(s)\n{:<18} {:>6} {:>6} {:>6} {:>12} {:>10} {:>10} {:>10}  {}\n",
+            self.calibration.threads,
+            self.reps,
+            "kernel",
+            "batch",
+            "fanout",
+            "embed",
+            "work",
+            "serial_us",
+            "simd_us",
+            "par_us",
+            "identical"
+        );
+        for r in &self.rows {
+            let simd = match r.simd_ns {
+                Some(ns) => format!("{:.1}", ns as f64 / 1e3),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>6} {:>6} {:>12} {:>10.1} {:>10} {:>10.1}  {}\n",
+                r.kernel,
+                r.shape.batch,
+                r.shape.fanout,
+                r.shape.embed,
+                r.work,
+                r.serial_ns as f64 / 1e3,
+                simd,
+                r.parallel_ns as f64 / 1e3,
+                r.identical
+            ));
+        }
+        out.push_str("\nresolved thresholds (work units; MAX = path disabled)\n");
+        for k in Kernel::ALL {
+            let t = self.calibration.policy.get(k);
+            out.push_str(&format!(
+                "{:<18} simd_min_work: {:>20} parallel_min_work: {:>20}\n",
+                k.name(),
+                fmt_threshold(t.simd_min_work),
+                fmt_threshold(t.parallel_min_work)
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_threshold(t: usize) -> String {
+    if t == usize::MAX {
+        "MAX".to_string()
+    } else {
+        t.to_string()
+    }
+}
+
+/// True when `candidate` beats `baseline` by at least the 5% margin.
+fn wins(candidate: u64, baseline: u64) -> bool {
+    (candidate as u128) * 20 < (baseline as u128) * 19
+}
+
+/// The smallest work level of the longest suffix of `points` (sorted
+/// ascending by work) on which the candidate wins; `usize::MAX` if the
+/// candidate never wins at the top of the ladder.
+fn crossover(points: &[(usize, u64, u64)]) -> usize {
+    let mut threshold = usize::MAX;
+    for &(work, baseline, candidate) in points.iter().rev() {
+        if wins(candidate, baseline) {
+            threshold = work;
+        } else {
+            break;
+        }
+    }
+    threshold
+}
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape() && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs the calibration sweep and resolves per-kernel thresholds. Restores
+/// [`ParallelMode::Auto`] before returning; does not install the policy —
+/// the caller decides whether to persist and/or install it.
+pub fn run_calibration(cfg: &CalibrateConfig) -> CalibrationReport {
+    let builtin = KernelPolicy::builtin();
+    let mut rows = Vec::new();
+    let mut policy = KernelPolicy::builtin();
+    for kernel in Kernel::ALL {
+        // `simd_min_work == MAX` in the builtin encodes "no vectorized
+        // body": forcing SIMD there runs the serial reference, so measuring
+        // it would only add noise.
+        let has_simd = builtin.get(kernel).simd_min_work != usize::MAX;
+        // (work, serial, simd, parallel) per rung, ascending by work.
+        let mut points = Vec::with_capacity(cfg.shapes.len());
+        for &shape in &cfg.shapes {
+            let (work, f) = kernel_op(kernel, shape);
+            // The paths are timed interleaved (see `best_of_interleaved`) so
+            // host-load drift cannot systematically favour one path's block —
+            // exactly the bias that would corrupt a crossover decision.
+            let mut columns = vec![(ParallelMode::ForceSerial, &builtin)];
+            if has_simd {
+                columns.push((ParallelMode::ForceSimd, &builtin));
+            }
+            columns.push((ParallelMode::ForceParallel, &builtin));
+            let timed = best_of_interleaved(cfg.reps, cfg.warmup, &columns, f.as_ref());
+            let (serial_ns, ref serial_out) = timed[0];
+            let (parallel_ns, ref parallel_out) = timed[timed.len() - 1];
+            let simd = has_simd.then(|| &timed[1]);
+            let identical = bits_equal(serial_out, parallel_out)
+                && simd.map(|(_, o)| bits_equal(serial_out, o)).unwrap_or(true);
+            let simd_ns = simd.map(|(ns, _)| *ns);
+            rows.push(CrossoverRow { kernel: kernel.name(), shape, work, serial_ns, simd_ns, parallel_ns, identical });
+            points.push((work, serial_ns, simd_ns, parallel_ns));
+        }
+        points.sort_by_key(|&(work, ..)| work);
+        let simd_min_work = if has_simd {
+            crossover(&points.iter().map(|&(w, s, v, _)| (w, s, v.unwrap_or(s))).collect::<Vec<_>>())
+        } else {
+            usize::MAX
+        };
+        // Parallel competes against whatever Auto would otherwise run: the
+        // better of serial and SIMD at each rung.
+        let parallel_min_work = crossover(
+            &points.iter().map(|&(w, s, v, p)| (w, v.map(|v| v.min(s)).unwrap_or(s), p)).collect::<Vec<_>>(),
+        );
+        policy.set(kernel, KernelThresholds { simd_min_work, parallel_min_work });
+    }
+    ops::set_parallel_mode(ParallelMode::Auto);
+    CalibrationReport {
+        calibration: Calibration {
+            threads: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+            policy,
+        },
+        rows,
+        reps: cfg.reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_finds_longest_winning_suffix() {
+        // Candidate wins only at the top two rungs.
+        let points = [(10, 100, 100), (100, 100, 100), (1000, 100, 80), (10000, 100, 50)];
+        assert_eq!(crossover(&points), 1000);
+        // A loss at the top disables the path even if mid rungs won.
+        let losing_top = [(10, 100, 50), (100, 100, 50), (1000, 100, 200)];
+        assert_eq!(crossover(&losing_top), usize::MAX);
+        // Winning everywhere pushes the threshold to the smallest rung.
+        let always = [(10, 100, 50), (100, 100, 50)];
+        assert_eq!(crossover(&always), 10);
+        // A 4% edge is inside the margin: not a win.
+        assert_eq!(crossover(&[(10, 100, 96)]), usize::MAX);
+        assert_eq!(crossover(&[(10, 100, 94)]), 10);
+    }
+
+    #[test]
+    fn smoke_calibration_produces_valid_policy() {
+        let report = run_calibration(&CalibrateConfig::smoke());
+        // 9 kernels × 3 smoke rungs.
+        assert_eq!(report.rows.len(), 27);
+        assert!(report.all_identical(), "divergent: {:?}", report.divergent());
+        assert!(report.calibration.threads >= 1);
+        assert_eq!(ops::parallel_mode(), ParallelMode::Auto);
+        let builtin = KernelPolicy::builtin();
+        for k in Kernel::ALL {
+            // Kernels without a vectorized body must keep SIMD disabled.
+            if builtin.get(k).simd_min_work == usize::MAX {
+                assert_eq!(report.calibration.policy.get(k).simd_min_work, usize::MAX, "{}", k.name());
+            }
+        }
+        // The result round-trips through the persistence layer.
+        let text = report.calibration.to_json_string();
+        let back = Calibration::from_json_str(&text).expect("calibration JSON roundtrips");
+        assert_eq!(back, report.calibration);
+        let table = report.render_table();
+        assert!(table.contains("resolved thresholds"), "{table}");
+        assert!(table.contains("spmm"), "{table}");
+    }
+}

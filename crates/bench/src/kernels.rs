@@ -1,17 +1,22 @@
-//! Serial-vs-parallel kernel benchmark behind `agnn bench --kernels`.
+//! Dispatch-path kernel benchmark behind `agnn bench --kernels`.
 //!
-//! Times every parallelized dense kernel in `agnn-tensor` under forced
-//! [`ParallelMode::ForceSerial`] and [`ParallelMode::ForceParallel`]
-//! dispatch across representative AGNN shapes (batch × fanout × embed: the
-//! sampled neighborhood tensor is `(batch·fanout) × embed`), verifies the
-//! two paths produce **bit-identical** outputs, and renders the result as
-//! both a table and the `BENCH_kernels.json` perf baseline.
+//! Times every dispatched dense kernel in `agnn-tensor` under forced
+//! [`ParallelMode::ForceSerial`], [`ParallelMode::ForceSimd`] and
+//! [`ParallelMode::ForceParallel`] across representative AGNN shapes
+//! (batch × fanout × embed: the sampled neighborhood tensor is
+//! `(batch·fanout) × embed`), plus two `Auto` runs — one under the built-in
+//! static policy and one under the calibrated policy — so the artifact shows
+//! what each policy actually picks. Every path must produce **bit-identical**
+//! output; the result renders as both a table and the `BENCH_kernels.json`
+//! perf baseline.
 //!
 //! JSON is emitted by hand (not serde) so the file's schema is stable and
 //! independent of serializer availability.
 
+use agnn_tensor::dispatch::{self, KernelPolicy};
 use agnn_tensor::ops::{self, ParallelMode};
-use agnn_tensor::Matrix;
+use agnn_tensor::profile::Kernel;
+use agnn_tensor::{Csr, Matrix};
 use std::time::Instant;
 
 /// One AGNN-representative workload: a mini-batch of `batch` target nodes,
@@ -54,12 +59,14 @@ impl KernelBenchConfig {
                 KernelShape { batch: 128, fanout: 16, embed: 40 },
                 KernelShape { batch: 256, fanout: 64, embed: 64 },
             ],
-            reps: 5,
+            // Nine interleaved rounds per column: the µs-scale rows need the
+            // extra minima samples to converge on a noisy shared host.
+            reps: 9,
             warmup: 2,
         }
     }
 
-    /// Tiny shapes for CI: exercises every kernel's parallel path and the
+    /// Tiny shapes for CI: exercises every kernel's dispatch paths and the
     /// bit-identity gate in well under a second.
     pub fn smoke() -> Self {
         Self {
@@ -70,7 +77,7 @@ impl KernelBenchConfig {
     }
 }
 
-/// Serial-vs-parallel measurement for one kernel at one shape.
+/// Per-path measurement for one kernel at one shape.
 #[derive(Debug, Clone)]
 pub struct KernelTiming {
     /// Kernel name (matches `agnn_tensor::profile::Kernel::name`).
@@ -79,9 +86,16 @@ pub struct KernelTiming {
     pub shape: KernelShape,
     /// Best-of-`reps` wall clock of the forced-serial path.
     pub serial_ns: u64,
+    /// Best-of-`reps` wall clock of the forced-SIMD path (kernels without a
+    /// vectorized body run their serial reference here).
+    pub simd_ns: u64,
     /// Best-of-`reps` wall clock of the forced-parallel path.
     pub parallel_ns: u64,
-    /// Whether the two paths produced bit-identical outputs.
+    /// Best-of-`reps` wall clock of `Auto` under the built-in static policy.
+    pub static_ns: u64,
+    /// Best-of-`reps` wall clock of `Auto` under the calibrated policy.
+    pub calibrated_ns: u64,
+    /// Whether every path produced bit-identical output.
     pub identical: bool,
 }
 
@@ -89,6 +103,18 @@ impl KernelTiming {
     /// Serial time over parallel time (> 1 means the parallel path wins).
     pub fn speedup(&self) -> f64 {
         self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+
+    /// Serial time over static-policy auto time.
+    pub fn static_speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.static_ns.max(1) as f64
+    }
+
+    /// Serial time over calibrated-policy auto time. The acceptance bar is
+    /// ≥ 0.9 on every row: a calibrated policy must never pick a path that
+    /// loses meaningfully to plain serial.
+    pub fn calibrated_speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.calibrated_ns.max(1) as f64
     }
 }
 
@@ -108,7 +134,7 @@ pub struct KernelBenchReport {
 }
 
 impl KernelBenchReport {
-    /// True when every parallel path matched its serial reference bitwise.
+    /// True when every dispatch path matched the serial reference bitwise.
     /// CI fails the bench job on `false`.
     pub fn all_identical(&self) -> bool {
         self.results.iter().all(|r| r.identical)
@@ -131,8 +157,21 @@ impl KernelBenchReport {
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"kernel\": \"{}\", \"batch\": {}, \"fanout\": {}, \"embed\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
-                r.kernel, r.shape.batch, r.shape.fanout, r.shape.embed, r.serial_ns, r.parallel_ns, r.speedup(), r.identical, comma
+                "    {{\"kernel\": \"{}\", \"batch\": {}, \"fanout\": {}, \"embed\": {}, \"serial_ns\": {}, \"simd_ns\": {}, \"parallel_ns\": {}, \"static_ns\": {}, \"calibrated_ns\": {}, \"speedup\": {:.3}, \"static_speedup\": {:.3}, \"calibrated_speedup\": {:.3}, \"identical\": {}}}{}\n",
+                r.kernel,
+                r.shape.batch,
+                r.shape.fanout,
+                r.shape.embed,
+                r.serial_ns,
+                r.simd_ns,
+                r.parallel_ns,
+                r.static_ns,
+                r.calibrated_ns,
+                r.speedup(),
+                r.static_speedup(),
+                r.calibrated_speedup(),
+                r.identical,
+                comma
             ));
         }
         out.push_str("  ]\n}\n");
@@ -142,19 +181,36 @@ impl KernelBenchReport {
     /// Human-readable table for stdout.
     pub fn render_table(&self) -> String {
         let mut out = format!(
-            "kernel bench · {} thread(s) · best of {} rep(s)\n{:<18} {:>6} {:>6} {:>6} {:>12} {:>12} {:>8}  {}\n",
-            self.threads, self.reps, "kernel", "batch", "fanout", "embed", "serial_us", "parallel_us", "speedup", "identical"
+            "kernel bench · {} thread(s) · best of {} rep(s)\n{:<18} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}  {}\n",
+            self.threads,
+            self.reps,
+            "kernel",
+            "batch",
+            "fanout",
+            "embed",
+            "serial_us",
+            "simd_us",
+            "par_us",
+            "static_us",
+            "calib_us",
+            "stat_x",
+            "calib_x",
+            "identical"
         );
         for r in &self.results {
             out.push_str(&format!(
-                "{:<18} {:>6} {:>6} {:>6} {:>12.1} {:>12.1} {:>7.2}x  {}\n",
+                "{:<18} {:>6} {:>6} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>7.2}x {:>7.2}x  {}\n",
                 r.kernel,
                 r.shape.batch,
                 r.shape.fanout,
                 r.shape.embed,
                 r.serial_ns as f64 / 1e3,
+                r.simd_ns as f64 / 1e3,
                 r.parallel_ns as f64 / 1e3,
-                r.speedup(),
+                r.static_ns as f64 / 1e3,
+                r.calibrated_ns as f64 / 1e3,
+                r.static_speedup(),
+                r.calibrated_speedup(),
                 r.identical
             ));
         }
@@ -164,7 +220,7 @@ impl KernelBenchReport {
 
 /// Deterministic dense test matrix (no RNG: the bench must produce the same
 /// operands in every build and environment).
-fn pattern(rows: usize, cols: usize, salt: usize) -> Matrix {
+pub(crate) fn pattern(rows: usize, cols: usize, salt: usize) -> Matrix {
     Matrix::from_fn(rows, cols, |r, c| {
         let h = r.wrapping_mul(31).wrapping_add(c.wrapping_mul(17)).wrapping_add(salt.wrapping_mul(101));
         // ~1/8 exact zeros so the matmul zero-skip fast path is exercised.
@@ -176,70 +232,184 @@ fn pattern(rows: usize, cols: usize, salt: usize) -> Matrix {
     })
 }
 
-fn best_of(reps: usize, warmup: usize, f: impl Fn() -> Matrix) -> (u64, Matrix) {
-    for _ in 0..warmup {
-        std::hint::black_box(f());
-    }
-    let mut best_ns = u64::MAX;
-    let mut out = None;
-    for _ in 0..reps.max(1) {
-        let t = Instant::now();
-        let o = std::hint::black_box(f());
-        let ns = t.elapsed().as_nanos() as u64;
-        if out.is_none() || ns < best_ns {
-            best_ns = ns;
-            out = Some(o);
+/// Deterministic sparse operand (~1/8 density — the multi-hot attribute
+/// regime `spmm` exists for).
+pub(crate) fn sparse_pattern(rows: usize, cols: usize, salt: usize) -> Csr {
+    Csr::from_dense(&Matrix::from_fn(rows, cols, |r, c| {
+        let h = r.wrapping_mul(31).wrapping_add(c.wrapping_mul(17)).wrapping_add(salt.wrapping_mul(101));
+        if h % 8 == 0 {
+            ((h % 29) as f32) * 0.07 - 1.0
+        } else {
+            0.0
+        }
+    }))
+}
+
+/// Builds the benchmark closure for one kernel at one shape, returning the
+/// dispatch work units that closure performs per call (the same quantity
+/// `ops` hands to `dispatch::decide`, so calibrated thresholds line up).
+/// Shared by the kernel bench and the calibrator so both sweep identical
+/// workloads.
+pub(crate) fn kernel_op(kernel: Kernel, shape: KernelShape) -> (usize, Box<dyn Fn() -> Matrix>) {
+    let rows = shape.rows();
+    let d = shape.embed;
+    let fanout = shape.fanout;
+    match kernel {
+        // Forward projection: nbr · W.
+        Kernel::MatMul => {
+            let nbr = pattern(rows, d, 1);
+            let w = pattern(d, d, 2);
+            (rows * d * d, Box::new(move || ops::matmul(&nbr, &w)))
+        }
+        // Backward weight grad: nbrᵀ · grad (k = batch·fanout is the long axis).
+        Kernel::MatMulTn => {
+            let nbr = pattern(rows, d, 1);
+            let grad = pattern(rows, d, 3);
+            (rows * d * d, Box::new(move || ops::matmul_tn(&nbr, &grad)))
+        }
+        // Backward input grad: grad · Wᵀ.
+        Kernel::MatMulNt => {
+            let grad = pattern(rows, d, 3);
+            let w = pattern(d, d, 2);
+            (rows * d * d, Box::new(move || ops::matmul_nt(&grad, &w)))
+        }
+        Kernel::Transpose => {
+            let nbr = pattern(rows, d, 1);
+            (rows * d, Box::new(move || ops::transpose(&nbr)))
+        }
+        Kernel::SegmentMeanRows => {
+            let nbr = pattern(rows, d, 1);
+            (rows * d, Box::new(move || ops::segment_mean_rows(&nbr, fanout)))
+        }
+        Kernel::SegmentSumRows => {
+            let nbr = pattern(rows, d, 1);
+            (rows * d, Box::new(move || ops::segment_sum_rows(&nbr, fanout)))
+        }
+        Kernel::RepeatRows => {
+            let pooled = pattern(shape.batch, d, 4);
+            (rows * d, Box::new(move || ops::repeat_rows(&pooled, fanout)))
+        }
+        // Optimizer update: grad accumulated into a parameter clone. The
+        // clone is identical across paths, so comparisons stay fair even
+        // though its cost rides along in every timing.
+        Kernel::Axpy => {
+            let param = pattern(rows, d, 3);
+            let grad = pattern(rows, d, 1);
+            (rows * d, Box::new(move || {
+                let mut x = param.clone();
+                ops::axpy(&mut x, 0.37, &grad);
+                x
+            }))
+        }
+        // Sparse attribute rows × dense table.
+        Kernel::Spmm => {
+            let attrs = sparse_pattern(rows, rows, 5);
+            let table = pattern(rows, d, 1);
+            let work = attrs.nnz() * d;
+            (work, Box::new(move || ops::spmm(&attrs, &table)))
         }
     }
-    (best_ns, out.expect("at least one timed rep"))
 }
 
-/// Times one closure under both forced modes and checks bit-identity.
+/// Interleaved best-of-N over several dispatch configurations: every round
+/// times each column once (warmup rounds untimed), and each column keeps its
+/// minimum across rounds. Timing columns in sequential blocks instead would
+/// let host-load drift during the sweep inflate whichever block happened to
+/// run while the machine was busy — on a shared box that bias easily exceeds
+/// the path differences being measured for the µs-scale kernels.
+pub(crate) fn best_of_interleaved(
+    reps: usize,
+    warmup: usize,
+    columns: &[(ParallelMode, &KernelPolicy)],
+    f: &dyn Fn() -> Matrix,
+) -> Vec<(u64, Matrix)> {
+    let mut best = vec![u64::MAX; columns.len()];
+    let mut outs: Vec<Option<Matrix>> = vec![None; columns.len()];
+    for round in 0..warmup + reps.max(1) {
+        for (i, (mode, policy)) in columns.iter().enumerate() {
+            ops::set_parallel_mode(*mode);
+            let (ns, out) = dispatch::with_policy(policy, || {
+                let t = Instant::now();
+                let o = std::hint::black_box(f());
+                (t.elapsed().as_nanos() as u64, o)
+            });
+            if round < warmup {
+                continue;
+            }
+            if outs[i].is_none() || ns < best[i] {
+                best[i] = ns;
+                outs[i] = Some(out);
+            }
+        }
+    }
+    best.into_iter()
+        .zip(outs)
+        .map(|(ns, o)| (ns, o.expect("at least one timed round")))
+        .collect()
+}
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape() && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Times one closure under every forced mode plus both auto policies
+/// (interleaved — see [`best_of_interleaved`]), and checks bit-identity of
+/// all five results.
 fn measure(
-    kernel: &'static str,
+    kernel: Kernel,
     shape: KernelShape,
     cfg: &KernelBenchConfig,
-    f: impl Fn() -> Matrix,
+    calibrated: &KernelPolicy,
+    f: &dyn Fn() -> Matrix,
 ) -> KernelTiming {
-    ops::set_parallel_mode(ParallelMode::ForceSerial);
-    let (serial_ns, serial_out) = best_of(cfg.reps, cfg.warmup, &f);
-    ops::set_parallel_mode(ParallelMode::ForceParallel);
-    let (parallel_ns, parallel_out) = best_of(cfg.reps, cfg.warmup, &f);
+    let builtin = KernelPolicy::builtin();
+    // Forced modes bypass the installed policy entirely, so pinning them to
+    // the builtin one is inert; only the two Auto columns differ by policy.
+    let columns: [(ParallelMode, &KernelPolicy); 5] = [
+        (ParallelMode::ForceSerial, &builtin),
+        (ParallelMode::ForceSimd, &builtin),
+        (ParallelMode::ForceParallel, &builtin),
+        (ParallelMode::Auto, &builtin),
+        (ParallelMode::Auto, calibrated),
+    ];
+    let timed = best_of_interleaved(cfg.reps, cfg.warmup, &columns, f);
     ops::set_parallel_mode(ParallelMode::Auto);
-    let identical = serial_out.shape() == parallel_out.shape()
-        && serial_out.as_slice().iter().zip(parallel_out.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits());
-    KernelTiming { kernel, shape, serial_ns, parallel_ns, identical }
+    let serial_out = &timed[0].1;
+    let identical = timed[1..].iter().all(|(_, out)| bits_equal(serial_out, out));
+    KernelTiming {
+        kernel: kernel.name(),
+        shape,
+        serial_ns: timed[0].0,
+        simd_ns: timed[1].0,
+        parallel_ns: timed[2].0,
+        static_ns: timed[3].0,
+        calibrated_ns: timed[4].0,
+        identical,
+    }
 }
 
-/// Runs the full serial-vs-parallel sweep. Restores [`ParallelMode::Auto`]
-/// before returning.
+/// Runs the full dispatch-path sweep with the currently installed policy as
+/// the "calibrated" column. Restores [`ParallelMode::Auto`] before returning.
 pub fn run_kernel_bench(cfg: &KernelBenchConfig) -> KernelBenchReport {
+    run_kernel_bench_with_policy(cfg, &dispatch::current_policy())
+}
+
+/// Runs the full dispatch-path sweep, timing the `Auto` column under
+/// `calibrated` (alongside the built-in static policy for comparison).
+pub fn run_kernel_bench_with_policy(cfg: &KernelBenchConfig, calibrated: &KernelPolicy) -> KernelBenchReport {
     // Profile the sweep so the artifact carries an op-level drain alongside
-    // the serial/parallel comparison (same `tensor.*` namespace as
-    // `--metrics-out`). The instrumentation is identical in both modes, so
-    // the comparison stays fair.
+    // the path comparison (same `tensor.*` namespace as `--metrics-out`).
+    // The instrumentation is identical in every mode, so the comparison
+    // stays fair.
     let profile_was = agnn_tensor::profile::profiling_enabled();
     agnn_tensor::profile::reset();
     agnn_tensor::profile::set_profiling(true);
     let mut results = Vec::new();
     for &shape in &cfg.shapes {
-        let rows = shape.rows();
-        let d = shape.embed;
-        let nbr = pattern(rows, d, 1); // (batch·fanout) × embed neighborhood tensor
-        let w = pattern(d, d, 2); // embed × embed weight
-        let grad = pattern(rows, d, 3); // upstream gradient, same shape as nbr
-        let pooled = pattern(shape.batch, d, 4); // batch × embed pooled tensor
-
-        // Forward projection: nbr · W.
-        results.push(measure("matmul", shape, cfg, || ops::matmul(&nbr, &w)));
-        // Backward weight grad: nbrᵀ · grad (k = batch·fanout is the long axis).
-        results.push(measure("matmul_tn", shape, cfg, || ops::matmul_tn(&nbr, &grad)));
-        // Backward input grad: grad · Wᵀ.
-        results.push(measure("matmul_nt", shape, cfg, || ops::matmul_nt(&grad, &w)));
-        results.push(measure("transpose", shape, cfg, || ops::transpose(&nbr)));
-        results.push(measure("segment_mean_rows", shape, cfg, || ops::segment_mean_rows(&nbr, shape.fanout)));
-        results.push(measure("segment_sum_rows", shape, cfg, || ops::segment_sum_rows(&nbr, shape.fanout)));
-        results.push(measure("repeat_rows", shape, cfg, || ops::repeat_rows(&pooled, shape.fanout)));
+        for kernel in Kernel::ALL {
+            let (_, f) = kernel_op(kernel, shape);
+            results.push(measure(kernel, shape, cfg, calibrated, f.as_ref()));
+        }
     }
     agnn_tensor::profile::set_profiling(profile_was);
     let reg = agnn_obs::metrics::Registry::new();
@@ -259,14 +429,15 @@ mod tests {
     #[test]
     fn smoke_bench_runs_and_paths_agree() {
         let report = run_kernel_bench(&KernelBenchConfig::smoke());
-        // 7 kernels × 2 shapes.
-        assert_eq!(report.results.len(), 14);
+        // 9 kernels × 2 shapes.
+        assert_eq!(report.results.len(), 18);
         assert!(report.all_identical(), "divergent: {:?}", report.divergent());
         assert!(report.threads >= 1);
         // Dispatch mode must be restored for subsequent code.
         assert_eq!(ops::parallel_mode(), ParallelMode::Auto);
         // The sweep's op-profile drain lands in the artifact snapshot.
         assert!(report.metrics.counter("tensor.matmul.calls").unwrap_or(0) > 0, "{:?}", report.metrics);
+        assert!(report.metrics.counter("tensor.spmm.calls").unwrap_or(0) > 0, "{:?}", report.metrics);
         assert!(!agnn_tensor::profile::profiling_enabled(), "profiling switch must be restored");
     }
 
@@ -279,7 +450,10 @@ mod tests {
                 kernel: "matmul_tn",
                 shape: KernelShape { batch: 2, fanout: 2, embed: 2 },
                 serial_ns: 100,
+                simd_ns: 80,
                 parallel_ns: 50,
+                static_ns: 60,
+                calibrated_ns: 50,
                 identical: true,
             }],
             metrics: Default::default(),
@@ -287,6 +461,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"calibrated_speedup\": 2.000"));
+        assert!(json.contains("\"simd_ns\": 80"));
         assert!(json.contains("\"all_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let table = report.render_table();

@@ -20,20 +20,27 @@
 //! prints a paper-shaped table to stdout and appends JSON rows to
 //! `results/<exp>.jsonl`.
 //!
-//! The [`kernels`] module is the serial-vs-parallel kernel benchmark behind
-//! `agnn bench --kernels`; it writes the `BENCH_kernels.json` perf baseline
-//! and doubles as a bit-identity gate in CI. The [`infer`] module is the
-//! serving-throughput benchmark behind `agnn bench --infer`: tape vs
+//! The [`kernels`] module is the dispatch-path kernel benchmark behind
+//! `agnn bench --kernels`: serial vs SIMD vs parallel vs static/calibrated
+//! `Auto`, written to the `BENCH_kernels.json` perf baseline and doubling as
+//! a bit-identity gate in CI. The [`calibrate`] module is the one-shot
+//! crossover sweep behind `agnn bench --calibrate`, producing the
+//! `calibration.json` policy the other surfaces load. The [`infer`] module
+//! is the serving-throughput benchmark behind `agnn bench --infer`: tape vs
 //! tape-free scoring latency (p50/p99), requests/sec, and one more
 //! bit-identity gate, written to `BENCH_infer.json`.
 
 pub mod args;
+pub mod calibrate;
 pub mod infer;
 pub mod kernels;
 pub mod runner;
 pub mod table;
 
 pub use args::HarnessArgs;
+pub use calibrate::{run_calibration, CalibrateConfig, CalibrationReport, CrossoverRow};
 pub use infer::{run_infer_bench, InferBenchConfig, InferBenchReport, InferTiming};
-pub use kernels::{run_kernel_bench, KernelBenchConfig, KernelBenchReport, KernelShape, KernelTiming};
+pub use kernels::{
+    run_kernel_bench, run_kernel_bench_with_policy, KernelBenchConfig, KernelBenchReport, KernelShape, KernelTiming,
+};
 pub use runner::{run_cell, CellResult, CellSpec};

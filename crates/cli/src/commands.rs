@@ -105,6 +105,26 @@ impl Drop for Telemetry {
     }
 }
 
+/// Installs the kernel-dispatch policy for kernel-running subcommands.
+///
+/// Search order: an explicit `--policy <path>` (any failure is fatal — the
+/// user asked for that file), else `./calibration.json` when present (a
+/// parse failure is still fatal: a corrupt calibration should be fixed or
+/// deleted, not silently ignored), else the built-in static thresholds
+/// (no-op). Returns the note to append to the command's output.
+fn install_policy(opts: &Opts) -> Result<Option<String>, CliError> {
+    let (path, explicit) = match opts.get("policy") {
+        Some(path) => (path, true),
+        None => ("calibration.json", false),
+    };
+    if !explicit && !std::path::Path::new(path).exists() {
+        return Ok(None);
+    }
+    let cal = agnn_core::calibration::Calibration::load(path).map_err(CliError)?;
+    agnn_tensor::dispatch::install_policy(&cal.policy);
+    Ok(Some(format!("using kernel policy from {path} (calibrated on {} thread(s))", cal.threads)))
+}
+
 /// Runs the CLI against parsed options; returns the text to print.
 pub fn run(opts: &Opts) -> Result<String, CliError> {
     match opts.command.as_str() {
@@ -192,8 +212,9 @@ struct TrainReportJson {
 fn train(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "report", "patience", "log-every",
-        "profile-ops", "save", "telemetry", "metrics-out", "log-level",
+        "profile-ops", "save", "telemetry", "metrics-out", "log-level", "policy",
     ])?;
+    let policy_note = install_policy(opts)?;
     let data = load_dataset(opts)?;
     let kind = scenario(opts)?;
     let frac: f64 = opts.parse_or("test-fraction", 0.2f64)?;
@@ -270,6 +291,10 @@ fn train(opts: &Opts) -> Result<String, CliError> {
         msg.push('\n');
         msg.push_str(&note);
     }
+    if let Some(note) = policy_note {
+        msg.push('\n');
+        msg.push_str(&note);
+    }
     if let Some(path) = opts.get("save") {
         let snap = model
             .snapshot()
@@ -297,8 +322,9 @@ fn train(opts: &Opts) -> Result<String, CliError> {
 /// `serve.parse_errors` and warned about, never fatal.
 fn serve(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
-        "model", "pairs", "stdin", "no-materialize", "stats-every", "telemetry", "metrics-out", "log-level",
+        "model", "pairs", "stdin", "no-materialize", "stats-every", "telemetry", "metrics-out", "log-level", "policy",
     ])?;
+    install_policy(opts)?;
     let stats_every: usize = opts.parse_or("stats-every", 0usize)?;
     let mut tele = telemetry_start(opts, stats_every > 0)?;
     let path = opts.required("model")?;
@@ -402,43 +428,64 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
     Ok(msg)
 }
 
-/// `agnn bench --kernels | --infer` — the two perf-baseline sweeps.
+/// `agnn bench --kernels | --infer | --calibrate` — perf sweeps.
 ///
-/// `--kernels` times every parallelized `agnn-tensor` kernel under forced
-/// serial and forced parallel dispatch across representative AGNN shapes,
-/// writes the perf baseline to `--out` (default `BENCH_kernels.json`), and
-/// fails if any parallel path is not bit-identical to its serial reference.
-/// `--infer` times tape vs tape-free scoring across request batch sizes,
-/// writes `BENCH_infer.json`, and fails on any tape/engine bit divergence.
-/// CI runs both in `--smoke` mode as divergence gates.
+/// `--kernels` times every dispatched `agnn-tensor` kernel under forced
+/// serial/SIMD/parallel plus static- and calibrated-policy `Auto` across
+/// representative AGNN shapes, writes the perf baseline to `--out` (default
+/// `BENCH_kernels.json`), and fails if any path is not bit-identical to its
+/// serial reference. `--infer` times tape vs tape-free scoring across
+/// request batch sizes, writes `BENCH_infer.json`, and fails on any
+/// tape/engine bit divergence. `--calibrate` runs the crossover sweep and
+/// writes the measured dispatch policy to `--out` (default
+/// `calibration.json`) — the file the other subcommands load back via
+/// `--policy` or by its default name. CI runs all three in `--smoke` mode
+/// as divergence gates.
 fn bench(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["kernels", "infer", "smoke", "out"])?;
+    opts.assert_known(&["kernels", "infer", "calibrate", "smoke", "out", "policy"])?;
     let smoke = opts.get("smoke") == Some("true");
-    match (opts.get("kernels") == Some("true"), opts.get("infer") == Some("true")) {
-        (true, false) => {
+    let surfaces = (
+        opts.get("kernels") == Some("true"),
+        opts.get("infer") == Some("true"),
+        opts.get("calibrate") == Some("true"),
+    );
+    match surfaces {
+        (true, false, false) => {
+            let policy_note = install_policy(opts)?;
             let cfg =
                 if smoke { agnn_bench::KernelBenchConfig::smoke() } else { agnn_bench::KernelBenchConfig::representative() };
             let report = agnn_bench::run_kernel_bench(&cfg);
             let out = opts.get("out").unwrap_or("BENCH_kernels.json");
             std::fs::write(out, report.to_json())?;
             let mut text = report.render_table();
+            if let Some(note) = policy_note {
+                text.push_str(&note);
+                text.push('\n');
+            }
             text.push_str(&format!("wrote {out}"));
             if report.all_identical() {
                 Ok(text)
             } else {
                 Err(CliError(format!(
-                    "{text}\nserial/parallel DIVERGENCE in {} kernel timing(s)",
+                    "{text}\ndispatch-path DIVERGENCE in {} kernel timing(s)",
                     report.divergent().len()
                 )))
             }
         }
-        (false, true) => {
+        (false, true, false) => {
+            // The tape-free engine runs the same dispatched kernels, so a
+            // calibrated policy shapes serving latency too.
+            let policy_note = install_policy(opts)?;
             let cfg =
                 if smoke { agnn_bench::InferBenchConfig::smoke() } else { agnn_bench::InferBenchConfig::representative() };
             let report = agnn_bench::run_infer_bench(&cfg);
             let out = opts.get("out").unwrap_or("BENCH_infer.json");
             std::fs::write(out, report.to_json())?;
             let mut text = report.render_table();
+            if let Some(note) = policy_note {
+                text.push_str(&note);
+                text.push('\n');
+            }
             text.push_str(&format!("wrote {out}"));
             if report.all_identical() {
                 Ok(text)
@@ -446,7 +493,26 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 Err(CliError(format!("{text}\ntape/engine DIVERGENCE — the tape-free path is wrong, do not ship")))
             }
         }
-        _ => Err(CliError("bench: pass exactly one of --kernels | --infer".into())),
+        (false, false, true) => {
+            let cfg =
+                if smoke { agnn_bench::CalibrateConfig::smoke() } else { agnn_bench::CalibrateConfig::representative() };
+            let report = agnn_bench::run_calibration(&cfg);
+            let mut text = report.render_table();
+            if !report.all_identical() {
+                // A divergence means the dispatch layer itself is broken;
+                // persisting thresholds measured on wrong outputs would be
+                // worse than useless.
+                return Err(CliError(format!(
+                    "{text}\ndispatch-path DIVERGENCE in {} calibration rung(s); not writing a policy",
+                    report.divergent().len()
+                )));
+            }
+            let out = opts.get("out").unwrap_or("calibration.json");
+            report.calibration.save(out).map_err(CliError)?;
+            text.push_str(&format!("wrote {out}"));
+            Ok(text)
+        }
+        _ => Err(CliError("bench: pass exactly one of --kernels | --infer | --calibrate".into())),
     }
 }
 
@@ -586,7 +652,9 @@ fn finish_check(reports: Vec<agnn_check::AuditReport>, json: bool) -> Result<Str
 }
 
 fn predict(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "pairs"])?;
+    opts.assert_known(&["data", "model", "scenario", "epochs", "seed", "lr", "test-fraction", "pairs", "policy"])?;
+    // Scores go to stdout verbatim, so the policy is installed silently.
+    install_policy(opts)?;
     let data = load_dataset(opts)?;
     let kind = scenario(opts)?;
     let frac: f64 = opts.parse_or("test-fraction", 0.2f64)?;
@@ -757,8 +825,39 @@ mod tests {
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains("\"bench\": \"kernels\""), "{json}");
         assert!(json.contains("\"all_identical\": true"), "{json}");
-        // 7 kernels × 2 smoke shapes.
-        assert_eq!(json.matches("\"kernel\":").count(), 14, "{json}");
+        // 9 kernels × 2 smoke shapes.
+        assert_eq!(json.matches("\"kernel\":").count(), 18, "{json}");
+        // The dispatch-path columns made it into the baseline schema.
+        assert!(json.contains("\"simd_ns\":"), "{json}");
+        assert!(json.contains("\"calibrated_speedup\":"), "{json}");
+    }
+
+    #[test]
+    fn bench_calibrate_smoke_writes_loadable_policy() {
+        let out = tmp("calibration.json");
+        let msg = run(&opts(&format!("bench --calibrate --smoke --out {out}"))).unwrap();
+        assert!(msg.contains("resolved thresholds"), "{msg}");
+        assert!(msg.contains(&format!("wrote {out}")), "{msg}");
+        // The emitted file round-trips through the persistence layer…
+        let cal = agnn_core::calibration::Calibration::load(&out).unwrap();
+        assert!(cal.threads >= 1);
+        // …and the kernel bench accepts it as the calibrated policy.
+        let bench_out = tmp("bench_kernels_calibrated.json");
+        let msg =
+            run(&opts(&format!("bench --kernels --smoke --policy {out} --out {bench_out}"))).unwrap();
+        assert!(msg.contains(&format!("using kernel policy from {out}")), "{msg}");
+        agnn_tensor::dispatch::reset_policy();
+    }
+
+    #[test]
+    fn policy_flag_failures_are_fatal() {
+        // An explicitly requested policy file that is missing or corrupt
+        // must fail the command, not silently fall back.
+        assert!(run(&opts("bench --kernels --smoke --policy /nonexistent-calibration.json")).is_err());
+        let bad = tmp("bad-calibration.json");
+        std::fs::write(&bad, "{\"format\": \"other\", \"version\": 1}").unwrap();
+        let err = run(&opts(&format!("bench --kernels --smoke --policy {bad}"))).unwrap_err();
+        assert!(err.0.contains("calibration"), "{err}");
     }
 
     #[test]
@@ -778,6 +877,7 @@ mod tests {
     fn bench_requires_exactly_one_surface_and_rejects_typos() {
         assert!(run(&opts("bench")).is_err());
         assert!(run(&opts("bench --kernels --infer")).is_err());
+        assert!(run(&opts("bench --kernels --calibrate")).is_err());
         assert!(run(&opts("bench --kernels --bogus")).is_err());
     }
 

@@ -1,0 +1,150 @@
+//! Versioned persistence for kernel-dispatch calibration (`calibration.json`).
+//!
+//! `agnn bench --calibrate` measures the serial↔SIMD↔parallel crossover per
+//! kernel on the current host and writes the result through [`Calibration`];
+//! every CLI entry point that runs kernels loads it back at startup
+//! (`--policy <path>`, else `./calibration.json`, else the built-in default)
+//! and installs it via [`agnn_tensor::dispatch::install_policy`].
+//!
+//! The file uses the same canonical hand-written JSON as the model snapshot
+//! machinery (`jsonio`): stable field order, shortest-round-trip floats are
+//! irrelevant here (thresholds are integers), and a `format`/`version`
+//! header so a future layout change fails loudly instead of misparsing.
+//! Kernels missing from the file keep their built-in thresholds — a
+//! calibration from an older binary stays loadable after a kernel is added —
+//! while unknown kernel names are rejected as a sign of a mismatched file.
+
+use crate::jsonio::{push_json_str, JsonValue};
+use agnn_tensor::dispatch::{KernelPolicy, KernelThresholds};
+use agnn_tensor::profile::Kernel;
+
+/// The `format` tag every calibration file must carry.
+pub const FORMAT: &str = "agnn-calibration";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// A host-specific kernel-dispatch policy plus the context it was measured
+/// under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Calibration {
+    /// Worker-thread count of the host that ran the calibration sweep (a
+    /// policy tuned on 16 cores is suspect on 1; recorded for diagnostics).
+    pub threads: usize,
+    /// The measured per-kernel thresholds.
+    pub policy: KernelPolicy,
+}
+
+impl Calibration {
+    /// Serializes to canonical JSON: stable key order, one kernel object per
+    /// entry in `Kernel::ALL` order.
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"format\": ");
+        push_json_str(&mut s, FORMAT);
+        s.push_str(",\n  \"version\": ");
+        s.push_str(&VERSION.to_string());
+        s.push_str(",\n  \"threads\": ");
+        s.push_str(&self.threads.to_string());
+        s.push_str(",\n  \"kernels\": [\n");
+        for (i, k) in Kernel::ALL.into_iter().enumerate() {
+            let t = self.policy.get(k);
+            s.push_str("    {\"kernel\": ");
+            push_json_str(&mut s, k.name());
+            s.push_str(", \"simd_min_work\": ");
+            s.push_str(&t.simd_min_work.to_string());
+            s.push_str(", \"parallel_min_work\": ");
+            s.push_str(&t.parallel_min_work.to_string());
+            s.push('}');
+            if i + 1 < Kernel::ALL.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a calibration file, validating the `format`/`version` header
+    /// and every kernel name. Kernels absent from the file keep the built-in
+    /// thresholds.
+    pub fn from_json_str(text: &str) -> Result<Calibration, String> {
+        let root = JsonValue::parse(text)?;
+        let format = root.req("format")?.as_str()?;
+        if format != FORMAT {
+            return Err(format!("calibration: format {format:?}, expected {FORMAT:?}"));
+        }
+        let version = root.req("version")?.as_u64()?;
+        if version != VERSION {
+            return Err(format!("calibration: version {version}, this build reads {VERSION}"));
+        }
+        let threads = root.req("threads")?.as_usize()?;
+        let mut policy = KernelPolicy::builtin();
+        for entry in root.req("kernels")?.as_arr()? {
+            let name = entry.req("kernel")?.as_str()?;
+            let kernel = Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| format!("calibration: unknown kernel {name:?}"))?;
+            policy.set(
+                kernel,
+                KernelThresholds {
+                    simd_min_work: entry.req("simd_min_work")?.as_usize()?,
+                    parallel_min_work: entry.req("parallel_min_work")?.as_usize()?,
+                },
+            );
+        }
+        Ok(Calibration { threads, policy })
+    }
+
+    /// Reads and parses `path`.
+    pub fn load(path: &str) -> Result<Calibration, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("calibration: read {path}: {e}"))?;
+        Calibration::from_json_str(&text)
+    }
+
+    /// Writes the canonical JSON to `path`.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json_string()).map_err(|e| format!("calibration: write {path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut policy = KernelPolicy::builtin();
+        policy.set(Kernel::MatMul, KernelThresholds { simd_min_work: 123, parallel_min_work: 456_789 });
+        policy.set(Kernel::RepeatRows, KernelThresholds { simd_min_work: usize::MAX, parallel_min_work: usize::MAX });
+        let cal = Calibration { threads: 4, policy };
+        let text = cal.to_json_string();
+        let back = Calibration::from_json_str(&text).expect("roundtrip parse");
+        assert_eq!(back, cal);
+        assert_eq!(back.policy.get(Kernel::MatMul).simd_min_work, 123);
+        assert_eq!(back.policy.get(Kernel::RepeatRows).parallel_min_work, usize::MAX);
+    }
+
+    #[test]
+    fn missing_kernels_keep_builtin_thresholds() {
+        let text = format!(
+            "{{\"format\": \"{FORMAT}\", \"version\": {VERSION}, \"threads\": 2, \"kernels\": [\n  {{\"kernel\": \"matmul\", \"simd_min_work\": 1, \"parallel_min_work\": 2}}\n]}}"
+        );
+        let cal = Calibration::from_json_str(&text).expect("partial file parses");
+        assert_eq!(cal.policy.get(Kernel::MatMul).parallel_min_work, 2);
+        let builtin = KernelPolicy::builtin();
+        assert_eq!(cal.policy.get(Kernel::Transpose), builtin.get(Kernel::Transpose));
+    }
+
+    #[test]
+    fn rejects_wrong_format_version_and_unknown_kernel() {
+        assert!(Calibration::from_json_str("{\"format\": \"other\", \"version\": 1, \"threads\": 1, \"kernels\": []}").is_err());
+        let wrong_version = format!("{{\"format\": \"{FORMAT}\", \"version\": 999, \"threads\": 1, \"kernels\": []}}");
+        assert!(Calibration::from_json_str(&wrong_version).is_err());
+        let unknown = format!(
+            "{{\"format\": \"{FORMAT}\", \"version\": {VERSION}, \"threads\": 1, \"kernels\": [{{\"kernel\": \"nope\", \"simd_min_work\": 0, \"parallel_min_work\": 0}}]}}"
+        );
+        assert!(Calibration::from_json_str(&unknown).is_err());
+    }
+}

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod agnn;
+pub mod calibration;
 pub mod config;
 pub mod evae;
 pub mod gnn;

@@ -33,8 +33,10 @@ impl Drop for ModeGuard {
     }
 }
 
-/// The three dispatch modes a conformance sweep covers.
-pub const ALL_MODES: [ParallelMode; 3] = [ParallelMode::ForceSerial, ParallelMode::ForceParallel, ParallelMode::Auto];
+/// The dispatch modes a conformance sweep covers — every forced execution
+/// path plus threshold-driven `Auto`.
+pub const ALL_MODES: [ParallelMode; 4] =
+    [ParallelMode::ForceSerial, ParallelMode::ForceSimd, ParallelMode::ForceParallel, ParallelMode::Auto];
 
 /// Compares tape and tape-free scores bit for bit; `Err` describes the
 /// first mismatch.

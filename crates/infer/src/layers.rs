@@ -9,7 +9,7 @@
 
 use agnn_core::interaction::AttrLists;
 use agnn_core::{ColdStartModule, ModelSnapshot, SnapshotError};
-use agnn_tensor::{ops, Matrix};
+use agnn_tensor::{ops, Csr, Matrix};
 
 /// A dense layer holding resolved weights: `y = x·W (+ b)`.
 pub struct InferLinear {
@@ -85,6 +85,9 @@ impl InferMlp {
 /// Attribute interaction layer (Eqs. 2–4) over resolved parameters.
 pub struct InferAttrInteraction {
     table: Matrix,
+    /// Element-wise square of `table`, precomputed once at load so the
+    /// `Σv²` term is one more spmm instead of a gather + map per batch.
+    table_sq: Matrix,
     w_bi: InferLinear,
     w_lin: InferLinear,
     bias: Matrix,
@@ -96,11 +99,12 @@ impl InferAttrInteraction {
     /// Resolves the four parameters registered under `{name}`.
     pub fn from_snapshot(snap: &ModelSnapshot, name: &str, slope: f32) -> Result<Self, SnapshotError> {
         let table = snap.require(&format!("{name}.attr_table"))?;
+        let table_sq = ops::map(&table, |x| x * x);
         let w_bi = InferLinear::from_snapshot(snap, &format!("{name}.w_bi"), false)?;
         let w_lin = InferLinear::from_snapshot(snap, &format!("{name}.w_lin"), false)?;
         let bias = snap.require(&format!("{name}.bias"))?;
         let embed_dim = table.cols();
-        Ok(Self { table, w_bi, w_lin, bias, embed_dim, slope })
+        Ok(Self { table, table_sq, w_bi, w_lin, bias, embed_dim, slope })
     }
 
     /// Attribute vocabulary size the table was trained with.
@@ -111,6 +115,16 @@ impl InferAttrInteraction {
     /// Mirrors `AttrInteraction::forward` — including the all-attributeless
     /// batch shortcut, which is bit-equal to the general path (a zero-row
     /// matmul contributes exact `+0.0`).
+    ///
+    /// The tape gathers table rows and segment-sums them; here the batch's
+    /// multi-hot attribute rows become a [`Csr`] and both sums are sparse ×
+    /// dense products instead, skipping the `T × D` gather materialization.
+    /// Bit-identity holds because the CSR keeps each node's attribute order
+    /// (ascending, the `SparseVec`/`AttrLists` invariant), `spmm`
+    /// accumulates in that same order, `1.0·x == x` bitwise for finite `x`,
+    /// and squaring the table before or after row selection is the same
+    /// `f32` multiply. Locked by `ops::tests::
+    /// spmm_multi_hot_matches_gather_segment_sum` and the conformance suite.
     pub fn forward(&self, lists: &AttrLists, nodes: &[usize]) -> Matrix {
         let (flat, offsets) = lists.flatten(nodes);
         if flat.is_empty() {
@@ -118,10 +132,9 @@ impl InferAttrInteraction {
             let biased = ops::add_row_broadcast(&zeros, &self.bias);
             return ops::leaky_relu(&biased, self.slope);
         }
-        let v = self.table.gather_rows(&flat); // T × D
-        let sum = ops::segment_sum_rows_var(&v, &offsets); // n × D  (= f_L)
-        let v_sq = ops::map(&v, |x| x * x);
-        let sum_sq = ops::segment_sum_rows_var(&v_sq, &offsets);
+        let attrs = Csr::multi_hot(self.table.rows(), &offsets, &flat);
+        let sum = ops::spmm(&attrs, &self.table); // n × D  (= f_L)
+        let sum_sq = ops::spmm(&attrs, &self.table_sq);
         let sum2 = ops::map(&sum, |x| x * x);
         let diff = ops::sub(&sum2, &sum_sq);
         let f_bi = ops::scale(&diff, 0.5);

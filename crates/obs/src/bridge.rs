@@ -1,10 +1,13 @@
-//! Folds `agnn_tensor::profile` kernel-timing drains into the metrics
-//! registry, unifying the two observability systems: every kernel bucket
-//! becomes a `tensor.<kernel>.calls` / `tensor.<kernel>.nanos` counter
-//! pair, so `--metrics-out` and the BENCH artifacts report op timings in
-//! the same namespace as the serving and training metrics.
+//! Folds `agnn_tensor` drains into the metrics registry, unifying the
+//! observability systems: every `profile` kernel bucket becomes a
+//! `tensor.<kernel>.calls` / `tensor.<kernel>.nanos` counter pair, and
+//! every `dispatch` decision bucket a `tensor.dispatch.<kernel>.<path>`
+//! counter, so `--metrics-out` and the BENCH artifacts report op timings
+//! and dispatch choices in the same namespace as the serving and training
+//! metrics.
 
 use crate::metrics::{self, Registry};
+use agnn_tensor::dispatch::DispatchCounts;
 use agnn_tensor::profile::OpProfile;
 
 /// Records one profile drain into `reg` (used by benches building private
@@ -28,6 +31,26 @@ pub fn record_op_profile(profile: &OpProfile) {
     }
 }
 
+/// Records one dispatch-decision drain into `reg`: which execution path
+/// (serial / simd / parallel) each kernel's threshold policy actually chose,
+/// as `tensor.dispatch.<kernel>.<path>` counters.
+pub fn record_dispatch_counts_into(reg: &Registry, counts: &DispatchCounts) {
+    for e in &counts.entries {
+        reg.counter_add(&format!("tensor.dispatch.{}.{}", e.kernel, e.path), e.count);
+    }
+}
+
+/// Records one dispatch-decision drain into the global registry. No-op
+/// while global collection is disabled.
+pub fn record_dispatch_counts(counts: &DispatchCounts) {
+    if !metrics::enabled() {
+        return;
+    }
+    for e in &counts.entries {
+        metrics::counter_add(&format!("tensor.dispatch.{}.{}", e.kernel, e.path), e.count);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +71,24 @@ mod tests {
         assert_eq!(snap.counter("tensor.matmul.calls"), Some(6));
         assert_eq!(snap.counter("tensor.matmul.nanos"), Some(1800));
         assert_eq!(snap.counter("tensor.transpose.calls"), Some(2));
+    }
+
+    #[test]
+    fn dispatch_drain_lands_in_dispatch_namespace() {
+        use agnn_tensor::dispatch::DispatchCount;
+        let reg = Registry::new();
+        let counts = DispatchCounts {
+            entries: vec![
+                DispatchCount { kernel: "matmul", path: "parallel", count: 5 },
+                DispatchCount { kernel: "matmul", path: "serial", count: 2 },
+                DispatchCount { kernel: "axpy", path: "simd", count: 9 },
+            ],
+        };
+        record_dispatch_counts_into(&reg, &counts);
+        record_dispatch_counts_into(&reg, &counts);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("tensor.dispatch.matmul.parallel"), Some(10));
+        assert_eq!(snap.counter("tensor.dispatch.matmul.serial"), Some(4));
+        assert_eq!(snap.counter("tensor.dispatch.axpy.simd"), Some(18));
     }
 }

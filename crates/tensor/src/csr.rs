@@ -1,0 +1,181 @@
+//! Compressed sparse row (CSR) matrices for sparse × dense products.
+//!
+//! The strict-cold-start input side is dominated by multi-hot attribute
+//! rows: each node activates a handful of attribute indices out of a large
+//! vocabulary. Densifying those rows just to multiply them into an embedding
+//! table wastes both memory and multiply-accumulates on zeros; [`Csr`] keeps
+//! only the non-zeros and [`crate::ops::spmm`] multiplies them against a
+//! dense right-hand side directly.
+//!
+//! ## Invariants
+//!
+//! * `row_ptr` has `rows + 1` monotone entries ending at `nnz`;
+//! * column indices are **strictly ascending within each row** — `spmm`
+//!   accumulates stored entries in order, which makes it visit exactly the
+//!   columns dense [`crate::ops::matmul`] visits after its zero-skip, in the
+//!   same order, so the two are bit-identical on matching inputs;
+//! * no explicit zeros are stored ([`Csr::from_dense`] drops them), matching
+//!   the zero-skip note in [`crate::ops`].
+
+use crate::Matrix;
+
+/// A sparse `rows × cols` matrix in compressed sparse row form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Compresses a dense matrix, dropping exact zeros.
+    pub fn from_dense(a: &Matrix) -> Csr {
+        let (rows, cols) = a.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for (c, &v) in a.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Builds the multi-hot selection matrix for variable-length index
+    /// lists: row `i` holds a `1.0` at each column in
+    /// `indices[offsets[i]..offsets[i + 1]]`. This is exactly the shape
+    /// `AttrLists::flatten` produces, so `spmm(multi_hot, table)` replaces
+    /// `gather_rows` + `segment_sum_rows_var` without changing a bit.
+    ///
+    /// # Panics
+    /// Panics when `offsets` is empty or non-monotone, does not end at
+    /// `indices.len()`, any index is out of `cols`, or a row's indices are
+    /// not strictly ascending (duplicates would double-count an attribute).
+    pub fn multi_hot(cols: usize, offsets: &[usize], indices: &[usize]) -> Csr {
+        assert!(!offsets.is_empty(), "multi_hot: empty offsets");
+        assert_eq!(*offsets.last().expect("non-empty offsets"), indices.len(), "multi_hot: offsets end {} != {} indices", offsets.last().expect("non-empty offsets"), indices.len());
+        let rows = offsets.len() - 1;
+        let mut col_idx = Vec::with_capacity(indices.len());
+        for i in 0..rows {
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
+            assert!(lo <= hi, "multi_hot: offsets not monotone at {i}: {lo} > {hi}");
+            let mut prev: Option<usize> = None;
+            for &idx in &indices[lo..hi] {
+                assert!(idx < cols, "multi_hot: index {idx} out of {cols} cols");
+                if let Some(p) = prev {
+                    assert!(p < idx, "multi_hot: indices not strictly ascending in row {i}");
+                }
+                prev = Some(idx);
+                col_idx.push(idx as u32);
+            }
+        }
+        let values = vec![1.0; col_idx.len()];
+        Csr { rows, cols, row_ptr: offsets.to_vec(), col_idx, values }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `rows + 1` row-start offsets into [`Csr::col_idx`]/[`Csr::values`].
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index of each stored entry, ascending within each row.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value of each stored entry.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The stored entries of row `r` as parallel `(columns, values)` slices.
+    pub fn row_entries(&self, r: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Densifies back into a [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row_entries(r);
+            let orow = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                orow[c as usize] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip_drops_zeros() {
+        let a = Matrix::from_vec(3, 4, vec![0., 1., 0., 2., 0., 0., 0., 0., 3., 0., -4., 0.]);
+        let s = Csr::from_dense(&a);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(s.col_idx(), &[1, 3, 0, 2]);
+        assert_eq!(s.to_dense().as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn multi_hot_places_ones() {
+        // Rows: {1, 3}, {}, {0}.
+        let s = Csr::multi_hot(4, &[0, 2, 2, 3], &[1, 3, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.nnz(), 3);
+        let d = s.to_dense();
+        assert_eq!(d.row(0), &[0., 1., 0., 1.]);
+        assert_eq!(d.row(1), &[0., 0., 0., 0.]);
+        assert_eq!(d.row(2), &[1., 0., 0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn multi_hot_rejects_duplicate_indices() {
+        let _ = Csr::multi_hot(4, &[0, 2], &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn multi_hot_rejects_out_of_range() {
+        let _ = Csr::multi_hot(2, &[0, 1], &[2]);
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let a = Matrix::zeros(0, 5);
+        let s = Csr::from_dense(&a);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.to_dense().shape(), (0, 5));
+    }
+}

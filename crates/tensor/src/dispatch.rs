@@ -1,0 +1,400 @@
+//! Kernel dispatch layer: per-kernel serial / SIMD / parallel crossover
+//! policy (DESIGN.md §5b7).
+//!
+//! Every dense kernel in [`crate::ops`] asks [`decide`] which execution path
+//! to take for a given amount of work, instead of comparing against the old
+//! scattered `PAR_THRESHOLD`/`PAR_ELEMS` constants. The decision consults,
+//! in order:
+//!
+//! 1. the **thread-local [`ParallelMode`] override** ([`set_parallel_mode`])
+//!    — tests, the conformance suite and `agnn bench --kernels` force one
+//!    path regardless of size;
+//! 2. the **installed [`KernelPolicy`]** ([`install_policy`]) — per-kernel
+//!    `simd_min_work`/`parallel_min_work` crossover points, typically loaded
+//!    from a `calibration.json` produced by `agnn bench --calibrate`;
+//! 3. the **built-in default** ([`KernelPolicy::builtin`]) when nothing was
+//!    installed — the historical static thresholds (64³ multiply-accumulates
+//!    for the matmul family, 64·1024 touched elements for data movement).
+//!
+//! Dispatch never changes results: the SIMD and parallel variants of every
+//! kernel perform the same floating-point operations in the same per-element
+//! order as the serial reference (see the bit-identity invariant in
+//! [`crate::ops`]), so the policy is purely a performance knob. Kernels with
+//! no vectorized body treat a [`ExecPath::Simd`] decision as serial.
+//!
+//! Every decision increments a process-global relaxed counter per
+//! kernel × path; `agnn-obs` drains these ([`take_decisions`]) into
+//! `tensor.dispatch.<kernel>.<path>` metrics so a run's dispatch mix is
+//! observable after the fact.
+
+use crate::profile::{Kernel, N_KERNELS};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Flop threshold above which the matmul family parallelized historically;
+/// now the built-in default for `parallel_min_work` on those kernels.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Element threshold above which data-movement kernels (transpose, segment
+/// pooling, row repetition) parallelized historically. These kernels do O(1)
+/// work per element, so the cutover sits higher than a flop count would
+/// suggest.
+const PAR_ELEMS: usize = 64 * 1024;
+
+/// Execution path chosen for one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ExecPath {
+    /// Scalar single-thread reference loop.
+    Serial,
+    /// Fixed-width chunked (vectorizable) single-thread loop.
+    Simd,
+    /// Rayon-parallel path over disjoint output blocks.
+    Parallel,
+}
+
+impl ExecPath {
+    /// Every path, in escalation order.
+    pub const ALL: [ExecPath; 3] = [ExecPath::Serial, ExecPath::Simd, ExecPath::Parallel];
+
+    /// Stable name used in metrics and the calibration report.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecPath::Serial => "serial",
+            ExecPath::Simd => "simd",
+            ExecPath::Parallel => "parallel",
+        }
+    }
+}
+
+const N_PATHS: usize = ExecPath::ALL.len();
+
+/// How kernels choose their execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// The installed [`KernelPolicy`] decides (production default).
+    #[default]
+    Auto,
+    /// Always take the serial reference path.
+    ForceSerial,
+    /// Always take the SIMD path (kernels without one run serial).
+    ForceSimd,
+    /// Always take the parallel path, even for tiny inputs.
+    ForceParallel,
+}
+
+thread_local! {
+    static PARALLEL_MODE: Cell<ParallelMode> = const { Cell::new(ParallelMode::Auto) };
+}
+
+/// Overrides kernel dispatch on the *calling thread* (kernels invoked from
+/// other threads keep their own mode). Used by the parallel-vs-serial
+/// property tests, the conformance suite, the calibrator and
+/// `agnn bench --kernels`; production code leaves this at
+/// [`ParallelMode::Auto`].
+pub fn set_parallel_mode(mode: ParallelMode) {
+    PARALLEL_MODE.with(|m| m.set(mode));
+}
+
+/// The calling thread's current dispatch mode.
+pub fn parallel_mode() -> ParallelMode {
+    PARALLEL_MODE.with(Cell::get)
+}
+
+/// Crossover points for one kernel, in that kernel's work units:
+/// multiply-accumulate operations for the matmul family and `spmm`, touched
+/// elements for the data-movement kernels and `axpy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelThresholds {
+    /// Minimum work at which the SIMD path replaces the plain serial loop.
+    /// `usize::MAX` disables the SIMD path under [`ParallelMode::Auto`]
+    /// (kernels without a vectorized body keep it there).
+    pub simd_min_work: usize,
+    /// Minimum work at which the parallel path replaces the best
+    /// single-thread path. `usize::MAX` pins the kernel single-threaded.
+    pub parallel_min_work: usize,
+}
+
+/// A full per-kernel threshold table, indexable by [`Kernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelPolicy {
+    thresholds: [KernelThresholds; N_KERNELS],
+}
+
+impl KernelPolicy {
+    /// The compiled-in default: SIMD from the first element on kernels that
+    /// have a vectorized body (it is never slower at the shapes this
+    /// workspace runs), and the historical static parallel cutovers — 64³
+    /// multiply-accumulates for the matmul family and `spmm`, 64·1024
+    /// elements for data movement and `axpy`.
+    pub fn builtin() -> Self {
+        let mut thresholds = [KernelThresholds { simd_min_work: usize::MAX, parallel_min_work: usize::MAX }; N_KERNELS];
+        for k in Kernel::ALL {
+            thresholds[k as usize] = builtin_thresholds(k);
+        }
+        KernelPolicy { thresholds }
+    }
+
+    /// Thresholds for one kernel.
+    pub fn get(&self, k: Kernel) -> KernelThresholds {
+        self.thresholds[k as usize]
+    }
+
+    /// Replaces the thresholds for one kernel.
+    pub fn set(&mut self, k: Kernel, t: KernelThresholds) {
+        self.thresholds[k as usize] = t;
+    }
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy::builtin()
+    }
+}
+
+/// The built-in thresholds for one kernel (see [`KernelPolicy::builtin`]).
+fn builtin_thresholds(k: Kernel) -> KernelThresholds {
+    match k {
+        // Vectorized bodies exist: chunked mul-add is bit-identical and not
+        // slower than the scalar loop at any size this workspace hits.
+        Kernel::MatMul | Kernel::MatMulTn | Kernel::Spmm => {
+            KernelThresholds { simd_min_work: 0, parallel_min_work: PAR_THRESHOLD }
+        }
+        Kernel::Axpy => KernelThresholds { simd_min_work: 0, parallel_min_work: PAR_ELEMS },
+        // No vectorized body (dot-product accumulation order would change).
+        Kernel::MatMulNt => {
+            KernelThresholds { simd_min_work: usize::MAX, parallel_min_work: PAR_THRESHOLD }
+        }
+        Kernel::Transpose | Kernel::SegmentMeanRows | Kernel::SegmentSumRows | Kernel::RepeatRows => {
+            KernelThresholds { simd_min_work: usize::MAX, parallel_min_work: PAR_ELEMS }
+        }
+    }
+}
+
+// Installed-policy storage. `INSTALLED` flips true once `install_policy`
+// has written both arrays; until then readers fall back to the built-in
+// table, so there is no static-init ordering to get wrong.
+#[allow(clippy::declare_interior_mutable_const)]
+const USIZE_ZERO: AtomicUsize = AtomicUsize::new(0);
+static SIMD_MIN: [AtomicUsize; N_KERNELS] = [USIZE_ZERO; N_KERNELS];
+static PAR_MIN: [AtomicUsize; N_KERNELS] = [USIZE_ZERO; N_KERNELS];
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs `policy` process-wide; every subsequent [`decide`] under
+/// [`ParallelMode::Auto`] consults it. Entry points call this once at
+/// startup after resolving the policy search order (`--policy` flag, then
+/// `./calibration.json`, then the built-in default).
+pub fn install_policy(policy: &KernelPolicy) {
+    for k in Kernel::ALL {
+        let t = policy.get(k);
+        SIMD_MIN[k as usize].store(t.simd_min_work, Ordering::Relaxed);
+        PAR_MIN[k as usize].store(t.parallel_min_work, Ordering::Relaxed);
+    }
+    INSTALLED.store(true, Ordering::Release);
+}
+
+/// Reverts to the built-in policy (mainly for tests and [`with_policy`]).
+pub fn reset_policy() {
+    INSTALLED.store(false, Ordering::Release);
+}
+
+/// The thresholds [`decide`] is currently honoring for `k`.
+pub fn active_thresholds(k: Kernel) -> KernelThresholds {
+    if INSTALLED.load(Ordering::Acquire) {
+        KernelThresholds {
+            simd_min_work: SIMD_MIN[k as usize].load(Ordering::Relaxed),
+            parallel_min_work: PAR_MIN[k as usize].load(Ordering::Relaxed),
+        }
+    } else {
+        builtin_thresholds(k)
+    }
+}
+
+/// A copy of the currently active policy.
+pub fn current_policy() -> KernelPolicy {
+    let mut p = KernelPolicy::builtin();
+    for k in Kernel::ALL {
+        p.set(k, active_thresholds(k));
+    }
+    p
+}
+
+/// Runs `f` with `policy` installed, then restores the previous state.
+/// The policy is process-global, so concurrent callers interleave; the
+/// benchmarks that use this run single-threaded, and dispatch never affects
+/// results — only timings — so a race is at worst a perf blip.
+pub fn with_policy<T>(policy: &KernelPolicy, f: impl FnOnce() -> T) -> T {
+    let was_installed = INSTALLED.load(Ordering::Acquire);
+    let prev = current_policy();
+    install_policy(policy);
+    let out = f();
+    if was_installed {
+        install_policy(&prev);
+    } else {
+        reset_policy();
+    }
+    out
+}
+
+// Decision counters: one relaxed u64 per kernel × path, drained by
+// agnn-obs into `tensor.dispatch.<kernel>.<path>` counters.
+#[allow(clippy::declare_interior_mutable_const)]
+const U64_ZERO: AtomicU64 = AtomicU64::new(0);
+static DECISIONS: [AtomicU64; N_KERNELS * N_PATHS] = [U64_ZERO; N_KERNELS * N_PATHS];
+
+/// Chooses the execution path for one invocation of `kernel` doing `work`
+/// units, honoring the thread-local [`ParallelMode`] override first and the
+/// active [`KernelPolicy`] under [`ParallelMode::Auto`]. Records the
+/// decision in the per-kernel counters.
+#[inline]
+pub fn decide(kernel: Kernel, work: usize) -> ExecPath {
+    let path = match parallel_mode() {
+        ParallelMode::ForceSerial => ExecPath::Serial,
+        ParallelMode::ForceSimd => ExecPath::Simd,
+        ParallelMode::ForceParallel => ExecPath::Parallel,
+        ParallelMode::Auto => {
+            let t = active_thresholds(kernel);
+            if work >= t.parallel_min_work {
+                ExecPath::Parallel
+            } else if work >= t.simd_min_work {
+                ExecPath::Simd
+            } else {
+                ExecPath::Serial
+            }
+        }
+    };
+    DECISIONS[kernel as usize * N_PATHS + path as usize].fetch_add(1, Ordering::Relaxed);
+    path
+}
+
+/// One kernel × path decision counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchCount {
+    /// Kernel name as in [`Kernel::name`].
+    pub kernel: &'static str,
+    /// Path name as in [`ExecPath::name`].
+    pub path: &'static str,
+    /// Decisions recorded since the last reset.
+    pub count: u64,
+}
+
+/// A drain of the decision counters (zero entries omitted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// Non-zero kernel × path counters in `Kernel::ALL` × `ExecPath::ALL` order.
+    pub entries: Vec<DispatchCount>,
+}
+
+impl DispatchCounts {
+    /// Total decisions across every entry.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+}
+
+/// Copies the current decision counters without resetting them.
+pub fn decisions_snapshot() -> DispatchCounts {
+    let mut entries = Vec::new();
+    for k in Kernel::ALL {
+        for p in ExecPath::ALL {
+            let count = DECISIONS[k as usize * N_PATHS + p as usize].load(Ordering::Relaxed);
+            if count > 0 {
+                entries.push(DispatchCount { kernel: k.name(), path: p.name(), count });
+            }
+        }
+    }
+    DispatchCounts { entries }
+}
+
+/// [`decisions_snapshot`] followed by a reset — the per-epoch drain the
+/// trainer's telemetry hook uses.
+pub fn take_decisions() -> DispatchCounts {
+    let snap = decisions_snapshot();
+    reset_decisions();
+    snap
+}
+
+/// Zeroes every decision counter.
+pub fn reset_decisions() {
+    for d in &DECISIONS {
+        d.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The installed policy is process-global; tests that install one hold
+    /// this lock so they don't observe each other's policies mid-assert.
+    fn policy_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn builtin_matches_historical_constants() {
+        let p = KernelPolicy::builtin();
+        assert_eq!(p.get(Kernel::MatMul).parallel_min_work, 64 * 64 * 64);
+        assert_eq!(p.get(Kernel::Transpose).parallel_min_work, 64 * 1024);
+        assert_eq!(p.get(Kernel::MatMulNt).simd_min_work, usize::MAX);
+        assert_eq!(p.get(Kernel::Spmm).simd_min_work, 0);
+    }
+
+    #[test]
+    fn forced_modes_override_policy() {
+        set_parallel_mode(ParallelMode::ForceParallel);
+        assert_eq!(decide(Kernel::MatMul, 1), ExecPath::Parallel);
+        set_parallel_mode(ParallelMode::ForceSimd);
+        assert_eq!(decide(Kernel::MatMulNt, usize::MAX), ExecPath::Simd);
+        set_parallel_mode(ParallelMode::ForceSerial);
+        assert_eq!(decide(Kernel::MatMul, usize::MAX), ExecPath::Serial);
+        set_parallel_mode(ParallelMode::Auto);
+    }
+
+    #[test]
+    fn auto_walks_the_threshold_ladder() {
+        let _guard = policy_lock();
+        set_parallel_mode(ParallelMode::Auto);
+        let mut p = KernelPolicy::builtin();
+        p.set(Kernel::MatMul, KernelThresholds { simd_min_work: 10, parallel_min_work: 100 });
+        with_policy(&p, || {
+            assert_eq!(decide(Kernel::MatMul, 9), ExecPath::Serial);
+            assert_eq!(decide(Kernel::MatMul, 10), ExecPath::Simd);
+            assert_eq!(decide(Kernel::MatMul, 99), ExecPath::Simd);
+            assert_eq!(decide(Kernel::MatMul, 100), ExecPath::Parallel);
+        });
+    }
+
+    #[test]
+    fn decision_counters_accumulate_per_path() {
+        set_parallel_mode(ParallelMode::ForceSimd);
+        let before = decisions_snapshot()
+            .entries
+            .iter()
+            .find(|e| e.kernel == "repeat_rows" && e.path == "simd")
+            .map_or(0, |e| e.count);
+        decide(Kernel::RepeatRows, 1);
+        decide(Kernel::RepeatRows, 1);
+        set_parallel_mode(ParallelMode::Auto);
+        let after = decisions_snapshot()
+            .entries
+            .iter()
+            .find(|e| e.kernel == "repeat_rows" && e.path == "simd")
+            .map_or(0, |e| e.count);
+        assert!(after >= before + 2, "simd decisions not counted: {before} -> {after}");
+    }
+
+    #[test]
+    fn with_policy_restores_previous_state() {
+        let _guard = policy_lock();
+        let mut p = KernelPolicy::builtin();
+        p.set(Kernel::Axpy, KernelThresholds { simd_min_work: 7, parallel_min_work: 77 });
+        let outer = active_thresholds(Kernel::Axpy);
+        with_policy(&p, || {
+            assert_eq!(active_thresholds(Kernel::Axpy).simd_min_work, 7);
+        });
+        assert_eq!(active_thresholds(Kernel::Axpy), outer);
+    }
+}

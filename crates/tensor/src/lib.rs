@@ -8,9 +8,12 @@
 //! encodings and proximity computation.
 //!
 //! Design notes (see DESIGN.md §5):
-//! * the matmul family switches to rayon-parallel kernels above a size
-//!   threshold, and every parallel path is bit-identical to its serial
-//!   reference (see `ops` module docs);
+//! * each hot kernel picks a serial, SIMD or rayon-parallel path through the
+//!   [`dispatch`] layer — per-kernel crossover thresholds with a built-in
+//!   default, replaceable by a host-calibrated policy — and every path is
+//!   bit-identical to its serial reference (see `ops` module docs);
+//! * [`csr::Csr`] + [`ops::spmm`] multiply multi-hot attribute rows against
+//!   dense tables without densifying them;
 //! * per-kernel wall-clock profiling lives in [`profile`], compiled in by
 //!   the `op-profile` feature and toggled at runtime;
 //! * all randomness flows through caller-provided [`rand::Rng`]s so every
@@ -18,14 +21,18 @@
 //! * shape errors panic with the offending shapes in the message — in a
 //!   training loop a silent mis-broadcast is far worse than an abort.
 
+pub mod csr;
+pub mod dispatch;
 pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod profile;
 pub mod shape;
+mod simd;
 pub mod sparse;
 pub mod stats;
 
+pub use csr::Csr;
 pub use matrix::Matrix;
 pub use shape::ShapeError;
 pub use sparse::SparseVec;

@@ -2,78 +2,39 @@
 //!
 //! These are plain forward-math functions; the autograd crate pairs each with
 //! its adjoint. Kernels take references and return fresh matrices — the
-//! training-loop hot paths are the matmuls (forward `matmul`, backward
-//! `matmul_tn`/`matmul_nt`), which go through rayon-parallel kernels above
-//! [`PAR_THRESHOLD`] multiply-accumulate operations; the data-movement
-//! kernels (`transpose`, segment pooling, `repeat_rows`) parallelize above
-//! [`PAR_ELEMS`] touched elements.
+//! training-loop hot paths are the matmuls (forward [`matmul`], backward
+//! [`matmul_tn`]/[`matmul_nt`]), the gradient accumulator [`axpy`], and the
+//! sparse product [`spmm`]. Each hot kernel asks [`crate::dispatch::decide`]
+//! which path to run — scalar serial, fixed-width chunked SIMD
+//! ([`crate::simd`]), or rayon-parallel — based on the thread-local
+//! [`ParallelMode`] override and the installed
+//! [`crate::dispatch::KernelPolicy`] (per-kernel crossover points, loadable
+//! from a calibrated `calibration.json`).
 //!
 //! ## Bit-identity invariant
 //!
-//! Every parallel path performs the *same floating-point operations in the
-//! same per-element order* as its serial reference: work is partitioned over
-//! disjoint **output** blocks and each output element accumulates over `k`
-//! in ascending order, exactly as the serial loop does. Parallel and serial
-//! results are therefore bit-identical, which `agnn bench --kernels` and the
-//! property tests enforce. (A per-thread partial-sum reduction over `k`
-//! blocks would be faster on huge `k` but breaks this invariant — float
-//! addition is not associative.)
+//! Every SIMD and parallel path performs the *same floating-point operations
+//! in the same per-element order* as its serial reference: parallel work is
+//! partitioned over disjoint **output** blocks, each output element
+//! accumulates over `k` in ascending order exactly as the serial loop does,
+//! and the chunked SIMD loops only regroup independent elements without
+//! reassociating any accumulation chain. All dispatch paths are therefore
+//! bit-identical, which `agnn bench --kernels` and the property tests
+//! enforce. (A per-thread partial-sum reduction over `k` blocks would be
+//! faster on huge `k` but breaks this invariant — float addition is not
+//! associative.)
 //!
 //! [`set_parallel_mode`] installs a thread-local override used by tests and
-//! the kernel benchmark to force either path regardless of size thresholds.
+//! the kernel benchmark to force one path regardless of the policy.
 
+use crate::csr::Csr;
+use crate::dispatch::{self, ExecPath};
 use crate::profile::{timed, Kernel};
+use crate::simd;
 use crate::{shape, Matrix};
 use rayon::prelude::*;
-use std::cell::Cell;
 
-/// Flop threshold above which the matmul family parallelizes.
-pub const PAR_THRESHOLD: usize = 64 * 64 * 64;
-
-/// Element threshold above which data-movement kernels (transpose, segment
-/// pooling, row repetition) parallelize. These kernels do O(1) work per
-/// element, so the cutover sits higher than a flop count would suggest.
-pub const PAR_ELEMS: usize = 64 * 1024;
-
-/// How kernels choose between their serial and parallel paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ParallelMode {
-    /// Size thresholds decide (production default).
-    #[default]
-    Auto,
-    /// Always take the serial reference path.
-    ForceSerial,
-    /// Always take the parallel path, even for tiny inputs.
-    ForceParallel,
-}
-
-thread_local! {
-    static PARALLEL_MODE: Cell<ParallelMode> = const { Cell::new(ParallelMode::Auto) };
-}
-
-/// Overrides kernel dispatch on the *calling thread* (kernels invoked from
-/// other threads keep their own mode). Used by the parallel-vs-serial
-/// property tests and `agnn bench --kernels`; production code leaves this at
-/// [`ParallelMode::Auto`].
-pub fn set_parallel_mode(mode: ParallelMode) {
-    PARALLEL_MODE.with(|m| m.set(mode));
-}
-
-/// The calling thread's current dispatch mode.
-pub fn parallel_mode() -> ParallelMode {
-    PARALLEL_MODE.with(Cell::get)
-}
-
-/// Decides serial vs parallel for `work` units against `threshold`,
-/// honoring the thread-local [`ParallelMode`] override.
-#[inline]
-fn use_parallel(work: usize, threshold: usize) -> bool {
-    match parallel_mode() {
-        ParallelMode::Auto => work >= threshold,
-        ParallelMode::ForceSerial => false,
-        ParallelMode::ForceParallel => true,
-    }
-}
+pub use crate::dispatch::{parallel_mode, set_parallel_mode, ParallelMode};
 
 /// Worker count used to size per-thread output blocks.
 #[inline]
@@ -99,34 +60,36 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             return out; // empty inner dimension: the zero matrix
         }
         let bs = b.as_slice();
-        if use_parallel(m * n * k, PAR_THRESHOLD) {
-            if m > 1 {
-                out.as_mut_slice()
-                    .par_chunks_mut(n)
-                    .zip(a.as_slice().par_chunks(k))
-                    .for_each(|(orow, arow)| matmul_row(arow, bs, n, orow));
-            } else {
-                // Single output row: split it into column blocks. Each block
-                // accumulates over k in ascending order with the same
-                // zero-skip, so the result is bit-identical to matmul_row.
-                let arow = a.as_slice();
-                let nb = n.div_ceil(num_threads()).max(1);
-                out.as_mut_slice().par_chunks_mut(nb).enumerate().for_each(|(ci, oblock)| {
-                    let j0 = ci * nb;
-                    for (kk, &av) in arow.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
+        match dispatch::decide(Kernel::MatMul, m * n * k) {
+            ExecPath::Parallel => {
+                if m > 1 {
+                    out.as_mut_slice()
+                        .par_chunks_mut(n)
+                        .zip(a.as_slice().par_chunks(k))
+                        .for_each(|(orow, arow)| matmul_row(arow, bs, n, orow, true));
+                } else {
+                    // Single output row: split it into column blocks. Each block
+                    // accumulates over k in ascending order with the same
+                    // zero-skip, so the result is bit-identical to matmul_row.
+                    let arow = a.as_slice();
+                    let nb = n.div_ceil(num_threads()).max(1);
+                    out.as_mut_slice().par_chunks_mut(nb).enumerate().for_each(|(ci, oblock)| {
+                        let j0 = ci * nb;
+                        for (kk, &av) in arow.iter().enumerate() {
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let bblock = &bs[kk * n + j0..kk * n + j0 + oblock.len()];
+                            simd::fma_row(oblock, av, bblock);
                         }
-                        let bblock = &bs[kk * n + j0..kk * n + j0 + oblock.len()];
-                        for (o, &bv) in oblock.iter_mut().zip(bblock) {
-                            *o += av * bv;
-                        }
-                    }
-                });
+                    });
+                }
             }
-        } else {
-            for (orow, arow) in out.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(k)) {
-                matmul_row(arow, bs, n, orow);
+            path => {
+                let vectorized = path == ExecPath::Simd;
+                for (orow, arow) in out.as_mut_slice().chunks_mut(n).zip(a.as_slice().chunks(k)) {
+                    matmul_row(arow, bs, n, orow, vectorized);
+                }
             }
         }
         out
@@ -134,7 +97,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 #[inline]
-fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
+fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32], vectorized: bool) {
     for (kk, &av) in arow.iter().enumerate() {
         // IEEE deviation: skipping the whole b-row when `av == 0.0` masks a
         // non-finite value in `b` where strict IEEE 754 would propagate it
@@ -145,8 +108,12 @@ fn matmul_row(arow: &[f32], b: &[f32], n: usize, orow: &mut [f32]) {
             continue;
         }
         let brow = &b[kk * n..(kk + 1) * n];
-        for (o, &bv) in orow.iter_mut().zip(brow) {
-            *o += av * bv;
+        if vectorized {
+            simd::fma_row(orow, av, brow);
+        } else {
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
         }
     }
 }
@@ -167,45 +134,45 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         if out.is_empty() || k == 0 {
             return out;
         }
-        if use_parallel(m * n * k, PAR_THRESHOLD) {
-            let asl = a.as_slice();
-            let bsl = b.as_slice();
-            let rb = m.div_ceil(num_threads()).max(1);
-            out.as_mut_slice().par_chunks_mut(rb * n).enumerate().for_each(|(ci, oblock)| {
-                let i0 = ci * rb;
-                for kk in 0..k {
-                    let arow = &asl[kk * m..(kk + 1) * m];
-                    let brow = &bsl[kk * n..(kk + 1) * n];
-                    for (ii, orow) in oblock.chunks_mut(n).enumerate() {
-                        let av = arow[i0 + ii];
-                        // Same IEEE deviation as matmul_row: 0·NaN is skipped.
-                        if av == 0.0 {
-                            continue;
-                        }
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            });
-        } else {
-            // out[i][j] = sum_k a[k][i] * b[k][j]
-            for kk in 0..k {
-                let arow = a.row(kk);
-                let brow = b.row(kk);
-                for (i, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
+        let asl = a.as_slice();
+        let bsl = b.as_slice();
+        match dispatch::decide(Kernel::MatMulTn, m * n * k) {
+            ExecPath::Parallel => {
+                let rb = m.div_ceil(num_threads()).max(1);
+                out.as_mut_slice().par_chunks_mut(rb * n).enumerate().for_each(|(ci, oblock)| {
+                    matmul_tn_block(asl, bsl, ci * rb, k, m, n, oblock, true);
+                });
+            }
+            path => {
+                matmul_tn_block(asl, bsl, 0, k, m, n, out.as_mut_slice(), path == ExecPath::Simd);
             }
         }
         out
     })
+}
+
+/// `oblock[ii][j] += a[kk][i0 + ii] * b[kk][j]`, k-outer, for the row block
+/// starting at output row `i0`. Shared by every `matmul_tn` dispatch path so
+/// the per-element accumulation order never varies.
+fn matmul_tn_block(asl: &[f32], bsl: &[f32], i0: usize, k: usize, m: usize, n: usize, oblock: &mut [f32], vectorized: bool) {
+    for kk in 0..k {
+        let arow = &asl[kk * m..(kk + 1) * m];
+        let brow = &bsl[kk * n..(kk + 1) * n];
+        for (ii, orow) in oblock.chunks_mut(n).enumerate() {
+            let av = arow[i0 + ii];
+            // Same IEEE deviation as matmul_row: 0·NaN is skipped.
+            if av == 0.0 {
+                continue;
+            }
+            if vectorized {
+                simd::fma_row(orow, av, brow);
+            } else {
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
 }
 
 /// `a (m×k) · bᵀ (n×k) → (m×n)` without materializing the transpose.
@@ -213,7 +180,9 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 /// The input-gradient kernel of the backward pass (`∂L/∂x` for `y = x·W`).
 /// Parallelizes across output rows; a single-row product over the threshold
 /// parallelizes across column blocks (each output element is one `dot`, so
-/// any partition is bit-identical).
+/// any partition is bit-identical). There is no SIMD variant: each output
+/// element is a dot-product reduction, and chunking *that* would change the
+/// accumulation order — a SIMD decision runs the serial reference.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let (n, _) = b.shape();
@@ -223,36 +192,93 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
         if out.is_empty() {
             return out;
         }
-        if use_parallel(m * n * k, PAR_THRESHOLD) {
-            if m > 1 {
-                out.as_mut_slice()
-                    .par_chunks_mut(n)
-                    .zip(a.as_slice().par_chunks(k.max(1)))
-                    .for_each(|(orow, arow)| {
-                        for (j, o) in orow.iter_mut().enumerate() {
-                            *o = dot(arow, b.row(j));
+        match dispatch::decide(Kernel::MatMulNt, m * n * k) {
+            ExecPath::Parallel => {
+                if m > 1 {
+                    out.as_mut_slice()
+                        .par_chunks_mut(n)
+                        .zip(a.as_slice().par_chunks(k.max(1)))
+                        .for_each(|(orow, arow)| {
+                            for (j, o) in orow.iter_mut().enumerate() {
+                                *o = dot(arow, b.row(j));
+                            }
+                        });
+                } else {
+                    let arow = a.as_slice();
+                    let nb = n.div_ceil(num_threads()).max(1);
+                    out.as_mut_slice().par_chunks_mut(nb).enumerate().for_each(|(ci, oblock)| {
+                        let j0 = ci * nb;
+                        for (jj, o) in oblock.iter_mut().enumerate() {
+                            *o = dot(arow, b.row(j0 + jj));
                         }
                     });
-            } else {
-                let arow = a.as_slice();
-                let nb = n.div_ceil(num_threads()).max(1);
-                out.as_mut_slice().par_chunks_mut(nb).enumerate().for_each(|(ci, oblock)| {
-                    let j0 = ci * nb;
-                    for (jj, o) in oblock.iter_mut().enumerate() {
-                        *o = dot(arow, b.row(j0 + jj));
-                    }
-                });
+                }
             }
-        } else {
-            for i in 0..m {
-                let arow = a.row(i);
-                for j in 0..n {
-                    out.set(i, j, dot(arow, b.row(j)));
+            ExecPath::Serial | ExecPath::Simd => {
+                for i in 0..m {
+                    let arow = a.row(i);
+                    for j in 0..n {
+                        out.set(i, j, dot(arow, b.row(j)));
+                    }
                 }
             }
         }
         out
     })
+}
+
+/// Sparse × dense: `a (m×k, CSR) · b (k×n) → (m×n)`.
+///
+/// Each output row accumulates `a`'s stored entries in ascending column
+/// order — exactly the columns dense [`matmul`] visits after its zero-skip,
+/// in the same order, so `spmm(&Csr::from_dense(a), b)` is bit-identical to
+/// `matmul(a, b)`. It shares the zero-skip IEEE deviation: columns absent
+/// from the CSR contribute nothing even where `b` holds non-finite values.
+///
+/// For a [`Csr::multi_hot`] left operand every stored value is `1.0`, and
+/// `1.0 · x` is exact for all non-NaN `x`, so the product equals a
+/// gather + variable-segment sum over the same index lists bit-for-bit —
+/// this is the tape-free attribute-encoder path in `agnn-infer`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn spmm(a: &Csr, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "spmm: inner dims {} vs {}", a.cols(), b.rows());
+    let (m, n) = (a.rows(), b.cols());
+    timed(Kernel::Spmm, || {
+        let mut out = Matrix::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
+        let bs = b.as_slice();
+        match dispatch::decide(Kernel::Spmm, a.nnz() * n) {
+            ExecPath::Parallel => {
+                let rb = m.div_ceil(num_threads()).max(1);
+                out.as_mut_slice().par_chunks_mut(rb * n).enumerate().for_each(|(ci, oblock)| {
+                    spmm_block(a, ci * rb, bs, n, oblock, true);
+                });
+            }
+            path => spmm_block(a, 0, bs, n, out.as_mut_slice(), path == ExecPath::Simd),
+        }
+        out
+    })
+}
+
+/// Accumulates the CSR rows starting at `i0` into the matching output rows.
+fn spmm_block(a: &Csr, i0: usize, bs: &[f32], n: usize, oblock: &mut [f32], vectorized: bool) {
+    for (ii, orow) in oblock.chunks_mut(n).enumerate() {
+        let (cols, vals) = a.row_entries(i0 + ii);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let brow = &bs[c as usize * n..(c as usize + 1) * n];
+            if vectorized {
+                simd::fma_row(orow, v, brow);
+            } else {
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
 }
 
 /// Dot product of two equal-length slices.
@@ -262,9 +288,9 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Transpose. Cache-tiled; parallelizes over output row blocks above
-/// [`PAR_ELEMS`] elements. Pure data movement, so serial and parallel paths
-/// are trivially bit-identical.
+/// Transpose. Cache-tiled; parallelizes over output row blocks when the
+/// policy says so. Pure data movement with no SIMD variant (a Simd decision
+/// runs the serial reference), so all paths are trivially bit-identical.
 pub fn transpose(a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
     timed(Kernel::Transpose, || {
@@ -273,15 +299,16 @@ pub fn transpose(a: &Matrix) -> Matrix {
             return out;
         }
         let src = a.as_slice();
-        if use_parallel(m * n, PAR_ELEMS) {
-            // Block rows per thread, rounded up to a whole tile.
-            let rb = n.div_ceil(num_threads()).max(1).div_ceil(TRANSPOSE_TILE) * TRANSPOSE_TILE;
-            out.as_mut_slice()
-                .par_chunks_mut(rb * m)
-                .enumerate()
-                .for_each(|(ci, oblock)| transpose_block(src, m, n, ci * rb, oblock));
-        } else {
-            transpose_block(src, m, n, 0, out.as_mut_slice());
+        match dispatch::decide(Kernel::Transpose, m * n) {
+            ExecPath::Parallel => {
+                // Block rows per thread, rounded up to a whole tile.
+                let rb = n.div_ceil(num_threads()).max(1).div_ceil(TRANSPOSE_TILE) * TRANSPOSE_TILE;
+                out.as_mut_slice()
+                    .par_chunks_mut(rb * m)
+                    .enumerate()
+                    .for_each(|(ci, oblock)| transpose_block(src, m, n, ci * rb, oblock));
+            }
+            ExecPath::Serial | ExecPath::Simd => transpose_block(src, m, n, 0, out.as_mut_slice()),
         }
         out
     })
@@ -335,12 +362,32 @@ pub fn div(a: &Matrix, b: &Matrix) -> Matrix {
     zip_map(a, b, "div", |x, y| x / y)
 }
 
-/// In-place `a += scale * b`.
+/// In-place `a += scale · b` — the optimizer's parameter-update kernel.
+/// Elements are independent, so the SIMD and parallel paths (disjoint
+/// chunks, same per-element op) are bit-identical to the serial loop.
 pub fn axpy(a: &mut Matrix, scale: f32, b: &Matrix) {
     let _ = shape::elementwise("axpy", a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
-    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += scale * y;
-    }
+    timed(Kernel::Axpy, || {
+        let len = a.len();
+        if len == 0 {
+            return;
+        }
+        match dispatch::decide(Kernel::Axpy, len) {
+            ExecPath::Serial => {
+                for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                    *x += scale * y;
+                }
+            }
+            ExecPath::Simd => simd::fma_row(a.as_mut_slice(), scale, b.as_slice()),
+            ExecPath::Parallel => {
+                let cb = len.div_ceil(num_threads()).max(1);
+                a.as_mut_slice()
+                    .par_chunks_mut(cb)
+                    .zip(b.as_slice().par_chunks(cb))
+                    .for_each(|(ac, bc)| simd::fma_row(ac, scale, bc));
+            }
+        }
+    });
 }
 
 /// In-place `a += b`. The gradient-accumulation kernel: unlike [`add`] it
@@ -446,30 +493,35 @@ pub fn sum_cols(a: &Matrix) -> Matrix {
 /// disjoint blocks with unchanged within-group accumulation order.
 pub fn segment_mean_rows(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::segment_rows("segment_mean_rows", a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
-    timed(Kernel::SegmentMeanRows, || segment_pool_rows(a, g, true))
+    timed(Kernel::SegmentMeanRows, || segment_pool_rows(a, g, true, Kernel::SegmentMeanRows))
 }
 
 /// Sums each consecutive group of `g` rows: `(m·g) × n → m × n`.
 pub fn segment_sum_rows(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::segment_rows("segment_sum_rows", a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
-    timed(Kernel::SegmentSumRows, || segment_pool_rows(a, g, false))
+    timed(Kernel::SegmentSumRows, || segment_pool_rows(a, g, false, Kernel::SegmentSumRows))
 }
 
-fn segment_pool_rows(a: &Matrix, g: usize, mean: bool) -> Matrix {
+fn segment_pool_rows(a: &Matrix, g: usize, mean: bool, kernel: Kernel) -> Matrix {
     let m = a.rows() / g;
     let n = a.cols();
     let mut out = Matrix::zeros(m, n);
     if out.is_empty() {
         return out;
     }
-    if use_parallel(a.len(), PAR_ELEMS) {
-        let rb = m.div_ceil(num_threads()).max(1);
-        out.as_mut_slice()
-            .par_chunks_mut(rb * n)
-            .zip(a.as_slice().par_chunks(rb * g * n))
-            .for_each(|(oblock, ablock)| segment_pool_block(oblock, ablock, g, n, mean));
-    } else {
-        segment_pool_block(out.as_mut_slice(), a.as_slice(), g, n, mean);
+    match dispatch::decide(kernel, a.len()) {
+        ExecPath::Parallel => {
+            let rb = m.div_ceil(num_threads()).max(1);
+            out.as_mut_slice()
+                .par_chunks_mut(rb * n)
+                .zip(a.as_slice().par_chunks(rb * g * n))
+                .for_each(|(oblock, ablock)| segment_pool_block(oblock, ablock, g, n, mean));
+        }
+        // Pooling accumulates over rows, so chunking it would reassociate;
+        // there is no SIMD variant and a Simd decision runs serial.
+        ExecPath::Serial | ExecPath::Simd => {
+            segment_pool_block(out.as_mut_slice(), a.as_slice(), g, n, mean);
+        }
     }
     out
 }
@@ -553,7 +605,7 @@ pub fn mul_col_broadcast(a: &Matrix, col: &Matrix) -> Matrix {
 }
 
 /// Repeats each row `g` times: `m × n → (m·g) × n` (adjoint of segment sum).
-/// Pure data movement; parallelizes per source row above [`PAR_ELEMS`].
+/// Pure data movement; the policy decides when to parallelize per source row.
 pub fn repeat_rows(a: &Matrix, g: usize) -> Matrix {
     let _ = shape::repeat_rows(a.shape(), g).unwrap_or_else(|e| panic!("{e}"));
     timed(Kernel::RepeatRows, || {
@@ -562,18 +614,21 @@ pub fn repeat_rows(a: &Matrix, g: usize) -> Matrix {
         if out.is_empty() {
             return out;
         }
-        if use_parallel(out.len(), PAR_ELEMS) {
-            out.as_mut_slice().par_chunks_mut(g * n).zip(a.as_slice().par_chunks(n)).for_each(
-                |(oblock, arow)| {
-                    for orow in oblock.chunks_mut(n) {
-                        orow.copy_from_slice(arow);
+        match dispatch::decide(Kernel::RepeatRows, out.len()) {
+            ExecPath::Parallel => {
+                out.as_mut_slice().par_chunks_mut(g * n).zip(a.as_slice().par_chunks(n)).for_each(
+                    |(oblock, arow)| {
+                        for orow in oblock.chunks_mut(n) {
+                            orow.copy_from_slice(arow);
+                        }
+                    },
+                );
+            }
+            ExecPath::Serial | ExecPath::Simd => {
+                for i in 0..a.rows() {
+                    for j in 0..g {
+                        out.row_mut(i * g + j).copy_from_slice(a.row(i));
                     }
-                },
-            );
-        } else {
-            for i in 0..a.rows() {
-                for j in 0..g {
-                    out.row_mut(i * g + j).copy_from_slice(a.row(i));
                 }
             }
         }
@@ -646,20 +701,23 @@ mod tests {
         Matrix::from_vec(rows, cols, v.to_vec())
     }
 
-    /// Runs `f` under both forced modes and asserts bit-identical results.
+    /// Runs `f` under every forced mode and asserts all results are
+    /// bit-identical to the serial reference.
     fn assert_modes_agree(what: &str, f: impl Fn() -> Matrix) {
         set_parallel_mode(ParallelMode::ForceSerial);
         let serial = f();
-        set_parallel_mode(ParallelMode::ForceParallel);
-        let parallel = f();
+        for mode in [ParallelMode::ForceSimd, ParallelMode::ForceParallel] {
+            set_parallel_mode(mode);
+            let other = f();
+            assert_eq!(serial.shape(), other.shape(), "{what}: shape diverged under {mode:?}");
+            let bitwise_equal = serial
+                .as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(bitwise_equal, "{what}: {mode:?} path diverged from serial");
+        }
         set_parallel_mode(ParallelMode::Auto);
-        assert_eq!(serial.shape(), parallel.shape(), "{what}: shape diverged");
-        let bitwise_equal = serial
-            .as_slice()
-            .iter()
-            .zip(parallel.as_slice())
-            .all(|(x, y)| x.to_bits() == y.to_bits());
-        assert!(bitwise_equal, "{what}: parallel path diverged from serial");
     }
 
     #[test]
@@ -687,7 +745,7 @@ mod tests {
 
     #[test]
     fn matmul_parallel_matches_serial() {
-        // Large enough to cross PAR_THRESHOLD.
+        // Large enough to cross the built-in parallel threshold.
         let a = Matrix::from_fn(80, 70, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.1 - 0.5);
         let b = Matrix::from_fn(70, 90, |r, c| ((r * 11 + c * 7) % 17) as f32 * 0.05 - 0.3);
         let big = matmul(&a, &b);
@@ -725,6 +783,12 @@ mod tests {
         assert_modes_agree("segment_mean_rows", || segment_mean_rows(&seg, 4));
         assert_modes_agree("segment_sum_rows", || segment_sum_rows(&seg, 4));
         assert_modes_agree("repeat_rows", || repeat_rows(&b, 3));
+        assert_modes_agree("spmm", || spmm(&Csr::from_dense(&a), &b));
+        assert_modes_agree("axpy", || {
+            let mut x = tall.clone();
+            axpy(&mut x, -0.75, &Matrix::from_fn(37, 41, |r, c| ((r + 2 * c) % 7) as f32 * 0.4));
+            x
+        });
     }
 
     #[test]
@@ -748,7 +812,41 @@ mod tests {
         assert_eq!(transpose(&e).shape(), (5, 0));
         assert_eq!(segment_sum_rows(&Matrix::zeros(6, 0), 2).shape(), (3, 0));
         assert_eq!(repeat_rows(&Matrix::zeros(0, 4), 3).shape(), (0, 4));
+        assert_eq!(spmm(&Csr::from_dense(&e), &Matrix::zeros(5, 3)).shape(), (0, 3));
         set_parallel_mode(ParallelMode::Auto);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_bitwise() {
+        let a = Matrix::from_fn(19, 31, |r, c| {
+            if (r * 31 + c) % 3 != 0 {
+                0.0 // two thirds sparse
+            } else {
+                ((r * 13 + c * 7) % 11) as f32 * 0.3 - 1.2
+            }
+        });
+        let b = Matrix::from_fn(31, 17, |r, c| ((r * 5 + c * 3) % 23) as f32 * 0.11 - 1.0);
+        let dense = matmul(&a, &b);
+        let sparse = spmm(&Csr::from_dense(&a), &b);
+        assert_eq!(dense.shape(), sparse.shape());
+        let same = dense.as_slice().iter().zip(sparse.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "spmm diverged from dense matmul");
+    }
+
+    #[test]
+    fn spmm_multi_hot_matches_gather_segment_sum() {
+        // The infer attribute-encoder equivalence: multi-hot spmm must equal
+        // gather + variable-segment sum bit-for-bit.
+        let table = Matrix::from_fn(9, 6, |r, c| ((r * 17 + c * 29) % 31) as f32 * 0.17 - 2.0);
+        let offsets = [0usize, 3, 3, 5, 6];
+        let flat = [0usize, 4, 7, 1, 8, 6];
+        let gathered = table.gather_rows(&flat);
+        let reference = segment_sum_rows_var(&gathered, &offsets);
+        let hot = Csr::multi_hot(table.rows(), &offsets, &flat);
+        let via_spmm = spmm(&hot, &table);
+        assert_eq!(reference.shape(), via_spmm.shape());
+        let same = reference.as_slice().iter().zip(via_spmm.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "multi-hot spmm diverged from gather + segment sum");
     }
 
     #[test]

@@ -38,11 +38,15 @@ pub enum Kernel {
     SegmentSumRows,
     /// Row repetition (adjoint of segment pooling).
     RepeatRows,
+    /// In-place scaled accumulation `a += s·b` (optimizer/gradient hot path).
+    Axpy,
+    /// Sparse×dense product over a CSR left operand.
+    Spmm,
 }
 
 impl Kernel {
     /// Every bucket, in display order.
-    pub const ALL: [Kernel; 7] = [
+    pub const ALL: [Kernel; 9] = [
         Kernel::MatMul,
         Kernel::MatMulTn,
         Kernel::MatMulNt,
@@ -50,6 +54,8 @@ impl Kernel {
         Kernel::SegmentMeanRows,
         Kernel::SegmentSumRows,
         Kernel::RepeatRows,
+        Kernel::Axpy,
+        Kernel::Spmm,
     ];
 
     /// Stable snake_case name used in profiles and `BENCH_kernels.json`.
@@ -62,11 +68,15 @@ impl Kernel {
             Kernel::SegmentMeanRows => "segment_mean_rows",
             Kernel::SegmentSumRows => "segment_sum_rows",
             Kernel::RepeatRows => "repeat_rows",
+            Kernel::Axpy => "axpy",
+            Kernel::Spmm => "spmm",
         }
     }
 }
 
-const N_KERNELS: usize = Kernel::ALL.len();
+/// Number of distinct kernel buckets; sizes the registry arrays here and the
+/// per-kernel threshold table in [`crate::dispatch`].
+pub const N_KERNELS: usize = Kernel::ALL.len();
 
 // `AtomicU64` is not `Copy`; a const item makes the repeat-expression legal.
 #[allow(clippy::declare_interior_mutable_const)]

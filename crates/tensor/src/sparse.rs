@@ -31,6 +31,13 @@ impl SparseVec {
             assert!((i as usize) < dim, "SparseVec: index {i} out of dim {dim}");
             if indices.last() == Some(&i) {
                 *values.last_mut().expect("parallel arrays") += v;
+                // Duplicates that sum to exactly zero (e.g. (3, 1.0) and
+                // (3, -1.0)) would otherwise leave a stored 0.0, breaking
+                // the no-explicit-zeros representation invariant.
+                if *values.last().expect("parallel arrays") == 0.0 {
+                    indices.pop();
+                    values.pop();
+                }
             } else {
                 indices.push(i);
                 values.push(v);
@@ -153,6 +160,25 @@ mod tests {
         assert_eq!(v.get(2), 2.0);
         assert_eq!(v.get(7), 0.0);
         assert_eq!(v.indices(), &[2, 5]);
+    }
+
+    #[test]
+    fn from_pairs_drops_duplicates_that_cancel() {
+        // Regression: (3, 1.0) + (3, -1.0) used to leave a stored 0.0,
+        // violating the no-explicit-zeros invariant (nnz counted it, and
+        // iter()/indices() exposed a phantom entry).
+        let v = SparseVec::from_pairs(10, vec![(3, 1.0), (7, 2.0), (3, -1.0)]);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.indices(), &[7]);
+        assert_eq!(v.get(3), 0.0);
+        assert_eq!(v.get(7), 2.0);
+        // A later duplicate may revive the index after a cancellation.
+        let w = SparseVec::from_pairs(10, vec![(3, 1.0), (3, -1.0), (3, 0.5)]);
+        assert_eq!(w.nnz(), 1);
+        assert_eq!(w.get(3), 0.5);
+        // Full cancellation leaves the empty vector.
+        let z = SparseVec::from_pairs(4, vec![(1, 2.5), (1, -2.5)]);
+        assert!(z.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor kernels.
 
 use agnn_tensor::ops::ParallelMode;
-use agnn_tensor::{ops, sparse::SparseVec, stats, Matrix};
+use agnn_tensor::{ops, sparse::SparseVec, stats, Csr, Matrix};
 use proptest::prelude::*;
 
 fn small_dims() -> impl Strategy<Value = (usize, usize)> {
@@ -13,15 +13,23 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
 }
 
-/// Runs `f` under forced-serial then forced-parallel dispatch, restoring
-/// [`ParallelMode::Auto`] before returning, and yields both outputs.
+/// Runs `f` under forced-serial then forced-SIMD then forced-parallel
+/// dispatch, restoring [`ParallelMode::Auto`] before returning. The serial
+/// result comes back paired with each alternative path's result.
 #[allow(dead_code)] // referenced only inside `proptest!` bodies, which the offline stub expands to nothing
 fn both_modes(f: impl Fn() -> Matrix) -> (Matrix, Matrix) {
     ops::set_parallel_mode(ParallelMode::ForceSerial);
     let serial = f();
+    ops::set_parallel_mode(ParallelMode::ForceSimd);
+    let simd = f();
     ops::set_parallel_mode(ParallelMode::ForceParallel);
     let parallel = f();
     ops::set_parallel_mode(ParallelMode::Auto);
+    assert_eq!(
+        simd.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        serial.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "SIMD path diverged from serial"
+    );
     (serial, parallel)
 }
 
@@ -89,6 +97,57 @@ proptest! {
         prop_assert_eq!(bits(&s), bits(&p));
         let (s, p) = both_modes(|| ops::segment_sum_rows(&seg, g));
         prop_assert_eq!(bits(&s), bits(&p));
+    }
+
+    // CSR round-trips densely without moving a bit, and `spmm` is the dense
+    // matmul's zero-skip evaluation order — so against a CSR built from the
+    // dense left operand it must match `matmul` bitwise on every dispatch
+    // path.
+    #[test]
+    fn csr_roundtrips_and_spmm_matches_dense_matmul(
+        (m, k) in (1usize..20, 1usize..20),
+        n in 1usize..20,
+        vals in proptest::collection::vec(-10.0f32..10.0, 2 * 20 * 20),
+    ) {
+        // Snap most left-operand entries to exact 0.0 so the CSR is
+        // genuinely sparse and the dense zero-skip fires in lockstep.
+        let take = |off: usize, len: usize, snap: f32| -> Vec<f32> {
+            (0..len)
+                .map(|i| { let x = vals[(off + i) % vals.len()]; if x.abs() < snap { 0.0 } else { x } })
+                .collect()
+        };
+        let a_dense = Matrix::from_vec(m, k, take(0, m * k, 6.0));
+        let b = Matrix::from_vec(k, n, take(m * k, k * n, 2.5));
+        let a = Csr::from_dense(&a_dense);
+        prop_assert_eq!(a.nnz(), a_dense.as_slice().iter().filter(|&&v| v != 0.0).count());
+        prop_assert_eq!(bits(&a.to_dense()), bits(&a_dense));
+
+        let reference = ops::matmul(&a_dense, &b);
+        let (s, p) = both_modes(|| ops::spmm(&a, &b));
+        prop_assert_eq!(bits(&s), bits(&p));
+        prop_assert_eq!(bits(&s), bits(&reference));
+    }
+
+    // Multi-hot spmm is the gather + variable-segment-sum pipeline the tape
+    // records, row for row — `1.0·x == x` bitwise for finite x.
+    #[test]
+    fn multi_hot_spmm_matches_gather_segment_sum(
+        lists in proptest::collection::vec(proptest::collection::btree_set(0u32..12, 0..6), 1..8),
+        vals in proptest::collection::vec(-10.0f32..10.0, 12 * 5),
+    ) {
+        let table = Matrix::from_vec(12, 5, vals);
+        let mut flat = Vec::new();
+        let mut offsets = vec![0usize];
+        for list in &lists {
+            flat.extend(list.iter().map(|&i| i as usize));
+            offsets.push(flat.len());
+        }
+        let a = Csr::multi_hot(12, &offsets, &flat);
+        let (s, p) = both_modes(|| ops::spmm(&a, &table));
+        prop_assert_eq!(bits(&s), bits(&p));
+        let gathered = table.gather_rows(&flat);
+        let reference = ops::segment_sum_rows_var(&gathered, &offsets);
+        prop_assert_eq!(bits(&s), bits(&reference));
     }
 }
 

@@ -12,6 +12,10 @@
 //! - **Op profiles** — per-epoch kernel drains fold into the
 //!   `tensor.<kernel>.*` counter namespace via `agnn_obs::bridge`, so
 //!   `--metrics-out` shows training losses and kernel time side by side.
+//! - **Dispatch decisions** — per-epoch drains of the kernel-dispatch
+//!   decision counters fold into `tensor.dispatch.<kernel>.<path>`, so a
+//!   metrics dump shows which execution path (serial / simd / parallel)
+//!   the installed policy actually chose per kernel.
 //!
 //! The hook only *observes*: it never touches the graph, the parameter
 //! store, or the rng, so registering it cannot change a run's losses. The
@@ -67,6 +71,12 @@ impl TrainHook for TelemetryHook {
         metrics::counter_add("train.epoch.count", 1);
         if let Some(t) = self.epoch_started.take() {
             metrics::observe_ns("train.epoch.duration_ns", t.elapsed().as_nanos() as u64);
+        }
+        if metrics::enabled() {
+            // Drain-and-reset so each epoch's counters stand alone; with
+            // collection off the counters keep accumulating harmlessly
+            // (they are plain relaxed atomics, never timed).
+            agnn_obs::bridge::record_dispatch_counts(&agnn_tensor::dispatch::take_decisions());
         }
         Signal::Continue
     }
@@ -154,6 +164,10 @@ mod tests {
         assert!(snap.gauge("train.batch.grad_norm").is_some());
         let h = snap.histogram("train.epoch.duration_ns").expect("duration histogram");
         assert_eq!(h.count(), 3);
+        // The toy fit's repeat_rows calls route through dispatch; the
+        // per-epoch decision drain must land in the dispatch namespace
+        // (tiny batches stay under every threshold, hence serial).
+        assert!(snap.counter("tensor.dispatch.repeat_rows.serial").unwrap_or(0) > 0, "{snap:?}");
         metrics::reset();
     }
 

@@ -30,12 +30,45 @@ fn fit_under(mode: ParallelMode) -> (Vec<(u64, u64)>, Vec<u32>) {
 fn agnn_loss_trajectory_is_bit_identical_across_dispatch_modes() {
     let (serial_losses, serial_preds) = fit_under(ParallelMode::ForceSerial);
     let (parallel_losses, parallel_preds) = fit_under(ParallelMode::ForceParallel);
+    let (simd_losses, simd_preds) = fit_under(ParallelMode::ForceSimd);
     assert_eq!(serial_losses.len(), 3, "expected one loss pair per epoch");
     assert_eq!(
         serial_losses, parallel_losses,
         "per-epoch losses diverged between serial and parallel kernel dispatch"
     );
     assert_eq!(serial_preds, parallel_preds, "predictions diverged between dispatch modes");
+    assert_eq!(serial_losses, simd_losses, "per-epoch losses diverged between serial and SIMD kernel dispatch");
+    assert_eq!(serial_preds, simd_preds, "predictions diverged under SIMD dispatch");
+}
+
+#[test]
+fn custom_kernel_policy_cannot_change_results() {
+    // A calibrated policy only moves work between bit-identical paths, so
+    // installing aggressive thresholds (SIMD + parallel from the first
+    // element) must reproduce the serial trajectory exactly. This is the
+    // end-to-end guarantee that lets `calibration.json` tune performance
+    // without invalidating a single committed number.
+    use agnn_tensor::dispatch::{self, KernelPolicy, KernelThresholds};
+    use agnn_tensor::profile::Kernel;
+    let (serial_losses, serial_preds) = fit_under(ParallelMode::ForceSerial);
+    let mut policy = KernelPolicy::builtin();
+    for k in Kernel::ALL {
+        let builtin = policy.get(k);
+        policy.set(
+            k,
+            KernelThresholds {
+                // Keep "no vectorized body" kernels SIMD-disabled; force
+                // everything else onto its SIMD path immediately. The low
+                // parallel crossover routes the bigger kernel calls
+                // parallel while small ones still exercise SIMD/serial.
+                simd_min_work: if builtin.simd_min_work == usize::MAX { usize::MAX } else { 0 },
+                parallel_min_work: 4096,
+            },
+        );
+    }
+    let (policy_losses, policy_preds) = dispatch::with_policy(&policy, || fit_under(ParallelMode::Auto));
+    assert_eq!(serial_losses, policy_losses, "an installed kernel policy changed the loss trajectory");
+    assert_eq!(serial_preds, policy_preds, "an installed kernel policy changed predictions");
 }
 
 #[test]
