@@ -10,12 +10,19 @@
 //! agnn serve    --model model.json --pairs "0:5,0:12,3:5"   # tape-free; --stdin for a loop
 //! agnn check                       # audit every model's tape; --model NFM for one
 //! agnn bench    --kernels          # perf baselines; --infer for the serving sweep
+//! agnn lint     --json             # source-level invariant analysis of the workspace
 //! ```
 //!
 //! `check` dry-runs AGNN, all twelve registry baselines, and the standalone
 //! biased-MF on a tiny tracer dataset and reports shape violations,
 //! non-finite ops, dead parameters, and orphan nodes (see `agnn-check`);
 //! it exits non-zero on any error-severity finding.
+//!
+//! `lint` is `check`'s source-tree counterpart (see `agnn-lint` and
+//! DESIGN.md §5b8): it enforces dispatch discipline, float-determinism
+//! conventions, the telemetry-name registry, and serve-path panic safety,
+//! and exits non-zero on any violation not carrying a justified
+//! `// lint:allow(<rule>): <why>` comment.
 //!
 //! `train` and `serve` additionally accept the telemetry flags
 //! `--telemetry <path.jsonl>` (structured span/event stream),

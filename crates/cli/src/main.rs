@@ -8,7 +8,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             agnn_obs::log::error(format!("error: {e}"));
-            agnn_obs::log::error("usage: agnn <generate|train|predict|serve|check|bench> [--flag value ...]");
+            agnn_obs::log::error("usage: agnn <generate|train|predict|serve|check|bench|lint> [--flag value ...]");
             std::process::exit(2);
         }
     };

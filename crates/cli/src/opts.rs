@@ -24,6 +24,7 @@ impl Opts {
                 .ok_or_else(|| format!("expected --flag, got {flag}"))?
                 .to_string();
             let value = match argv.peek() {
+                // invariant: peek() just returned Some, so next() cannot be None
                 Some(next) if !next.starts_with("--") => argv.next().expect("peeked"),
                 _ => "true".to_string(),
             };

@@ -217,23 +217,32 @@ fn serve_stdin_loop_emits_stats_and_counts_parse_errors() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn agnn serve");
-    child.stdin.as_mut().unwrap().write_all(b"0:0,0:1\n1:0\nthis-is-not-a-pair\n1:1\n\n").unwrap();
+    // The stream mixes a well-formed-but-unparseable line and a non-UTF-8
+    // line (0xff 0xfe can never appear in UTF-8): both are untrusted-input
+    // parse errors the loop must survive, not transport failures.
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"0:0,0:1\n1:0\nthis-is-not-a-pair\n\xff\xfe-not-utf8\n1:1\n\n")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(out.status.success(), "serve exited {:?}\nstderr: {stderr}", out.status);
 
-    // 3 valid requests scored 4 pairs; the bad line warned, not fatal.
+    // 3 valid requests scored 4 pairs; both bad lines warned, not fatal.
     assert_eq!(stdout.matches("user ").count(), 4, "{stdout}");
     assert!(stdout.contains("served 4 pair(s)"), "{stdout}");
     assert!(stderr.contains("warning: serve:"), "{stderr}");
+    assert!(stderr.contains("unreadable request line"), "{stderr}");
     // --stats-every 2 fires at request 2 and flushes the tail at request 3.
     assert_eq!(stderr.matches("serve stats:").count(), 2, "{stderr}");
     assert!(stderr.contains("p50"), "{stderr}");
     assert!(stderr.contains("p99"), "{stderr}");
 
     let metrics = std::fs::read_to_string(&metrics_path).unwrap();
-    assert!(metrics.contains("agnn_serve_parse_errors 1"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_parse_errors 2"), "{metrics}");
     assert!(metrics.contains("agnn_serve_requests 3"), "{metrics}");
     assert!(metrics.contains("agnn_serve_served_pairs 4"), "{metrics}");
     assert!(metrics.contains("agnn_serve_request_latency_ns{quantile=\"0.5\"}"), "{metrics}");

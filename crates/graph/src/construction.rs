@@ -6,6 +6,9 @@ use crate::bipartite::BipartiteGraph;
 use crate::csr::CsrGraph;
 use crate::proximity::InvertedIndex;
 use agnn_tensor::SparseVec;
+// lint:allow(raw-rayon): graph construction is a per-node independent map with no
+// cross-element float accumulation; order is restored by the indexed collect, so
+// results are identical to serial and the tensor dispatch layer does not apply.
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -14,7 +17,7 @@ use std::collections::BTreeMap;
 pub fn knn_attribute_graph(attrs: &[SparseVec], k: usize, bucket_cap: usize) -> CsrGraph {
     let index = InvertedIndex::build(attrs);
     let edges: Vec<(u32, u32, f32)> = (0..attrs.len() as u32)
-        .into_par_iter()
+        .into_par_iter() // lint:allow(raw-rayon): per-node fan-out, scores computed independently per node
         .flat_map_iter(|node| {
             let cands = index.candidates_of(node, &attrs[node as usize], bucket_cap);
             let mut scored: Vec<(u32, f32)> = cands

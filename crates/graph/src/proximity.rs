@@ -1,6 +1,9 @@
 //! Pairwise proximities (Eq. 1) and inverted-index candidate generation.
 
 use agnn_tensor::SparseVec;
+// lint:allow(raw-rayon): candidate scoring is a per-node independent map whose
+// output keeps input order; no shared float accumulator crosses elements, so the
+// serial and parallel results are bit-identical by construction.
 use rayon::prelude::*;
 
 /// Inverted index: for each feature dimension, the nodes carrying it.
@@ -89,7 +92,7 @@ pub fn score_all_candidates(
     let pref_index = prefs.map(InvertedIndex::build);
 
     (0..attrs.len() as u32)
-        .into_par_iter()
+        .into_par_iter() // lint:allow(raw-rayon): per-node candidate scoring, no cross-node reduction
         .map(|node| {
             let mut cands = attr_index.candidates_of(node, &attrs[node as usize], bucket_cap);
             if let (Some(pi), Some(pv)) = (&pref_index, prefs) {

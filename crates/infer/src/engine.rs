@@ -258,6 +258,7 @@ impl InferenceEngine {
         let hops = side.gnn.len();
         let mut levels: Vec<Vec<usize>> = vec![nodes.to_vec()];
         for _ in 0..hops {
+            // invariant: levels is seeded with one entry before the loop
             let next = draw(levels.last().expect("non-empty"), rng);
             levels.push(next);
         }
@@ -334,6 +335,7 @@ impl InferenceEngine {
 
     /// Single-pair convenience wrapper.
     pub fn score(&self, user: u32, item: u32) -> f32 {
+        // invariant: score_batch returns exactly one score per input pair
         self.score_batch(&[(user, item)])[0]
     }
 }

@@ -68,6 +68,7 @@ impl InferMlp {
     /// Applies every layer; LeakyReLU between them, identity at the end.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let last = self.layers.len() - 1;
+        // invariant: the constructor always builds at least one layer
         let mut h = self.layers[0].forward(x);
         if last > 0 {
             h = ops::leaky_relu(&h, self.slope);
@@ -321,11 +322,13 @@ impl InferGnnLayer {
                 let t_part = ops::scale(target, 1.0 / (gf + 1.0));
                 let n_part = ops::scale(&nb_mean, gf / (gf + 1.0));
                 let avg = ops::add(&t_part, &n_part);
+                // invariant: snapshot loading builds w_gcn whenever kind is Gcn
                 let w = self.w_gcn.as_ref().expect("gcn weights");
                 let proj = w.forward(&avg);
                 ops::leaky_relu(&proj, self.slope)
             }
             GnnKind::Gat => {
+                // invariant: snapshot loading builds w_attn whenever kind is Gat
                 let w = self.w_attn.as_ref().expect("attention weights");
                 let rep = ops::repeat_rows(target, fanout);
                 let cat = Matrix::hconcat(&[&rep, neighbors]);

@@ -1,0 +1,551 @@
+//! The four rule families from DESIGN.md §5b8, implemented over the lexed
+//! token stream:
+//!
+//! - `raw-rayon` / `dispatch-route` — dispatch discipline: rayon stays
+//!   behind the `dispatch::decide` policy layer.
+//! - `float-reassoc` — float determinism: a parallel chain may regroup
+//!   elements but never reassociate an accumulation chain, so
+//!   `.fold`/`.reduce`/`.sum`/`.product` directly on a parallel iterator is
+//!   forbidden outside the approved kernel sites.
+//! - `metric-undeclared` / `metric-unused` — telemetry names: every name
+//!   emitted through `agnn-obs` must exist in the registry module and every
+//!   registered name must be emitted somewhere.
+//! - `panic-site` — serve-path panic safety: no
+//!   `unwrap`/`expect`/`panic!`-family/literal-index in the inference and
+//!   CLI crates without an `invariant:` comment.
+//!
+//! Plus the allow-comment meta rules `allow-unknown-rule` and
+//! `allow-missing-justification`, which police the escape hatch itself.
+
+use crate::report::{Finding, Report};
+use crate::source::SourceFile;
+
+/// Every valid rule ID, for `lint:allow(...)` validation.
+pub const RULES: &[&str] = &[
+    "raw-rayon",
+    "dispatch-route",
+    "float-reassoc",
+    "metric-undeclared",
+    "metric-unused",
+    "panic-site",
+    "allow-unknown-rule",
+    "allow-missing-justification",
+];
+
+/// Rayon parallel-iterator adaptors whose presence marks code as parallel.
+const PAR_ADAPTORS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_chunks_exact",
+    "par_chunks_exact_mut",
+    "par_windows",
+    "par_bridge",
+    "par_extend",
+    "par_sort",
+    "par_sort_unstable",
+];
+
+/// Chain terminators that reassociate a float accumulation.
+const REASSOC_METHODS: &[&str] = &["fold", "reduce", "sum", "product"];
+
+/// `agnn-obs` functions whose first string-literal argument is a telemetry
+/// name (emit sites and snapshot lookups).
+const EMIT_FNS: &[&str] = &["counter_add", "gauge_set", "observe_ns", "timed", "span", "event", "counter", "gauge", "histogram"];
+
+/// Scoping knobs. Paths are workspace-relative with `/` separators;
+/// `*_files` entries match by suffix, `panic_paths` by prefix.
+pub struct Config {
+    /// Modules where raw rayon use is the point (the kernel layer).
+    pub rayon_allowed: Vec<String>,
+    /// Approved float-accumulation sites (kernels own their chain order).
+    pub float_approved: Vec<String>,
+    /// The file whose public fns must route through `dispatch::decide`.
+    pub dispatch_file: String,
+    /// The telemetry-name registry module.
+    pub registry_file: String,
+    /// Crates whose panic sites must carry invariant comments.
+    pub panic_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            rayon_allowed: vec!["crates/tensor/src/ops.rs".into()],
+            float_approved: vec!["crates/tensor/src/ops.rs".into(), "crates/tensor/src/simd.rs".into()],
+            dispatch_file: "crates/tensor/src/ops.rs".into(),
+            registry_file: "crates/obs/src/names.rs".into(),
+            panic_paths: vec!["crates/infer/src/".into(), "crates/cli/src/".into()],
+        }
+    }
+}
+
+/// Runs every rule over the parsed files and returns the finalized report.
+pub fn run(files: &[SourceFile], cfg: &Config) -> Report {
+    let mut out = Vec::new();
+    for f in files {
+        check_allow_comments(f, &mut out);
+        if !suffix_match(&f.path, &cfg.rayon_allowed) {
+            check_raw_rayon(f, &mut out);
+        }
+        if !suffix_match(&f.path, &cfg.float_approved) {
+            check_float_reassoc(f, &mut out);
+        }
+        if f.path.ends_with(&cfg.dispatch_file) {
+            check_dispatch_route(f, &mut out);
+        }
+        if cfg.panic_paths.iter().any(|p| f.path.starts_with(p.as_str())) {
+            check_panic_sites(f, &mut out);
+        }
+    }
+    check_metric_names(files, cfg, &mut out);
+    let mut report = Report { files_scanned: files.len(), findings: out };
+    report.finalize();
+    report
+}
+
+fn suffix_match(path: &str, suffixes: &[String]) -> bool {
+    suffixes.iter().any(|s| path.ends_with(s.as_str()))
+}
+
+/// Records a finding unless an allow-comment for `rule` covers the line.
+fn push(f: &SourceFile, rule: &'static str, line: u32, col: u32, message: String, out: &mut Vec<Finding>) {
+    if f.allowed(rule, line) {
+        return;
+    }
+    out.push(Finding { rule, file: f.path.clone(), line, col, message, snippet: f.snippet(line) });
+}
+
+/// The escape hatch is itself linted: unknown rule IDs and missing
+/// justifications are violations (these cannot be allowed away).
+fn check_allow_comments(f: &SourceFile, out: &mut Vec<Finding>) {
+    for a in &f.allows {
+        if !RULES.contains(&a.rule.as_str()) {
+            out.push(Finding {
+                rule: "allow-unknown-rule",
+                file: f.path.clone(),
+                line: a.line,
+                col: 1,
+                message: format!("lint:allow({}) names an unknown rule; valid rules: {}", a.rule, RULES.join(", ")),
+                snippet: f.snippet(a.line),
+            });
+        } else if !a.justified {
+            out.push(Finding {
+                rule: "allow-missing-justification",
+                file: f.path.clone(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "lint:allow({}) requires a justification: `// lint:allow({}): <why this is sound>`",
+                    a.rule, a.rule
+                ),
+                snippet: f.snippet(a.line),
+            });
+        }
+    }
+}
+
+/// Dispatch discipline, part 1: raw rayon stays out of shipped code outside
+/// the allow-listed kernel modules.
+fn check_raw_rayon(f: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &f.lexed.toks {
+        if f.is_test_line(t.line) || t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        if t.text == "rayon" {
+            push(
+                f,
+                "raw-rayon",
+                t.line,
+                t.col,
+                "raw `rayon` use outside the kernel layer; route through agnn-tensor's dispatched ops".into(),
+                out,
+            );
+        } else if PAR_ADAPTORS.contains(&t.text.as_str()) {
+            push(
+                f,
+                "raw-rayon",
+                t.line,
+                t.col,
+                format!("parallel adaptor `{}` outside the kernel layer; route through agnn-tensor's dispatched ops", t.text),
+                out,
+            );
+        }
+    }
+}
+
+/// Float determinism: from each parallel adaptor, walk the method chain at
+/// the adaptor's own nesting depth (closure bodies sit deeper and are
+/// exempt — regrouping elements inside a block is the approved pattern) and
+/// flag any fold/reduce/sum/product, which reassociates the accumulation
+/// chain nondeterministically across split points.
+fn check_float_reassoc(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_line(t.line) || !PAR_ADAPTORS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let tok = &toks[j];
+            if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if depth == 0 {
+                if tok.is_punct(';') {
+                    break;
+                }
+                if tok.is_punct('.') && j + 2 < toks.len() {
+                    let m = &toks[j + 1];
+                    let call = toks[j + 2].is_punct('(') || toks[j + 2].is_punct(':');
+                    if call && REASSOC_METHODS.contains(&m.text.as_str()) {
+                        push(
+                            f,
+                            "float-reassoc",
+                            m.line,
+                            m.col,
+                            format!(
+                                "`.{}` on a parallel iterator reassociates the accumulation chain; \
+                                 partition into disjoint blocks accumulated in serial order instead \
+                                 (DESIGN.md §5b7: regroup elements, never reassociate a chain)",
+                                m.text
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// One parsed `fn` item in the dispatch file.
+struct FnItem {
+    name: String,
+    line: u32,
+    col: u32,
+    public: bool,
+    body: std::ops::Range<usize>,
+}
+
+/// Dispatch discipline, part 2: inside the kernel module itself, every
+/// public fn that (transitively, through same-file helpers) uses rayon or
+/// the SIMD module must also (transitively) consult `dispatch::decide` —
+/// nothing picks an execution path on its own.
+fn check_dispatch_route(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !toks[i].is_ident("fn") || toks[i + 1].kind != crate::lexer::TokKind::Ident || f.is_test_line(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let name_tok = &toks[i + 1];
+        let public = i > 0 && toks[i - 1].is_ident("pub");
+        // The body is the first brace block after the signature; a `;`
+        // first means a bodiless declaration (trait method) — skip those.
+        let mut j = i + 2;
+        let mut body = None;
+        while j < toks.len() {
+            if toks[j].is_punct(';') {
+                break;
+            }
+            if toks[j].is_punct('{') {
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct('{') {
+                        depth += 1;
+                    } else if toks[k].is_punct('}') {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                body = Some(j + 1..k.saturating_sub(1));
+                break;
+            }
+            j += 1;
+        }
+        if let Some(body) = body {
+            let end = body.end;
+            fns.push(FnItem { name: name_tok.text.clone(), line: name_tok.line, col: name_tok.col, public, body });
+            i = end;
+        } else {
+            i = j;
+        }
+    }
+
+    // Per-fn direct facts: uses parallel/SIMD, calls decide, same-file calls.
+    let names: Vec<&str> = fns.iter().map(|x| x.name.as_str()).collect();
+    let mut direct_par = vec![false; fns.len()];
+    let mut direct_decide = vec![false; fns.len()];
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for (fi, item) in fns.iter().enumerate() {
+        for j in item.body.clone() {
+            let t = &toks[j];
+            if t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            if PAR_ADAPTORS.contains(&t.text.as_str()) || t.text == "rayon" || t.text == "simd" {
+                direct_par[fi] = true;
+            }
+            if t.text == "decide" {
+                direct_decide[fi] = true;
+            }
+            if j + 1 < toks.len() && toks[j + 1].is_punct('(') {
+                if let Some(ci) = names.iter().position(|n| *n == t.text) {
+                    if ci != fi {
+                        calls[fi].push(ci);
+                    }
+                }
+            }
+        }
+    }
+    let reach_par = closure(&direct_par, &calls);
+    let reach_decide = closure(&direct_decide, &calls);
+    for (fi, item) in fns.iter().enumerate() {
+        if item.public && reach_par[fi] && !reach_decide[fi] {
+            push(
+                f,
+                "dispatch-route",
+                item.line,
+                item.col,
+                format!(
+                    "public fn `{}` uses a parallel/SIMD path without routing through `dispatch::decide`; \
+                     every public kernel must consult the dispatch policy",
+                    item.name
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Transitive closure of `seed` over the call graph.
+fn closure(seed: &[bool], calls: &[Vec<usize>]) -> Vec<bool> {
+    let mut reach = seed.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fi in 0..calls.len() {
+            if reach[fi] {
+                continue;
+            }
+            if calls[fi].iter().any(|&ci| reach[ci]) {
+                reach[fi] = true;
+                changed = true;
+            }
+        }
+    }
+    reach
+}
+
+/// Serve-path panic safety: `unwrap`/`expect`/`panic!`-family macros and
+/// bare integer-literal indexing must carry an `invariant:` comment stating
+/// why they cannot fire.
+fn check_panic_sites(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_line(t.line) || f.has_invariant(t.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct('(');
+        if t.kind == crate::lexer::TokKind::Ident {
+            let msg = if t.text == "unwrap" && prev_dot && next_paren && i + 2 < toks.len() && toks[i + 2].is_punct(')') {
+                Some("`.unwrap()` on the serve path".to_string())
+            } else if t.text == "expect" && prev_dot && next_paren {
+                Some("`.expect(..)` on the serve path".to_string())
+            } else if ["panic", "unreachable", "todo", "unimplemented"].contains(&t.text.as_str())
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct('!')
+            {
+                Some(format!("`{}!` on the serve path", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = msg {
+                push(
+                    f,
+                    "panic-site",
+                    t.line,
+                    t.col,
+                    format!("{what}: return an error instead, or document why it cannot fire with `// invariant: ...`"),
+                    out,
+                );
+            }
+        }
+        // Literal indexing `expr[0]`: `[` preceded by an index-able
+        // expression end and wrapping a lone integer literal.
+        if t.is_punct('[') && i > 0 && i + 2 < toks.len() {
+            let p = &toks[i - 1];
+            let indexable = p.kind == crate::lexer::TokKind::Ident || p.is_punct(')') || p.is_punct(']');
+            let n = &toks[i + 1];
+            let lone_int = n.kind == crate::lexer::TokKind::Num && !n.text.contains('.') && toks[i + 2].is_punct(']');
+            if indexable && lone_int && !p.is_ident("cfg") {
+                push(
+                    f,
+                    "panic-site",
+                    n.line,
+                    n.col,
+                    format!(
+                        "unguarded literal index `[{}]` on the serve path: use `.get({})` or document the \
+                         length invariant with `// invariant: ...`",
+                        n.text, n.text
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// A telemetry name as emitted or declared: dotted segments, `{..}` format
+/// captures normalized to the `*` wildcard.
+fn normalize(name: &str) -> Vec<String> {
+    name.split('.')
+        .map(|s| if s.contains('{') || s == "*" { "*".to_string() } else { s.to_string() })
+        .collect()
+}
+
+/// Two normalized names match when they have the same arity and every
+/// segment pair agrees or either side is the wildcard.
+fn names_match(a: &[String], b: &[String]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == "*" || y == "*" || x == y)
+}
+
+struct EmitSite {
+    file: usize,
+    line: u32,
+    col: u32,
+    raw: String,
+    norm: Vec<String>,
+}
+
+struct RegEntry {
+    line: u32,
+    raw: String,
+    norm: Vec<String>,
+}
+
+/// Telemetry-name registry: cross-file two-phase check. Phase 1 collects
+/// every name emitted through the `agnn-obs` emit fns and every name
+/// declared in the registry module; phase 2 reports emits that are not
+/// declared and declarations that are never emitted. Skipped entirely when
+/// the registry module is not among the scanned files (fixture runs for
+/// other rules).
+fn check_metric_names(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(reg_idx) = files.iter().position(|f| f.path.ends_with(&cfg.registry_file)) else {
+        return;
+    };
+    let registry = parse_registry(&files[reg_idx]);
+    let mut emits: Vec<EmitSite> = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        if idx == reg_idx {
+            continue;
+        }
+        collect_emits(f, idx, &mut emits);
+    }
+    for e in &emits {
+        if !registry.iter().any(|r| names_match(&e.norm, &r.norm)) {
+            let f = &files[e.file];
+            push(
+                f,
+                "metric-undeclared",
+                e.line,
+                e.col,
+                format!("telemetry name \"{}\" is not declared in the registry ({})", e.raw, cfg.registry_file),
+                out,
+            );
+        }
+    }
+    for r in &registry {
+        if !emits.iter().any(|e| names_match(&e.norm, &r.norm)) {
+            push(
+                &files[reg_idx],
+                "metric-unused",
+                r.line,
+                1,
+                format!("registry name \"{}\" is never emitted; remove it or wire up the emit site", r.raw),
+                out,
+            );
+        }
+    }
+}
+
+/// Registry entries are `pub const NAME: &str = "dotted.name";` items.
+fn parse_registry(f: &SourceFile) -> Vec<RegEntry> {
+    let toks = &f.lexed.toks;
+    let mut entries = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("const") && !f.is_test_line(toks[i].line) {
+            // Find the string literal before the terminating `;`.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                if toks[j].kind == crate::lexer::TokKind::Str {
+                    let raw = toks[j].text.clone();
+                    entries.push(RegEntry { line: toks[j].line, norm: normalize(&raw), raw });
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    entries
+}
+
+/// An emit site is an `EMIT_FNS` call whose first argument contains a
+/// dotted string literal (possibly inside `format!`). Identifiers directly
+/// after `fn` are declarations, not calls.
+fn collect_emits(f: &SourceFile, file_idx: usize, emits: &mut Vec<EmitSite>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_line(t.line)
+            || t.kind != crate::lexer::TokKind::Ident
+            || !EMIT_FNS.contains(&t.text.as_str())
+            || (i > 0 && toks[i - 1].is_ident("fn"))
+            || i + 1 >= toks.len()
+            || !toks[i + 1].is_punct('(')
+        {
+            continue;
+        }
+        // First string literal within the call's balanced argument region.
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        while j < toks.len() && depth > 0 {
+            let tok = &toks[j];
+            if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+                depth -= 1;
+            } else if tok.kind == crate::lexer::TokKind::Str {
+                if tok.text.contains('.') {
+                    emits.push(EmitSite {
+                        file: file_idx,
+                        line: tok.line,
+                        col: tok.col,
+                        norm: normalize(&tok.text),
+                        raw: tok.text.clone(),
+                    });
+                }
+                break;
+            }
+            j += 1;
+        }
+    }
+}

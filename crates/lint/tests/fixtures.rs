@@ -1,0 +1,130 @@
+//! Seeded-violation fixtures: one deliberate violation per rule family,
+//! asserting the exact rule ID and span (line:col) in the JSON report —
+//! the contract the CI gate greps against.
+
+use agnn_lint::{lint_files, Config, FileInput};
+
+fn file(path: &str, text: &str) -> FileInput {
+    FileInput { path: path.into(), text: text.into() }
+}
+
+/// The JSON report carries machine-checkable `"rule"`, `"line"`, `"col"`
+/// fields for each finding.
+fn assert_json_has(json: &str, rule: &str, file: &str, line: u32, col: u32) {
+    let needle = format!("\"rule\":\"{rule}\",\"file\":\"{file}\",\"line\":{line},\"col\":{col}");
+    assert!(json.contains(&needle), "expected {needle} in report:\n{json}");
+}
+
+#[test]
+fn raw_rayon_fixture_is_caught_with_exact_span() {
+    let fixture = file(
+        "crates/train/src/hot_loop.rs",
+        "use rayon::prelude::*;\n\nfn sum_rows(rows: &[Vec<f32>]) {\n    rows.par_iter().for_each(|_| ());\n}\n",
+    );
+    let report = lint_files(&[fixture], &Config::default());
+    assert_eq!(report.findings.len(), 2);
+    let json = report.to_json();
+    assert_json_has(&json, "raw-rayon", "crates/train/src/hot_loop.rs", 1, 5);
+    assert_json_has(&json, "raw-rayon", "crates/train/src/hot_loop.rs", 4, 10);
+}
+
+#[test]
+fn reassociated_fold_fixture_is_caught_with_exact_span() {
+    let fixture = file(
+        "crates/core/src/loss.rs",
+        "fn total(parts: &[f64]) -> f64 {\n    parts.par_iter().map(|p| p * p).reduce(|| 0.0, |a, b| a + b)\n}\n",
+    );
+    let report = lint_files(&[fixture], &Config::default());
+    let json = report.to_json();
+    // Both the raw adaptor and the reassociating reduce are violations.
+    assert_json_has(&json, "raw-rayon", "crates/core/src/loss.rs", 2, 11);
+    assert_json_has(&json, "float-reassoc", "crates/core/src/loss.rs", 2, 37);
+}
+
+#[test]
+fn float_reassoc_fires_even_where_rayon_is_permitted() {
+    // In the kernel crate's own modules rayon is allowed, but an
+    // unapproved file there still may not reassociate a chain.
+    let fixture = file(
+        "crates/tensor/src/newkernel.rs",
+        "pub fn dot(a: &[f64]) -> f64 {\n    a.par_iter().sum()\n}\n",
+    );
+    let mut cfg = Config::default();
+    cfg.rayon_allowed.push("crates/tensor/src/newkernel.rs".into());
+    let report = lint_files(&[fixture], &cfg);
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["float-reassoc"], "{:?}", report.findings);
+    assert_json_has(&report.to_json(), "float-reassoc", "crates/tensor/src/newkernel.rs", 2, 18);
+}
+
+#[test]
+fn undeclared_metric_fixture_is_caught_with_exact_span() {
+    let registry = file("crates/obs/src/names.rs", "pub const KNOWN: &str = \"serve.requests\";\n");
+    let emitter = file(
+        "crates/infer/src/stats.rs",
+        "fn bump() {\n    counter_add(\"serve.requests\", 1);\n    counter_add(\"infer.rogue.count\", 1);\n}\n",
+    );
+    let report = lint_files(&[registry, emitter], &Config::default());
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["metric-undeclared"], "{:?}", report.findings);
+    assert_json_has(&report.to_json(), "metric-undeclared", "crates/infer/src/stats.rs", 3, 17);
+}
+
+#[test]
+fn dead_registry_name_fixture_is_caught_at_declaration_site() {
+    let registry = file(
+        "crates/obs/src/names.rs",
+        "pub const LIVE: &str = \"serve.requests\";\npub const DEAD: &str = \"serve.phantom\";\n",
+    );
+    let emitter = file("crates/cli/src/x.rs", "fn f() { counter_add(\"serve.requests\", 1); }\n");
+    let report = lint_files(&[registry, emitter], &Config::default());
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["metric-unused"], "{:?}", report.findings);
+    assert_json_has(&report.to_json(), "metric-unused", "crates/obs/src/names.rs", 2, 1);
+}
+
+#[test]
+fn naked_unwrap_fixture_is_caught_with_exact_span() {
+    let fixture = file(
+        "crates/infer/src/request.rs",
+        "fn parse(line: &str) -> u32 {\n    line.trim().parse().unwrap()\n}\n",
+    );
+    let report = lint_files(&[fixture], &Config::default());
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["panic-site"], "{:?}", report.findings);
+    assert_json_has(&report.to_json(), "panic-site", "crates/infer/src/request.rs", 2, 25);
+}
+
+#[test]
+fn dispatch_bypass_fixture_is_caught_with_exact_span() {
+    let fixture = file(
+        "crates/tensor/src/ops.rs",
+        "pub fn rogue(a: &mut [f32]) {\n    a.par_chunks_mut(8).for_each(|c| c[0] += 1.0);\n}\n",
+    );
+    let report = lint_files(&[fixture], &Config::default());
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["dispatch-route"], "{:?}", report.findings);
+    assert_json_has(&report.to_json(), "dispatch-route", "crates/tensor/src/ops.rs", 1, 8);
+}
+
+#[test]
+fn allow_comments_suppress_only_with_justification() {
+    let allowed = file(
+        "crates/train/src/a.rs",
+        "use rayon::prelude::*; // lint:allow(raw-rayon): independent per-row map, no shared accumulator\n",
+    );
+    let unjustified = file("crates/train/src/b.rs", "use rayon::prelude::*; // lint:allow(raw-rayon)\n");
+    let report = lint_files(&[allowed, unjustified], &Config::default());
+    let by_file: Vec<(&str, &str)> = report.findings.iter().map(|f| (f.rule, f.file.as_str())).collect();
+    assert_eq!(by_file, vec![("allow-missing-justification", "crates/train/src/b.rs")], "{:?}", report.findings);
+}
+
+#[test]
+fn violations_in_test_code_are_out_of_scope() {
+    let fixture = file(
+        "crates/infer/src/x.rs",
+        "fn shipped() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        vec![1][0];\n    }\n}\n",
+    );
+    let report = lint_files(&[fixture], &Config::default());
+    assert!(report.is_clean(), "{:?}", report.findings);
+}

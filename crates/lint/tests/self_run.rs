@@ -1,0 +1,31 @@
+//! The clean-workspace self-run: `agnn-lint` over this repository must
+//! report zero violations. This is the same invocation the CI gate runs
+//! (`agnn lint --json`), so a red test here is a red gate there — fix the
+//! violation or justify it with `// lint:allow(<rule>): <why>`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = agnn_lint::lint_workspace(&root).expect("workspace must be walkable");
+    assert!(
+        report.files_scanned > 50,
+        "implausibly few files scanned ({}) — did the workspace walk break?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.to_table()
+    );
+}
+
+#[test]
+fn self_run_report_is_machine_readable() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = agnn_lint::lint_workspace(&root).expect("workspace must be walkable");
+    let json = report.to_json();
+    assert!(json.starts_with("{\"tool\":\"agnn-lint\",\"version\":1,"));
+    assert!(json.contains("\"violations\":0"));
+}

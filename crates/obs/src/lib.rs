@@ -23,10 +23,15 @@
 //! [`bridge`] folds `agnn_tensor::profile` kernel-timing drains into the
 //! metrics registry under the `tensor.*` namespace, so op profiles and
 //! telemetry metrics are one unified view.
+//!
+//! [`names`] is the telemetry-name registry: every name emitted anywhere in
+//! the workspace is declared there, and `agnn lint` enforces the mapping in
+//! both directions (no undeclared emits, no dead declarations).
 
 pub mod bridge;
 pub mod log;
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use trace::{event, span, Field, SpanGuard};

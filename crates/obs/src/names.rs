@@ -1,0 +1,92 @@
+//! The telemetry-name registry: the single source of truth for every
+//! metric, span, and event name the workspace emits through this crate
+//! (DESIGN.md §5b8, rule family 3).
+//!
+//! `agnn lint` extracts the first string-literal argument of every
+//! `counter_add`/`gauge_set`/`observe_ns`/`timed`/`span`/`event` emit site
+//! (and the `Snapshot::counter`/`gauge`/`histogram` lookups) across the
+//! workspace and checks it against this module in both directions: an emit
+//! whose name is not declared here fails the build, and a name declared
+//! here that nothing emits fails the build. Renaming a metric is therefore
+//! a one-file change that the lint gate forces to stay consistent — the
+//! drift the hand-written `tensor.dispatch.*` bridge names once introduced
+//! cannot recur silently.
+//!
+//! Dynamic names built with `format!` declare their shape with a `*`
+//! wildcard per interpolated segment (`tensor.*.calls` covers
+//! `format!("tensor.{}.calls", kernel)`). Names follow the
+//! `component.stage.metric` convention documented on [`crate::metrics`].
+
+// --- serve: the CLI serving loop (crates/cli, `agnn serve`) ---
+
+/// Count of requests answered (one per scored batch of pairs).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Count of user/item pairs scored across all requests.
+pub const SERVE_SERVED_PAIRS: &str = "serve.served_pairs";
+/// Count of malformed request lines skipped by the warn-and-continue path.
+pub const SERVE_PARSE_ERRORS: &str = "serve.parse_errors";
+/// Count of well-formed requests that failed during scoring.
+pub const SERVE_REQUEST_ERRORS: &str = "serve.request_errors";
+/// Span around one request.
+pub const SERVE_REQUEST_SPAN: &str = "serve.request";
+/// Histogram of per-request latency in nanoseconds, backing the periodic
+/// p50/p99 stats lines.
+pub const SERVE_REQUEST_LATENCY_NS: &str = "serve.request.latency_ns";
+
+// --- train: the unified training engine (crates/train + `agnn train`) ---
+
+/// Span around one training epoch (fields: epoch index).
+pub const TRAIN_EPOCH_SPAN: &str = "train.epoch";
+/// Count of completed epochs.
+pub const TRAIN_EPOCH_COUNT: &str = "train.epoch.count";
+/// Gauge of the latest epoch's prediction loss.
+pub const TRAIN_EPOCH_PRED_LOSS: &str = "train.epoch.pred_loss";
+/// Gauge of the latest epoch's reconstruction loss.
+pub const TRAIN_EPOCH_RECON_LOSS: &str = "train.epoch.recon_loss";
+/// Histogram of per-epoch wall time in nanoseconds.
+pub const TRAIN_EPOCH_DURATION_NS: &str = "train.epoch.duration_ns";
+/// Event per batch carrying the gradient norm (verbose telemetry only).
+pub const TRAIN_BATCH_GRAD_NORM: &str = "train.batch.grad_norm";
+/// Event marking the end of a training run.
+pub const TRAIN_DONE: &str = "train.done";
+
+// --- infer: the tape-free inference engine (crates/infer) ---
+
+/// Count of embedding rows served from the materialized cache.
+pub const INFER_EMBED_CACHE_HIT_ROWS: &str = "infer.embed.cache_hit_rows";
+/// Count of embedding rows computed on demand (cache miss).
+pub const INFER_EMBED_CACHE_MISS_ROWS: &str = "infer.embed.cache_miss_rows";
+/// Span around a full-cache materialization pass.
+pub const INFER_MATERIALIZE_SPAN: &str = "infer.materialize";
+/// Count of rows materialized.
+pub const INFER_MATERIALIZE_ROWS: &str = "infer.materialize.rows";
+/// Count of materialized rows that were strict-cold-start nodes.
+pub const INFER_MATERIALIZE_COLD_ROWS: &str = "infer.materialize.cold_rows";
+/// Count of materialized rows that were warm nodes.
+pub const INFER_MATERIALIZE_WARM_ROWS: &str = "infer.materialize.warm_rows";
+/// Histogram of per-chunk materialization time in nanoseconds.
+pub const INFER_MATERIALIZE_CHUNK_NS: &str = "infer.materialize.chunk_ns";
+/// Span around one `score_batch` call.
+pub const INFER_SCORE_BATCH_SPAN: &str = "infer.score_batch";
+/// Count of pairs scored.
+pub const INFER_SCORE_PAIRS: &str = "infer.score.pairs";
+/// Count of scored pairs involving a strict-cold-start node.
+pub const INFER_SCORE_SCS_PAIRS: &str = "infer.score.scs_pairs";
+/// Count of scored pairs with both nodes warm.
+pub const INFER_SCORE_WARM_PAIRS: &str = "infer.score.warm_pairs";
+/// Histogram of per-chunk scoring time in nanoseconds.
+pub const INFER_SCORE_CHUNK_NS: &str = "infer.score.chunk_ns";
+/// Histogram of attribute-side forward time in nanoseconds.
+pub const INFER_SCORE_SIDE_FORWARD_NS: &str = "infer.score.side_forward_ns";
+/// Histogram of final predictor time in nanoseconds.
+pub const INFER_SCORE_PREDICT_NS: &str = "infer.score.predict_ns";
+
+// --- tensor: kernel profile bridge (crates/obs/src/bridge.rs) ---
+
+/// Count of calls per dispatched kernel (`tensor.<kernel>.calls`).
+pub const TENSOR_KERNEL_CALLS: &str = "tensor.*.calls";
+/// Accumulated nanoseconds per dispatched kernel (`tensor.<kernel>.nanos`).
+pub const TENSOR_KERNEL_NANOS: &str = "tensor.*.nanos";
+/// Dispatch-decision counters per kernel and chosen execution path
+/// (`tensor.dispatch.<kernel>.<path>`).
+pub const TENSOR_DISPATCH_DECISIONS: &str = "tensor.dispatch.*.*";
