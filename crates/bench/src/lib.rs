@@ -28,7 +28,11 @@
 //! `calibration.json` policy the other surfaces load. The [`infer`] module
 //! is the serving-throughput benchmark behind `agnn bench --infer`: tape vs
 //! tape-free scoring latency (p50/p99), requests/sec, and one more
-//! bit-identity gate, written to `BENCH_infer.json`.
+//! bit-identity gate, written to `BENCH_infer.json`. The [`topk`] module is
+//! the retrieval benchmark behind `agnn bench --topk`: exhaustive vs
+//! proximity-pruned top-K latency with a recall@K curve, written to
+//! `BENCH_topk.json`, gated on the exhaustive path matching the
+//! `score_batch` argsort bit for bit.
 
 pub mod args;
 pub mod calibrate;
@@ -36,10 +40,12 @@ pub mod infer;
 pub mod kernels;
 pub mod runner;
 pub mod table;
+pub mod topk;
 
 pub use args::HarnessArgs;
 pub use calibrate::{run_calibration, CalibrateConfig, CalibrationReport, CrossoverRow};
 pub use infer::{run_infer_bench, InferBenchConfig, InferBenchReport, InferTiming};
+pub use topk::{run_topk_bench, TopKBenchConfig, TopKBenchReport, TopKTiming};
 pub use kernels::{
     run_kernel_bench, run_kernel_bench_with_policy, KernelBenchConfig, KernelBenchReport, KernelShape, KernelTiming,
 };

@@ -1,0 +1,405 @@
+//! Top-K retrieval benchmark behind `agnn bench --topk`.
+//!
+//! Fits one AGNN model on a generated strict-cold-start split, materializes
+//! the inference engine, and sweeps k over a fixed set of evaluation users,
+//! timing both retrieval paths: exhaustive
+//! ([`InferenceEngine::top_k`] — full catalog scored, bounded-heap select)
+//! and pruned ([`InferenceEngine::top_k_pruned`] — stride probe, proximity-
+//! pool expansion, exact scoring of the closure). Each row reports
+//! p50/p99 latency for both, the pruned path's recall@K against the
+//! exhaustive ranking, its mean scored-candidate count, and whether the
+//! exhaustive path matched the argsort of `score_batch` over all items bit
+//! for bit (it must; CI gates on it).
+//!
+//! JSON is emitted by hand (not serde) so the `BENCH_topk.json` schema is
+//! stable and independent of serializer availability.
+
+use agnn_core::{Agnn, AgnnConfig, RatingModel};
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use agnn_infer::{InferenceEngine, PruneConfig};
+use agnn_tensor::select;
+use std::time::Instant;
+
+/// Benchmark configuration: model/fit shape and the k sweep.
+#[derive(Debug, Clone)]
+pub struct TopKBenchConfig {
+    /// Dataset scale passed to [`Preset::Ml100k`] generation.
+    pub scale: f64,
+    /// Training epochs (the model just needs trained-shaped weights).
+    pub epochs: usize,
+    /// Seed for generation, split and fit.
+    pub seed: u64,
+    /// Retrieval depths to sweep.
+    pub ks: Vec<usize>,
+    /// How many distinct users the sweep averages over (deterministic
+    /// stride over the user space).
+    pub eval_users: usize,
+    /// Timed repetitions per (path, k, user); percentiles pool all users.
+    pub reps: usize,
+    /// Untimed warmup repetitions per (path, k, user).
+    pub warmup: usize,
+    /// Candidate-generation knobs for the pruned path.
+    pub prune: PruneConfig,
+}
+
+impl TopKBenchConfig {
+    /// Full sweep: the k ∈ {10, 50, 100} curve committed as
+    /// `BENCH_topk.json`.
+    pub fn representative() -> Self {
+        Self {
+            scale: 0.1,
+            epochs: 2,
+            seed: 7,
+            ks: vec![10, 50, 100],
+            eval_users: 8,
+            reps: 15,
+            warmup: 2,
+            // Tighter than the serving default on purpose: the bench
+            // catalog is small (~170 items), and a cap near the catalog
+            // size would make "pruned" a strict superset of exhaustive.
+            // These knobs keep the candidate closure well under half the
+            // catalog so the recall-vs-latency trade is actually visible.
+            prune: PruneConfig { probes: 32, seeds: 8, hops: 2, cap: 64 },
+        }
+    }
+
+    /// Tiny sweep for CI: exercises both paths, recall accounting and the
+    /// exhaustive-identity gate in a few seconds.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 0.05,
+            epochs: 1,
+            seed: 7,
+            ks: vec![5, 10],
+            eval_users: 3,
+            reps: 3,
+            warmup: 1,
+            prune: PruneConfig { probes: 16, seeds: 4, hops: 2, cap: 64 },
+        }
+    }
+}
+
+/// Measurements for one retrieval depth `k`.
+#[derive(Debug, Clone)]
+pub struct TopKTiming {
+    /// Retrieval depth.
+    pub k: usize,
+    /// Sorted per-call wall clock of the exhaustive path, nanoseconds
+    /// (pooled across users and reps).
+    pub exhaustive_ns: Vec<u64>,
+    /// Sorted per-call wall clock of the pruned path, nanoseconds.
+    pub pruned_ns: Vec<u64>,
+    /// Mean recall@K of the pruned item set against the exhaustive one.
+    pub recall: f64,
+    /// Mean items scored per pruned call (probes + expanded candidates).
+    pub pruned_items_mean: f64,
+    /// Whether the exhaustive path equaled the argsort of `score_batch`
+    /// over all items — ids and score bits — for every evaluation user.
+    pub identical: bool,
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() * p) / 100).min(sorted.len() - 1)]
+}
+
+impl TopKTiming {
+    /// Median exhaustive latency.
+    pub fn exhaustive_p50(&self) -> u64 {
+        percentile(&self.exhaustive_ns, 50)
+    }
+
+    /// Tail exhaustive latency.
+    pub fn exhaustive_p99(&self) -> u64 {
+        percentile(&self.exhaustive_ns, 99)
+    }
+
+    /// Median pruned latency.
+    pub fn pruned_p50(&self) -> u64 {
+        percentile(&self.pruned_ns, 50)
+    }
+
+    /// Tail pruned latency.
+    pub fn pruned_p99(&self) -> u64 {
+        percentile(&self.pruned_ns, 99)
+    }
+
+    /// Exhaustive median over pruned median (> 1: pruning pays off).
+    pub fn speedup(&self) -> f64 {
+        self.exhaustive_p50() as f64 / self.pruned_p50().max(1) as f64
+    }
+}
+
+/// Everything `agnn bench --topk` measured.
+#[derive(Debug, Clone)]
+pub struct TopKBenchReport {
+    /// Dataset the model was fitted on.
+    pub dataset: String,
+    /// User count.
+    pub users: usize,
+    /// Item count.
+    pub items: usize,
+    /// Worker threads available to the parallel kernels.
+    pub threads: usize,
+    /// Timed repetitions per (path, k, user).
+    pub reps: usize,
+    /// Users the sweep averaged over.
+    pub eval_users: Vec<u32>,
+    /// Candidate-generation knobs of the pruned path.
+    pub prune: PruneConfig,
+    /// One row per k.
+    pub results: Vec<TopKTiming>,
+    /// Engine-side metric snapshot of the sweep (`infer.topk.*` counters
+    /// and scoring histograms).
+    pub metrics: agnn_obs::metrics::Snapshot,
+}
+
+impl TopKBenchReport {
+    /// True when the exhaustive path matched the `score_batch` argsort at
+    /// every k for every user. CI fails the bench job on `false`.
+    pub fn all_identical(&self) -> bool {
+        self.results.iter().all(|r| r.identical)
+    }
+
+    /// The `BENCH_topk.json` document (stable hand-written schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"topk\",\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"users\": {},\n", self.users));
+        out.push_str(&format!("  \"items\": {},\n", self.items));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        let ids: Vec<String> = self.eval_users.iter().map(u32::to_string).collect();
+        out.push_str(&format!("  \"eval_users\": [{}],\n", ids.join(", ")));
+        out.push_str(&format!(
+            "  \"prune\": {{\"probes\": {}, \"seeds\": {}, \"hops\": {}, \"cap\": {}}},\n",
+            self.prune.probes, self.prune.seeds, self.prune.hops, self.prune.cap
+        ));
+        out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str(&format!("  \"metrics\": {},\n", self.metrics.render_json()));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"k\": {}, \"exhaustive_p50_ns\": {}, \"exhaustive_p99_ns\": {}, \"pruned_p50_ns\": {}, \"pruned_p99_ns\": {}, \"recall\": {:.4}, \"pruned_items_mean\": {:.1}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                r.k,
+                r.exhaustive_p50(),
+                r.exhaustive_p99(),
+                r.pruned_p50(),
+                r.pruned_p99(),
+                r.recall,
+                r.pruned_items_mean,
+                r.speedup(),
+                r.identical,
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for stdout.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "topk bench · {} ({} users × {} items) · {} thread(s) · {} rep(s) · {} eval user(s) · prune probes={} seeds={} hops={} cap={}\n{:>6} {:>14} {:>14} {:>12} {:>12} {:>8} {:>12} {:>8}  {}\n",
+            self.dataset,
+            self.users,
+            self.items,
+            self.threads,
+            self.reps,
+            self.eval_users.len(),
+            self.prune.probes,
+            self.prune.seeds,
+            self.prune.hops,
+            self.prune.cap,
+            "k",
+            "exhaust_p50_us",
+            "exhaust_p99_us",
+            "pruned_p50_us",
+            "pruned_p99_us",
+            "recall",
+            "pruned_items",
+            "speedup",
+            "identical"
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:>6} {:>14.1} {:>14.1} {:>12.1} {:>12.1} {:>8.3} {:>12.1} {:>7.2}x  {}\n",
+                r.k,
+                r.exhaustive_p50() as f64 / 1e3,
+                r.exhaustive_p99() as f64 / 1e3,
+                r.pruned_p50() as f64 / 1e3,
+                r.pruned_p99() as f64 / 1e3,
+                r.recall,
+                r.pruned_items_mean,
+                r.speedup(),
+                r.identical
+            ));
+        }
+        out
+    }
+}
+
+/// Deterministic evaluation users: a stride over the user space so the
+/// sweep touches spread-out rows without any RNG.
+fn eval_user_ids(n: usize, num_users: usize) -> Vec<u32> {
+    (0..n.min(num_users)).map(|j| ((j * 13 + 1) % num_users) as u32).collect()
+}
+
+fn timed_calls(reps: usize, warmup: usize, f: impl Fn() -> Vec<(u32, f32)>) -> (Vec<u64>, Vec<(u32, f32)>) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut times = Vec::with_capacity(reps);
+    let mut out = Vec::new();
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        out = std::hint::black_box(f());
+        times.push(t.elapsed().as_nanos() as u64);
+    }
+    (times, out)
+}
+
+/// Fits the model, materializes the engine, and runs the k sweep.
+pub fn run_topk_bench(cfg: &TopKBenchConfig) -> TopKBenchReport {
+    let data = Preset::Ml100k.generate(cfg.scale, cfg.seed);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, cfg.seed));
+    let model_cfg = AgnnConfig {
+        embed_dim: 16,
+        vae_latent_dim: 8,
+        fanout: 5,
+        epochs: cfg.epochs,
+        batch_size: 64,
+        seed: cfg.seed,
+        ..AgnnConfig::default()
+    };
+    let mut model = Agnn::new(model_cfg);
+    model.fit(&data, &split);
+    let snap = model.export_snapshot().expect("fitted model snapshots");
+    let mut engine = InferenceEngine::from_snapshot(&snap).expect("snapshot resolves");
+    engine.materialize();
+    // Instrument the sweep itself (not the fit): the artifact records the
+    // retrieval counters — requests, items scored — next to the latencies.
+    let metrics_was = agnn_obs::metrics::enabled();
+    agnn_obs::metrics::reset();
+    agnn_obs::metrics::set_enabled(true);
+
+    let users = eval_user_ids(cfg.eval_users, data.num_users);
+    let all_items: Vec<(u32, u32)> = (0..data.num_items as u32).map(|i| (0, i)).collect();
+    let mut results = Vec::with_capacity(cfg.ks.len());
+    for &k in &cfg.ks {
+        let mut exhaustive_ns = Vec::new();
+        let mut pruned_ns = Vec::new();
+        let mut recall_sum = 0.0f64;
+        let mut identical = true;
+        let mut pruned_calls = 0u64;
+        let items_before = agnn_obs::metrics::snapshot().counter("infer.topk.items_scored").unwrap_or(0);
+        let mut exhaustive_items = 0u64;
+        for &u in &users {
+            let (t_ex, ex) = timed_calls(cfg.reps, cfg.warmup, || engine.top_k(u, k));
+            exhaustive_ns.extend(t_ex);
+            let prune = cfg.prune;
+            let (t_pr, pr) = timed_calls(cfg.reps, cfg.warmup, || engine.top_k_pruned(u, k, &prune));
+            pruned_ns.extend(t_pr);
+            pruned_calls += (cfg.reps.max(1) + cfg.warmup) as u64;
+            exhaustive_items += ((cfg.reps.max(1) + cfg.warmup) * data.num_items) as u64;
+
+            // The exhaustive path must be the argsort of score_batch over
+            // the full catalog: same ids, same score bits, same tie order.
+            let pairs: Vec<(u32, u32)> = all_items.iter().map(|&(_, i)| (u, i)).collect();
+            let full = engine.score_batch(&pairs);
+            let reference: Vec<(u32, f32)> =
+                select::rank_descending(&full).into_iter().take(k).map(|i| (i as u32, full[i])).collect();
+            identical &= ex.len() == reference.len()
+                && ex.iter().zip(&reference).all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+
+            let ex_ids: std::collections::BTreeSet<u32> = ex.iter().map(|&(i, _)| i).collect();
+            let hit = pr.iter().filter(|&&(i, _)| ex_ids.contains(&i)).count();
+            recall_sum += hit as f64 / ex_ids.len().max(1) as f64;
+        }
+        let items_after = agnn_obs::metrics::snapshot().counter("infer.topk.items_scored").unwrap_or(0);
+        let pruned_items = (items_after - items_before).saturating_sub(exhaustive_items);
+        exhaustive_ns.sort_unstable();
+        pruned_ns.sort_unstable();
+        results.push(TopKTiming {
+            k,
+            exhaustive_ns,
+            pruned_ns,
+            recall: recall_sum / users.len().max(1) as f64,
+            pruned_items_mean: pruned_items as f64 / pruned_calls.max(1) as f64,
+            identical,
+        });
+    }
+    agnn_obs::metrics::set_enabled(metrics_was);
+    let metrics = agnn_obs::metrics::snapshot();
+    agnn_obs::metrics::reset();
+    TopKBenchReport {
+        dataset: data.name.clone(),
+        users: data.num_users,
+        items: data.num_items,
+        threads: std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        reps: cfg.reps,
+        eval_users: users,
+        prune: cfg.prune,
+        results,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_and_exhaustive_matches_argsort() {
+        let report = run_topk_bench(&TopKBenchConfig::smoke());
+        assert_eq!(report.results.len(), 2);
+        assert!(report.all_identical(), "exhaustive top_k diverged from score_batch argsort: {report:?}");
+        for r in &report.results {
+            assert!((0.0..=1.0).contains(&r.recall), "recall out of range: {r:?}");
+            assert!(r.pruned_items_mean > 0.0, "pruned path scored nothing: {r:?}");
+        }
+        assert!(report.metrics.counter("infer.topk.requests").unwrap_or(0) > 0, "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = TopKBenchReport {
+            dataset: "unit".into(),
+            users: 5,
+            items: 9,
+            threads: 2,
+            reps: 3,
+            eval_users: vec![1, 4],
+            prune: PruneConfig { probes: 4, seeds: 2, hops: 1, cap: 8 },
+            results: vec![TopKTiming {
+                k: 3,
+                exhaustive_ns: vec![100, 200, 300],
+                pruned_ns: vec![50, 60, 70],
+                recall: 0.5,
+                pruned_items_mean: 6.0,
+                identical: true,
+            }],
+            metrics: Default::default(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"topk\""));
+        assert!(json.contains("\"recall\": 0.5000"));
+        assert!(json.contains("\"speedup\": 3.333"));
+        assert!(json.contains("\"all_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = report.render_table();
+        assert!(table.contains("recall"), "{table}");
+    }
+
+    #[test]
+    fn eval_users_are_deterministic_and_in_range() {
+        let ids = eval_user_ids(8, 5);
+        assert_eq!(ids, eval_user_ids(8, 5));
+        assert_eq!(ids.len(), 5);
+        assert!(ids.iter().all(|&u| (u as usize) < 5));
+    }
+}

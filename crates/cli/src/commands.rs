@@ -319,11 +319,19 @@ fn train(opts: &Opts) -> Result<String, CliError> {
 /// Observability: `--stats-every N` prints a `p50/p90/p99` latency line
 /// (from the `serve.request.latency_ns` histogram) every `N` requests plus
 /// a final summary; `--telemetry`/`--metrics-out`/`--log-level` behave as
-/// on `train`. Unparseable request lines are counted in
-/// `serve.parse_errors` and warned about, never fatal.
+/// on `train`. Untrusted request lines are never fatal: unparseable lines
+/// are counted in `serve.parse_errors`, out-of-range ids are dropped and
+/// counted in `serve.range_errors`, both warned about while the loop keeps
+/// serving.
+///
+/// `--topk K` switches the request loop to retrieval: one **user id** per
+/// stdin line, answered with the K best items (`--pruned` routes through
+/// the proximity-pool candidate generator instead of scoring the full
+/// catalog), timed per request in the `serve.topk.latency_ns` histogram.
 fn serve(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "model", "pairs", "stdin", "no-materialize", "stats-every", "telemetry", "metrics-out", "log-level", "policy",
+        "topk", "pruned",
     ])?;
     install_policy(opts)?;
     let stats_every: usize = opts.parse_or("stats-every", 0usize)?;
@@ -333,6 +341,13 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
     let mut engine = agnn_infer::InferenceEngine::from_snapshot(&snap).map_err(|e| CliError(e.to_string()))?;
     if opts.get("no-materialize") != Some("true") {
         engine.materialize();
+    }
+    let topk: usize = opts.parse_or("topk", 0usize)?;
+    if topk > 0 {
+        return serve_topk(opts, &engine, topk, stats_every, &mut tele);
+    }
+    if opts.get("pruned") == Some("true") {
+        return Err(CliError("serve: --pruned only applies to --topk retrieval".into()));
     }
     let score_lines = |pairs: &[(u32, u32)]| -> Result<String, CliError> {
         for &(u, i) in pairs {
@@ -409,6 +424,25 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
                 continue;
             }
         };
+        // Validate ids *before* the engine sees them: `score_batch` asserts
+        // on out-of-range ids, and an untrusted request line must never be
+        // able to panic the serve loop. Bad pairs are dropped (counted +
+        // warned), the rest of the line is still scored.
+        let (nu, ni) = (engine.num_users(), engine.num_items());
+        let pairs: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .filter(|&(u, i)| {
+                let ok = (u as usize) < nu && (i as usize) < ni;
+                if !ok {
+                    agnn_obs::metrics::counter_add("serve.range_errors", 1);
+                    agnn_obs::log::warn(format!("serve: dropping out-of-range pair {u}:{i} ({nu} users, {ni} items)"));
+                }
+                ok
+            })
+            .collect();
+        if pairs.is_empty() {
+            continue;
+        }
         let span = agnn_obs::span("serve.request").with_field("pairs", pairs.len());
         let scored = agnn_obs::metrics::timed("serve.request.latency_ns", || score_lines(&pairs));
         drop(span);
@@ -441,7 +475,106 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
     Ok(msg)
 }
 
-/// `agnn bench --kernels | --infer | --calibrate` — perf sweeps.
+/// The `serve --topk K` request loop: one user id per stdin line, answered
+/// with the K best items as `user U top-K: item:score ...` (scores clamped
+/// to the rating scale, best first). `--pruned` retrieves through the
+/// proximity-pool candidate generator ([`agnn_infer::PruneConfig`] default
+/// knobs) instead of scoring the full catalog. The same
+/// untrusted-input rules as the pair loop apply: unparseable lines →
+/// `serve.parse_errors`, out-of-range user ids → `serve.range_errors`,
+/// both warn-and-continue. Per-request latency lands in the
+/// `serve.topk.latency_ns` histogram, surfaced by `--stats-every N`.
+fn serve_topk(
+    opts: &Opts,
+    engine: &agnn_infer::InferenceEngine,
+    topk: usize,
+    stats_every: usize,
+    tele: &mut Telemetry,
+) -> Result<String, CliError> {
+    if opts.get("stdin") != Some("true") {
+        return Err(CliError("serve: --topk K needs --stdin (one user id per request line)".into()));
+    }
+    if opts.get("pairs").is_some() {
+        return Err(CliError("serve: --topk and --pairs are mutually exclusive".into()));
+    }
+    let prune = (opts.get("pruned") == Some("true")).then(agnn_infer::PruneConfig::default);
+    use std::io::BufRead;
+    agnn_obs::log::info(format!(
+        "serving top-{topk} retrieval over {} snapshot ({} users × {} items, {}, cache {}) — one user id per line, blank line to stop",
+        engine.dataset(),
+        engine.num_users(),
+        engine.num_items(),
+        if prune.is_some() { "pruned candidates" } else { "exhaustive" },
+        if engine.is_materialized() { "materialized" } else { "off" }
+    ));
+    let stats_line = |requests: usize| {
+        if let Some(h) = agnn_obs::metrics::snapshot().histogram("serve.topk.latency_ns") {
+            eprintln!(
+                "serve stats: {requests} top-k request(s)  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+                h.p50_ns() as f64 / 1e3,
+                h.p90_ns() as f64 / 1e3,
+                h.p99_ns() as f64 / 1e3,
+                h.max_ns() as f64 / 1e3
+            );
+        }
+    };
+    let mut requests = 0usize;
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                agnn_obs::metrics::counter_add("serve.parse_errors", 1);
+                agnn_obs::log::warn(format!("serve: skipping unreadable request line: {e}"));
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        let user: u32 = match line.parse() {
+            Ok(u) => u,
+            Err(_) => {
+                agnn_obs::metrics::counter_add("serve.parse_errors", 1);
+                agnn_obs::log::warn(format!("serve: expected one user id per request line, got {line:?}"));
+                continue;
+            }
+        };
+        // Same rule as the pair loop: the engine asserts on out-of-range
+        // ids, so the request parser must reject them first.
+        if user as usize >= engine.num_users() {
+            agnn_obs::metrics::counter_add("serve.range_errors", 1);
+            agnn_obs::log::warn(format!("serve: dropping out-of-range user {user} ({} users)", engine.num_users()));
+            continue;
+        }
+        let span = agnn_obs::span("serve.request").with_field("user", user as usize);
+        let ranked = agnn_obs::metrics::timed("serve.topk.latency_ns", || match &prune {
+            Some(p) => engine.top_k_pruned(user, topk, p),
+            None => engine.top_k(user, topk),
+        });
+        drop(span);
+        let body: Vec<String> = ranked.iter().map(|&(i, s)| format!("{i}:{:.2}", engine.clamp(s))).collect();
+        println!("user {user} top-{topk}: {}", body.join(" "));
+        requests += 1;
+        agnn_obs::metrics::counter_add("serve.requests", 1);
+        agnn_obs::metrics::counter_add("serve.served_pairs", ranked.len() as u64);
+        if stats_every > 0 && requests % stats_every == 0 {
+            stats_line(requests);
+        }
+    }
+    if stats_every > 0 && requests > 0 && requests % stats_every != 0 {
+        stats_line(requests);
+    }
+    let mut msg = format!("answered {requests} top-{topk} request(s)");
+    if let Some(note) = tele.finish()? {
+        msg.push('\n');
+        msg.push_str(&note);
+    }
+    Ok(msg)
+}
+
+/// `agnn bench --kernels | --infer | --calibrate | --topk` — perf sweeps.
 ///
 /// `--kernels` times every dispatched `agnn-tensor` kernel under forced
 /// serial/SIMD/parallel plus static- and calibrated-policy `Auto` across
@@ -452,18 +585,22 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
 /// tape/engine bit divergence. `--calibrate` runs the crossover sweep and
 /// writes the measured dispatch policy to `--out` (default
 /// `calibration.json`) — the file the other subcommands load back via
-/// `--policy` or by its default name. CI runs all three in `--smoke` mode
-/// as divergence gates.
+/// `--policy` or by its default name. `--topk` sweeps retrieval depth k
+/// over exhaustive vs proximity-pruned top-K, writes the
+/// recall@K-vs-latency curve to `BENCH_topk.json`, and fails if the
+/// exhaustive path is not the bit-exact argsort of `score_batch`. CI runs
+/// all four in `--smoke` mode as divergence gates.
 fn bench(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["kernels", "infer", "calibrate", "smoke", "out", "policy"])?;
+    opts.assert_known(&["kernels", "infer", "calibrate", "topk", "smoke", "out", "policy"])?;
     let smoke = opts.get("smoke") == Some("true");
     let surfaces = (
         opts.get("kernels") == Some("true"),
         opts.get("infer") == Some("true"),
         opts.get("calibrate") == Some("true"),
+        opts.get("topk") == Some("true"),
     );
     match surfaces {
-        (true, false, false) => {
+        (true, false, false, false) => {
             let policy_note = install_policy(opts)?;
             let cfg =
                 if smoke { agnn_bench::KernelBenchConfig::smoke() } else { agnn_bench::KernelBenchConfig::representative() };
@@ -485,7 +622,7 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 )))
             }
         }
-        (false, true, false) => {
+        (false, true, false, false) => {
             // The tape-free engine runs the same dispatched kernels, so a
             // calibrated policy shapes serving latency too.
             let policy_note = install_policy(opts)?;
@@ -506,7 +643,7 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 Err(CliError(format!("{text}\ntape/engine DIVERGENCE — the tape-free path is wrong, do not ship")))
             }
         }
-        (false, false, true) => {
+        (false, false, true, false) => {
             let cfg =
                 if smoke { agnn_bench::CalibrateConfig::smoke() } else { agnn_bench::CalibrateConfig::representative() };
             let report = agnn_bench::run_calibration(&cfg);
@@ -525,7 +662,30 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
             text.push_str(&format!("wrote {out}"));
             Ok(text)
         }
-        _ => Err(CliError("bench: pass exactly one of --kernels | --infer | --calibrate".into())),
+        (false, false, false, true) => {
+            // Retrieval runs the same dispatched kernels as scoring, so the
+            // calibrated policy shapes the latency curve here too.
+            let policy_note = install_policy(opts)?;
+            let cfg =
+                if smoke { agnn_bench::TopKBenchConfig::smoke() } else { agnn_bench::TopKBenchConfig::representative() };
+            let report = agnn_bench::run_topk_bench(&cfg);
+            let out = opts.get("out").unwrap_or("BENCH_topk.json");
+            std::fs::write(out, report.to_json())?;
+            let mut text = report.render_table();
+            if let Some(note) = policy_note {
+                text.push_str(&note);
+                text.push('\n');
+            }
+            text.push_str(&format!("wrote {out}"));
+            if report.all_identical() {
+                Ok(text)
+            } else {
+                Err(CliError(format!(
+                    "{text}\nexhaustive top-K DIVERGENCE from the score_batch argsort — the select path is wrong, do not ship"
+                )))
+            }
+        }
+        _ => Err(CliError("bench: pass exactly one of --kernels | --infer | --calibrate | --topk".into())),
     }
 }
 
@@ -813,6 +973,35 @@ mod tests {
         assert!(run(&opts("serve --model /nonexistent-snap.json --pairs 0:0")).is_err());
         let err = run(&opts(&format!("serve --model {snap_path}"))).unwrap_err();
         assert!(err.0.contains("--pairs"), "{err}");
+    }
+
+    /// The `--topk` retrieval mode only composes with `--stdin`; every
+    /// other combination must fail fast with an actionable message.
+    #[test]
+    fn serve_topk_flag_validation() {
+        use agnn_core::variants::VariantName;
+        let data = agnn_data::tracer::dataset();
+        let split = agnn_data::tracer::split(&data);
+        let mut model = Agnn::new(AgnnConfig {
+            embed_dim: 8,
+            vae_latent_dim: 4,
+            fanout: 3,
+            epochs: 1,
+            batch_size: 2,
+            variant: VariantName::Full.variant(),
+            ..AgnnConfig::default()
+        });
+        model.fit(&data, &split);
+        let snap_path = tmp("topk-flags-snap.json");
+        model.snapshot().unwrap().save(std::path::Path::new(&snap_path)).unwrap();
+
+        let err = run(&opts(&format!("serve --model {snap_path} --topk 2"))).unwrap_err();
+        assert!(err.0.contains("needs --stdin"), "{err}");
+        let err = run(&opts(&format!("serve --model {snap_path} --topk 2 --stdin --pairs 0:0"))).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{err}");
+        let err = run(&opts(&format!("serve --model {snap_path} --pairs 0:0 --pruned"))).unwrap_err();
+        assert!(err.0.contains("--pruned only applies to --topk"), "{err}");
+        assert!(run(&opts(&format!("serve --model {snap_path} --topk bogus --stdin"))).is_err());
     }
 
     #[test]

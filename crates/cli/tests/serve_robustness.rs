@@ -1,0 +1,151 @@
+//! Subprocess robustness coverage for the `agnn serve` request loops.
+//!
+//! The serve loop reads untrusted stdin, and the engine's scoring entry
+//! points assert on out-of-range ids — so a hostile (or merely buggy)
+//! client line must be rejected by the request parser, never forwarded to
+//! an assert. These tests drive the real binary over a pipe and lock the
+//! contract for one continuous session: out-of-range ids, non-UTF-8
+//! bytes, and malformed lines are each warned about and counted
+//! (`serve.range_errors` / `serve.parse_errors`), and every *later* line
+//! in the same session is still scored.
+//!
+//! The model snapshot codec is hand-written JSON (no serde), so the whole
+//! file runs under the offline stub workspace too.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("agnn-serve-robustness-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+/// Fits a tiny AGNN on the 2-user × 2-item tracer dataset and saves its
+/// snapshot; any id ≥ 2 is out of range for the resulting engine.
+fn tracer_snapshot_file(name: &str) -> String {
+    use agnn_core::model::RatingModel;
+    use agnn_core::variants::VariantName;
+    let data = agnn_data::tracer::dataset();
+    let split = agnn_data::tracer::split(&data);
+    let mut model = agnn_core::Agnn::new(agnn_core::AgnnConfig {
+        embed_dim: 8,
+        vae_latent_dim: 4,
+        fanout: 3,
+        epochs: 1,
+        batch_size: 2,
+        variant: VariantName::Full.variant(),
+        ..agnn_core::AgnnConfig::default()
+    });
+    model.fit(&data, &split);
+    let path = tmp(name);
+    model.snapshot().unwrap().save(std::path::Path::new(&path)).unwrap();
+    path
+}
+
+/// Spawns `agnn <args>`, writes `stdin_bytes` to its stdin, and returns
+/// (stdout, stderr) after asserting a zero exit.
+fn drive(args: &[&str], stdin_bytes: &[u8]) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_agnn"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn agnn");
+    child.stdin.as_mut().unwrap().write_all(stdin_bytes).unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "serve exited {:?}\nstdout: {stdout}\nstderr: {stderr}", out.status);
+    (stdout, stderr)
+}
+
+#[test]
+fn serve_pair_loop_survives_out_of_range_ids_and_keeps_scoring() {
+    let snap = tracer_snapshot_file("range-snap.json");
+    let metrics_path = tmp("range-metrics.txt");
+    // One session, worst first: a line mixing a valid and an out-of-range
+    // pair (the valid half must still be scored), a line that is *only*
+    // out-of-range pairs (dropped whole, no request), a malformed line, a
+    // non-UTF-8 line, then a final valid line proving the loop survived
+    // all of the above.
+    let (stdout, stderr) = drive(
+        &["serve", "--model", &snap, "--stdin", "--metrics-out", &metrics_path],
+        b"0:0,9:0\n9:9,2:2\nnot-a-pair\n\xff\xfe-not-utf8\n1:1\n\n",
+    );
+
+    // Two requests scored exactly the two in-range pairs.
+    assert!(stdout.contains("user 0 item 0: "), "{stdout}");
+    assert!(stdout.contains("user 1 item 1: "), "{stdout}");
+    assert_eq!(stdout.matches("user ").count(), 2, "{stdout}");
+    assert!(stdout.contains("served 2 pair(s)"), "{stdout}");
+
+    // Every bad id was warned about individually, with the model's bounds.
+    assert!(stderr.contains("dropping out-of-range pair 9:0 (2 users, 2 items)"), "{stderr}");
+    assert!(stderr.contains("dropping out-of-range pair 9:9"), "{stderr}");
+    assert!(stderr.contains("dropping out-of-range pair 2:2"), "{stderr}");
+    assert!(stderr.contains("unreadable request line"), "{stderr}");
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.contains("agnn_serve_range_errors 3"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_parse_errors 2"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_requests 2"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_served_pairs 2"), "{metrics}");
+    // The range guard rejects bad ids *before* scoring, so no request on
+    // this stream ever failed mid-flight.
+    assert!(!metrics.contains("agnn_serve_request_errors"), "{metrics}");
+}
+
+#[test]
+fn serve_topk_loop_answers_ranked_items_and_survives_bad_lines() {
+    let snap = tracer_snapshot_file("topk-snap.json");
+    let metrics_path = tmp("topk-metrics.txt");
+    let (stdout, stderr) = drive(
+        &["serve", "--model", &snap, "--stdin", "--topk", "2", "--stats-every", "1", "--metrics-out", &metrics_path],
+        b"0\n9\nnot-a-user-id\n1\n\n",
+    );
+
+    // Both valid users got a full ranking of the 2-item catalog.
+    for user in [0, 1] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(&format!("user {user} top-2:")))
+            .unwrap_or_else(|| panic!("no top-2 answer for user {user}: {stdout}"));
+        let body: Vec<&str> = line.split(": ").nth(1).unwrap().split(' ').collect();
+        assert_eq!(body.len(), 2, "{line}");
+        assert!(body.iter().all(|e| e.contains(':')), "{line}");
+    }
+    assert!(stdout.contains("answered 2 top-2 request(s)"), "{stdout}");
+
+    assert!(stderr.contains("dropping out-of-range user 9 (2 users)"), "{stderr}");
+    assert!(stderr.contains("expected one user id per request line"), "{stderr}");
+    // --stats-every 1 prints the top-k latency quantiles per request.
+    assert!(stderr.contains("top-k request(s)"), "{stderr}");
+    assert!(stderr.contains("p50"), "{stderr}");
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.contains("agnn_serve_range_errors 1"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_parse_errors 1"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_requests 2"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_served_pairs 4"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_topk_latency_ns{quantile=\"0.5\"}"), "{metrics}");
+    assert!(metrics.contains("agnn_infer_topk_requests 2"), "{metrics}");
+}
+
+#[test]
+fn serve_topk_pruned_answers_through_candidate_pools() {
+    let snap = tracer_snapshot_file("topk-pruned-snap.json");
+    let metrics_path = tmp("topk-pruned-metrics.txt");
+    let (stdout, _stderr) = drive(
+        &["serve", "--model", &snap, "--stdin", "--topk", "1", "--pruned", "--metrics-out", &metrics_path],
+        b"0\n1\n\n",
+    );
+    assert!(stdout.contains("user 0 top-1: "), "{stdout}");
+    assert!(stdout.contains("user 1 top-1: "), "{stdout}");
+    assert!(stdout.contains("answered 2 top-1 request(s)"), "{stdout}");
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.contains("agnn_infer_topk_requests 2"), "{metrics}");
+    // Pruned retrieval scores probes + expanded candidates, never zero.
+    assert!(metrics.contains("agnn_infer_topk_items_scored"), "{metrics}");
+}

@@ -38,6 +38,38 @@ impl Default for PoolConfig {
     }
 }
 
+/// Construction-time validation failure for [`CandidatePools::try_build`].
+///
+/// Both variants exist because the downstream failure is *silent*: a
+/// signal-free mode ranks every pool arbitrarily, and a single non-finite
+/// score poisons the cumulative sum in weighted sampling so the last
+/// candidate is always drawn (see `sampling.rs`). Catching either at
+/// construction turns a corrupted model into a loud error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolBuildError {
+    /// `PreferenceOnly` mode was requested but no preference vectors were
+    /// supplied — every pool score would be identically zero.
+    MissingPreferenceSignal,
+    /// A scored candidate came out non-finite (NaN/∞ attribute or
+    /// preference input): `(node, candidate)` of the first offender.
+    NonFiniteScore { node: u32, candidate: u32 },
+}
+
+impl std::fmt::Display for PoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingPreferenceSignal => {
+                write!(f, "PreferenceOnly proximity needs preference vectors, got prefs: None (pools would rank on no signal)")
+            }
+            Self::NonFiniteScore { node, candidate } => {
+                write!(f, "non-finite proximity score for node {node} candidate {candidate} (would silently degenerate weighted sampling)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolBuildError {}
+
 /// Per-node candidate pools over one node class (all users, or all items).
 ///
 /// This is the "dynamic graph construction" object: the pool is fixed after
@@ -54,22 +86,44 @@ impl CandidatePools {
     ///
     /// `attrs[n]` is node `n`'s multi-hot attribute encoding; `prefs[n]` its
     /// historical rating vector (zero/absent for strict cold start nodes).
+    /// Panics where [`CandidatePools::try_build`] would error — the
+    /// training path treats both conditions as programming mistakes.
     pub fn build(attrs: &[SparseVec], prefs: Option<&[SparseVec]>, config: PoolConfig) -> Self {
+        match Self::try_build(attrs, prefs, config) {
+            Ok(pools) => pools,
+            Err(e) => panic!("CandidatePools::build: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`CandidatePools::build`]: rejects a signal-free
+    /// `PreferenceOnly` construction and any non-finite pool score instead
+    /// of letting them silently corrupt neighborhood sampling.
+    pub fn try_build(attrs: &[SparseVec], prefs: Option<&[SparseVec]>, config: PoolConfig) -> Result<Self, PoolBuildError> {
         assert!(config.top_percent > 0.0, "top_percent must be positive, got {}", config.top_percent);
         let (use_attr, use_pref) = match config.mode {
             ProximityMode::Both => (true, true),
             ProximityMode::PreferenceOnly => (false, true),
             ProximityMode::AttributeOnly => (true, false),
         };
+        if use_pref && !use_attr && prefs.is_none() {
+            return Err(PoolBuildError::MissingPreferenceSignal);
+        }
         let prefs = if use_pref { prefs } else { None };
-        let mut pools = score_all_candidates(attrs, prefs, use_attr, use_pref || prefs.is_some(), config.bucket_cap);
+        let mut pools = score_all_candidates(attrs, prefs, use_attr, use_pref, config.bucket_cap);
+        for (node, pool) in pools.iter().enumerate() {
+            for &(candidate, score) in pool {
+                if !score.is_finite() {
+                    return Err(PoolBuildError::NonFiniteScore { node: node as u32, candidate });
+                }
+            }
+        }
         let n = attrs.len();
         let keep = (((config.top_percent as f64 / 100.0) * n as f64).ceil() as usize).max(config.min_pool);
         for pool in &mut pools {
             pool.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             pool.truncate(keep);
         }
-        Self { pools, config }
+        Ok(Self { pools, config })
     }
 
     /// Builds directly from pre-scored pools (tests, custom constructions).
@@ -124,6 +178,49 @@ impl CandidatePools {
             return vec![node as usize; fanout];
         }
         (0..fanout).map(|i| pool[i % pool.len()].0 as usize).collect()
+    }
+
+    /// Expands seed nodes through the proximity pools: a breadth-first
+    /// closure over the best-first candidate lists, `hops` levels deep,
+    /// truncated at `cap` nodes. Returns deduplicated node ids in
+    /// ascending order (deterministic for a given pool set).
+    ///
+    /// This is the pools-as-ANN-candidate-generator role: seeds come from a
+    /// cheap probe, expansion pulls in everything proximity-adjacent, and
+    /// the caller scores the (much smaller) closure exactly.
+    pub fn expand_candidates(&self, seeds: &[u32], hops: usize, cap: usize) -> Vec<u32> {
+        let n = self.pools.len();
+        let mut seen = vec![false; n];
+        let mut out: Vec<u32> = Vec::with_capacity(cap.min(n));
+        let mut frontier: Vec<u32> = Vec::new();
+        for &s in seeds {
+            if (s as usize) < n && !seen[s as usize] && out.len() < cap {
+                seen[s as usize] = true;
+                out.push(s);
+                frontier.push(s);
+            }
+        }
+        for _ in 0..hops {
+            if frontier.is_empty() || out.len() >= cap {
+                break;
+            }
+            let mut next: Vec<u32> = Vec::new();
+            'level: for &node in &frontier {
+                for &(c, _) in self.pool(node) {
+                    if !seen[c as usize] {
+                        seen[c as usize] = true;
+                        out.push(c);
+                        next.push(c);
+                        if out.len() >= cap {
+                            break 'level;
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Static kNN graph from the same scores (replacement study `AGNN_knn`):
@@ -236,5 +333,62 @@ mod tests {
     fn eval_neighborhood_deterministic() {
         let pools = toy_pools(100.0);
         assert_eq!(pools.top_neighbors(0, 4), pools.top_neighbors(0, 4));
+    }
+
+    #[test]
+    fn preference_only_without_prefs_is_a_construction_error() {
+        // Regression: this used to build "successfully" with every pool
+        // score identically zero — arbitrary ranking, no diagnostic.
+        let attrs = vec![mh(4, &[0]), mh(4, &[0]), mh(4, &[1])];
+        let cfg = PoolConfig { top_percent: 100.0, mode: ProximityMode::PreferenceOnly, bucket_cap: 8, min_pool: 1 };
+        let err = CandidatePools::try_build(&attrs, None, cfg).unwrap_err();
+        assert!(matches!(err, PoolBuildError::MissingPreferenceSignal), "got {err:?}");
+        // With preference vectors present the same mode builds fine.
+        let prefs = vec![
+            SparseVec::from_pairs(4, [(0, 1.0), (1, 2.0)]),
+            SparseVec::from_pairs(4, [(0, 1.0), (1, 2.0)]),
+            SparseVec::from_pairs(4, [(2, 3.0)]),
+        ];
+        assert!(CandidatePools::try_build(&attrs, Some(&prefs), cfg).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "PreferenceOnly proximity needs preference vectors")]
+    fn build_panics_on_missing_preference_signal() {
+        let attrs = vec![mh(4, &[0]), mh(4, &[0])];
+        let cfg = PoolConfig { top_percent: 100.0, mode: ProximityMode::PreferenceOnly, bucket_cap: 8, min_pool: 1 };
+        let _ = CandidatePools::build(&attrs, None, cfg);
+    }
+
+    #[test]
+    fn non_finite_preference_is_a_construction_error() {
+        // Regression: a NaN preference value used to flow through cosine
+        // similarity into the pool scores, where it poisons the cumulative
+        // sum in `sample_weighted_with_replacement` — every partition_point
+        // comparison on the NaN tail is false, so the last candidate is
+        // always drawn. Now it is caught at build time.
+        let attrs = vec![mh(4, &[0]), mh(4, &[0]), mh(4, &[0])];
+        let prefs = vec![
+            SparseVec::from_pairs(4, [(0, f32::NAN)]),
+            SparseVec::from_pairs(4, [(0, 1.0)]),
+            SparseVec::from_pairs(4, [(0, 2.0)]),
+        ];
+        let cfg = PoolConfig { top_percent: 100.0, mode: ProximityMode::Both, bucket_cap: 8, min_pool: 1 };
+        let err = CandidatePools::try_build(&attrs, Some(&prefs), cfg).unwrap_err();
+        assert!(matches!(err, PoolBuildError::NonFiniteScore { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn expand_candidates_walks_pools_and_dedups() {
+        let pools = toy_pools(100.0);
+        // Seed in community {0,1,2}: one hop reaches the whole community,
+        // never the other one; output is sorted and deduplicated.
+        let one_hop = pools.expand_candidates(&[0], 1, 16);
+        assert_eq!(one_hop, vec![0, 1, 2]);
+        // Zero hops returns just the (valid, deduplicated) seeds.
+        assert_eq!(pools.expand_candidates(&[2, 0, 2], 0, 16), vec![0, 2]);
+        // The cap truncates the closure; out-of-range seeds are dropped.
+        assert_eq!(pools.expand_candidates(&[0], 1, 2).len(), 2);
+        assert_eq!(pools.expand_candidates(&[99], 2, 8), Vec::<u32>::new());
     }
 }

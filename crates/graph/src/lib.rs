@@ -29,5 +29,5 @@ pub mod proximity;
 pub mod sampling;
 
 pub use bipartite::BipartiteGraph;
-pub use candidates::{CandidatePools, PoolConfig, ProximityMode};
+pub use candidates::{CandidatePools, PoolBuildError, PoolConfig, ProximityMode};
 pub use csr::CsrGraph;

@@ -7,7 +7,7 @@ use agnn_core::interaction::AttrLists;
 use agnn_core::{AgnnConfig, GnnKind, GraphKind, ModelSnapshot, SnapshotError};
 use agnn_graph::CandidatePools;
 use agnn_obs::{metrics, trace};
-use agnn_tensor::{ops, Matrix};
+use agnn_tensor::{ops, select, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -337,5 +337,175 @@ impl InferenceEngine {
     pub fn score(&self, user: u32, item: u32) -> f32 {
         // invariant: score_batch returns exactly one score per input pair
         self.score_batch(&[(user, item)])[0]
+    }
+
+    /// Whether a sampled evaluation pass draws from the shared rng on the
+    /// user side. Neighborhood sampling only happens for dynamic graph
+    /// variants with at least one GNN hop; everywhere else the eval path is
+    /// fully deterministic (`top_neighbors`) and consumes no randomness.
+    fn user_pass_consumes_rng(&self) -> bool {
+        self.cfg.variant.gnn != GnnKind::None
+            && !self.user.gnn.is_empty()
+            && matches!(self.cfg.variant.graph, GraphKind::Dynamic(_) | GraphKind::CoPurchase)
+    }
+
+    /// The user side of a one-user chunk: `rows` identical aggregated
+    /// embedding rows, bit-identical to
+    /// `side_forward(User, &[user; rows], ...)`.
+    ///
+    /// When the pass consumes no rng (deterministic pass, or a
+    /// static/no-GNN variant) the user row is computed **once** and
+    /// broadcast with the dispatch-routed `repeat_rows` kernel — every
+    /// kernel on the embedding/GNN path is row-independent, so row `r` of
+    /// the `rows`-row call equals the single-row result bit for bit. When a
+    /// sampled pass *does* draw neighborhoods (dynamic variants), the full
+    /// per-row forward runs so the shared rng stream stays aligned with
+    /// [`InferenceEngine::score_batch`], which draws `fanout` ids per
+    /// frontier row per hop.
+    fn user_rows(&self, user: u32, rows: usize, sample: bool, rng: &mut StdRng) -> Matrix {
+        if sample && self.user_pass_consumes_rng() {
+            self.side_forward(Side::User, &vec![user as usize; rows], sample, rng)
+        } else {
+            let one = self.side_forward(Side::User, &[user as usize], sample, rng);
+            ops::repeat_rows(&one, rows)
+        }
+    }
+
+    /// Prediction layer restructured for the one-user-vs-many-items shape:
+    /// the user bias is gathered once and broadcast via `repeat_rows`
+    /// (exact copies, so the `bu + bi` addition sees bitwise-equal operands
+    /// in the same order as the per-pair gather in
+    /// [`InferenceEngine::predict_scores`]); everything else — the hconcat
+    /// MLP, the elementwise dot, the global-mean broadcast and the final
+    /// addition chain — keeps the exact kernel and operand order, because
+    /// splitting the concatenated matmul or reordering the sums would
+    /// reassociate float accumulation and break bit-identity.
+    fn predict_one_vs_many(&self, p_user: &Matrix, q_item: &Matrix, user: u32, items: &[usize]) -> Matrix {
+        let cat = Matrix::hconcat(&[p_user, q_item]);
+        let mlp_out = self.pred_mlp.forward(&cat); // B × 1
+        let prod = ops::mul(p_user, q_item);
+        let dot = ops::sum_cols(&prod); // B × 1
+        let bu_one = self.user.bias.gather_rows(&[user as usize]);
+        let bu = ops::repeat_rows(&bu_one, items.len());
+        let bi = self.item.bias.gather_rows(items);
+        let mu_rows = ops::repeat_rows(&self.global_bias, items.len());
+        let s1 = ops::add(&mlp_out, &dot);
+        let s2 = ops::add(&bu, &bi);
+        let s3 = ops::add(&s1, &s2);
+        ops::add(&s3, &mu_rows)
+    }
+
+    /// Scores one user against many items. Bit-identical to
+    /// `score_batch(&[(user, i) for i in items])`: same 512-wide chunks,
+    /// same fixed-seed rng shared across the call, same
+    /// 1 + [`EVAL_NEIGHBORHOOD_SAMPLES`] pass ensemble — only the redundant
+    /// per-pair work (user embedding, user bias gather) collapses into
+    /// compute-once-and-broadcast form. Panics on out-of-range ids.
+    pub fn score_one_vs_many(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let (nu, ni) = (self.num_users(), self.num_items());
+        assert!((user as usize) < nu, "score_one_vs_many: user {user} out of range ({nu} users)");
+        for &i in items {
+            assert!((i as usize) < ni, "score_one_vs_many: item {i} out of range ({ni} items)");
+        }
+        let mut span = trace::span("infer.score_one_vs_many").with_field("items", items.len());
+        span.field("materialized", self.is_materialized());
+        if metrics::enabled() {
+            let user_cold = self.user.cold[user as usize];
+            let scs = items.iter().filter(|&&i| user_cold || self.item.cold[i as usize]).count();
+            metrics::counter_add("infer.score.pairs", items.len() as u64);
+            metrics::counter_add("infer.score.scs_pairs", scs as u64);
+            metrics::counter_add("infer.score.warm_pairs", (items.len() - scs) as u64);
+        }
+        let mut out = Vec::with_capacity(items.len());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        for chunk in items.chunks(CHUNK) {
+            metrics::timed("infer.score.chunk_ns", || {
+                let idx: Vec<usize> = chunk.iter().map(|&i| i as usize).collect();
+                let mut acc = vec![0.0f32; chunk.len()];
+                let passes = 1 + EVAL_NEIGHBORHOOD_SAMPLES;
+                for pass in 0..passes {
+                    let sample = pass > 0;
+                    let pu = metrics::timed("infer.score.side_forward_ns", || {
+                        self.user_rows(user, chunk.len(), sample, &mut rng)
+                    });
+                    let qi = metrics::timed("infer.score.side_forward_ns", || {
+                        self.side_forward(Side::Item, &idx, sample, &mut rng)
+                    });
+                    let scores =
+                        metrics::timed("infer.score.predict_ns", || self.predict_one_vs_many(&pu, &qi, user, &idx));
+                    for (a, &v) in acc.iter_mut().zip(scores.as_slice()) {
+                        *a += v;
+                    }
+                }
+                out.extend(acc.into_iter().map(|v| v / passes as f32));
+            });
+        }
+        out
+    }
+
+    /// Exhaustive top-K retrieval: scores `user` against **every** item via
+    /// [`InferenceEngine::score_one_vs_many`] and keeps the best `k` with a
+    /// bounded-heap partial select (`agnn_tensor::select`). Returns
+    /// `(item, score)` best-first — descending score under `total_cmp`,
+    /// ties to the lower item id — exactly the head of an argsort of
+    /// `score_batch` over all items.
+    pub fn top_k(&self, user: u32, k: usize) -> Vec<(u32, f32)> {
+        let items: Vec<u32> = (0..self.num_items() as u32).collect();
+        metrics::counter_add("infer.topk.requests", 1);
+        metrics::counter_add("infer.topk.items_scored", items.len() as u64);
+        let scores = self.score_one_vs_many(user, &items);
+        // Item ids are the 0..n index space, so the select's indices are ids.
+        select::partial_top_k(&scores, k).into_iter().map(|(i, s)| (i as u32, s)).collect()
+    }
+
+    /// Pruned top-K retrieval: instead of scoring the full catalog, probe a
+    /// deterministic stride-subset of items, expand the best probes through
+    /// the item–item proximity pools ([`CandidatePools::expand_candidates`]
+    /// — the paper's top-`p%` pools doubling as an ANN-style candidate
+    /// generator), then score only that closure exactly and select.
+    ///
+    /// Scores of returned items are exact engine scores for the candidate
+    /// batch. For dynamic-graph variants the sampled passes depend on chunk
+    /// composition, so a candidate's score can differ in its sampled
+    /// component from the exhaustive path; ranking quality is measured as
+    /// recall@K against [`InferenceEngine::top_k`] (see `bench --topk`).
+    /// May return fewer than `k` items when the expanded closure is small.
+    pub fn top_k_pruned(&self, user: u32, k: usize, prune: &PruneConfig) -> Vec<(u32, f32)> {
+        let ni = self.num_items();
+        if ni == 0 || k == 0 {
+            return Vec::new();
+        }
+        let probes = prune.probes.clamp(1, ni);
+        let stride = ni.div_ceil(probes);
+        let probe_ids: Vec<u32> = (0..ni as u32).step_by(stride).collect();
+        let probe_scores = self.score_one_vs_many(user, &probe_ids);
+        let seeds: Vec<u32> =
+            select::partial_top_k(&probe_scores, prune.seeds.max(1)).into_iter().map(|(i, _)| probe_ids[i]).collect();
+        let cap = prune.cap.max(k).min(ni);
+        let candidates = self.item.pools.expand_candidates(&seeds, prune.hops, cap);
+        metrics::counter_add("infer.topk.requests", 1);
+        metrics::counter_add("infer.topk.items_scored", (probe_ids.len() + candidates.len()) as u64);
+        let scores = self.score_one_vs_many(user, &candidates);
+        select::partial_top_k(&scores, k).into_iter().map(|(i, s)| (candidates[i], s)).collect()
+    }
+}
+
+/// Candidate-generation knobs for [`InferenceEngine::top_k_pruned`].
+#[derive(Clone, Copy, Debug)]
+pub struct PruneConfig {
+    /// Size of the deterministic stride-probe over the item space that
+    /// seeds the expansion (clamped to the catalog size).
+    pub probes: usize,
+    /// How many of the best-scoring probes seed the pool expansion.
+    pub seeds: usize,
+    /// Proximity-pool expansion depth (breadth-first levels).
+    pub hops: usize,
+    /// Candidate-set ceiling after expansion (never below `k`).
+    pub cap: usize,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self { probes: 64, seeds: 8, hops: 2, cap: 512 }
     }
 }

@@ -30,4 +30,4 @@ pub mod conformance;
 mod engine;
 mod layers;
 
-pub use engine::{InferenceEngine, Side};
+pub use engine::{InferenceEngine, PruneConfig, Side};

@@ -1,0 +1,198 @@
+//! Top-K retrieval identity: the exhaustive `top_k` path must equal the
+//! argsort of `score_batch` over the full catalog — same ids, same score
+//! bits, same tie order — and `score_one_vs_many` must be bit-identical to
+//! `score_batch` on the same pairs, chunk protocol and rng stream included.
+//!
+//! Two fitted models cover both rng regimes: the default dynamic-graph
+//! variant (sampled eval passes consume the shared rng, so the one-user
+//! side must run the full per-row forward) and a static-kNN variant (no
+//! draws, so the user row is computed once and broadcast via
+//! `repeat_rows`).
+
+use agnn_core::{Agnn, AgnnConfig, AgnnVariant, GraphKind, RatingModel};
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use agnn_infer::{InferenceEngine, PruneConfig};
+use agnn_tensor::select;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+struct Ctx {
+    model: Agnn,
+    engine: InferenceEngine,
+    num_users: usize,
+    num_items: usize,
+}
+
+fn build_ctx(graph: GraphKind, seed: u64) -> Ctx {
+    let data = Preset::Ml100k.generate(0.05, seed);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, seed));
+    let cfg = AgnnConfig {
+        embed_dim: 8,
+        vae_latent_dim: 4,
+        fanout: 3,
+        epochs: 1,
+        batch_size: 64,
+        seed,
+        variant: AgnnVariant { graph, ..AgnnVariant::default() },
+        ..AgnnConfig::default()
+    };
+    let mut model = Agnn::new(cfg);
+    model.fit(&data, &split);
+    let snap = model.export_snapshot().unwrap();
+    let mut engine = InferenceEngine::from_snapshot(&snap).unwrap();
+    engine.materialize();
+    Ctx { model, engine, num_users: data.num_users, num_items: data.num_items }
+}
+
+static DYNAMIC: OnceLock<Ctx> = OnceLock::new();
+static STATIC_KNN: OnceLock<Ctx> = OnceLock::new();
+
+fn dynamic_ctx() -> &'static Ctx {
+    DYNAMIC.get_or_init(|| {
+        let c = build_ctx(AgnnVariant::default().graph, 7);
+        assert!(
+            matches!(c.engine.config().variant.graph, GraphKind::Dynamic(_)),
+            "default variant is expected to sample neighborhoods at eval"
+        );
+        c
+    })
+}
+
+fn static_ctx() -> &'static Ctx {
+    STATIC_KNN.get_or_init(|| build_ctx(GraphKind::StaticKnn, 11))
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Reference ranking: full `score_batch` over the catalog, argsorted by the
+/// retrieval order (descending score under total_cmp, ties to lower id).
+fn reference_top_k(c: &Ctx, user: u32, k: usize) -> Vec<(u32, u32)> {
+    let pairs: Vec<(u32, u32)> = (0..c.num_items as u32).map(|i| (user, i)).collect();
+    let scores = c.engine.score_batch(&pairs);
+    select::rank_descending(&scores).into_iter().take(k).map(|i| (i as u32, scores[i].to_bits())).collect()
+}
+
+fn assert_top_k_identical(c: &Ctx, user: u32, k: usize) {
+    let got: Vec<(u32, u32)> = c.engine.top_k(user, k).into_iter().map(|(i, s)| (i, s.to_bits())).collect();
+    assert_eq!(got, reference_top_k(c, user, k), "user {user} k {k}");
+}
+
+#[test]
+fn exhaustive_top_k_is_argsort_of_score_batch_dynamic() {
+    let c = dynamic_ctx();
+    for user in [0u32, 1, (c.num_users - 1) as u32] {
+        for k in [1usize, 10, c.num_items / 2, c.num_items, c.num_items + 7] {
+            assert_top_k_identical(c, user, k);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_top_k_is_argsort_of_score_batch_static() {
+    let c = static_ctx();
+    for user in [0u32, (c.num_users / 2) as u32] {
+        for k in [1usize, 10, c.num_items] {
+            assert_top_k_identical(c, user, k);
+        }
+    }
+}
+
+#[test]
+fn one_vs_many_matches_score_batch_bitwise() {
+    // Multi-chunk on purpose: tiling the catalog past the 512-pair chunk
+    // size exercises chunk boundaries and the shared rng stream across
+    // chunks — the part of the protocol a single-chunk test cannot see.
+    for c in [dynamic_ctx(), static_ctx()] {
+        let user = 3u32.min(c.num_users as u32 - 1);
+        let items: Vec<u32> = (0..1200).map(|j| (j * 31 % c.num_items) as u32).collect();
+        let pairs: Vec<(u32, u32)> = items.iter().map(|&i| (user, i)).collect();
+        assert_eq!(bits(&c.engine.score_one_vs_many(user, &items)), bits(&c.engine.score_batch(&pairs)));
+        // And against the training tape itself, closing the loop.
+        assert_eq!(bits(&c.engine.score_one_vs_many(user, &items)), bits(&c.model.predict_batch(&pairs)));
+    }
+}
+
+#[test]
+fn top_k_scores_clamp_free_and_ordered() {
+    let c = dynamic_ctx();
+    let got = c.engine.top_k(2, 25);
+    assert_eq!(got.len(), 25.min(c.num_items));
+    // Best-first under the documented order; ids unique.
+    for w in got.windows(2) {
+        let ord = w[1].1.total_cmp(&w[0].1);
+        assert!(
+            ord == std::cmp::Ordering::Less || (ord == std::cmp::Ordering::Equal && w[0].0 < w[1].0),
+            "not best-first: {w:?}"
+        );
+    }
+    let ids: std::collections::BTreeSet<u32> = got.iter().map(|&(i, _)| i).collect();
+    assert_eq!(ids.len(), got.len(), "duplicate items in top-k");
+}
+
+#[test]
+fn pruned_top_k_is_deterministic_and_well_formed() {
+    for c in [dynamic_ctx(), static_ctx()] {
+        let prune = PruneConfig { probes: 16, seeds: 4, hops: 2, cap: 48 };
+        let a = c.engine.top_k_pruned(1, 10, &prune);
+        let b = c.engine.top_k_pruned(1, 10, &prune);
+        assert_eq!(
+            a.iter().map(|&(i, s)| (i, s.to_bits())).collect::<Vec<_>>(),
+            b.iter().map(|&(i, s)| (i, s.to_bits())).collect::<Vec<_>>(),
+            "pruned retrieval must be deterministic for a fixed engine"
+        );
+        assert!(!a.is_empty() && a.len() <= 10);
+        assert!(a.iter().all(|&(i, _)| (i as usize) < c.num_items));
+        for w in a.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate items in pruned top-k");
+        }
+    }
+    // For the static variant no eval pass consumes rng, so a score does not
+    // depend on which batch it was computed in: every pruned score must be
+    // the exact single-pair engine score, bit for bit.
+    let c = static_ctx();
+    let prune = PruneConfig { probes: 16, seeds: 4, hops: 2, cap: 48 };
+    for (i, s) in c.engine.top_k_pruned(1, 10, &prune) {
+        assert_eq!(s.to_bits(), c.engine.score(1, i).to_bits(), "item {i}");
+    }
+}
+
+#[test]
+fn seeded_random_top_k_identity() {
+    // Deterministic twin of the proptest below, so this coverage also runs
+    // under the offline stub build (whose `proptest!` expands to nothing).
+    let c = dynamic_ctx();
+    let mut rng = StdRng::seed_from_u64(0x70b0);
+    for _ in 0..6 {
+        let user = rng.gen_range(0..c.num_users as u32);
+        let k = 1 + rng.gen_range(0..c.num_items);
+        assert_top_k_identical(c, user, k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_users_top_k_matches_argsort(seed in 0u64..128) {
+        let c = dynamic_ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let user = rng.gen_range(0..c.num_users as u32);
+        let k = 1 + rng.gen_range(0..c.num_items + 8);
+        let got: Vec<(u32, u32)> = c.engine.top_k(user, k).into_iter().map(|(i, s)| (i, s.to_bits())).collect();
+        prop_assert_eq!(got, reference_top_k(c, user, k));
+    }
+
+    #[test]
+    fn random_item_multisets_one_vs_many_bit_identical(seed in 0u64..64, n in 1usize..900) {
+        let c = dynamic_ctx();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1b5);
+        let user = rng.gen_range(0..c.num_users as u32);
+        let items: Vec<u32> = (0..n).map(|_| rng.gen_range(0..c.num_items as u32)).collect();
+        let pairs: Vec<(u32, u32)> = items.iter().map(|&i| (user, i)).collect();
+        prop_assert_eq!(bits(&c.engine.score_one_vs_many(user, &items)), bits(&c.engine.score_batch(&pairs)));
+    }
+}

@@ -32,6 +32,12 @@ pub const SERVE_REQUEST_SPAN: &str = "serve.request";
 /// Histogram of per-request latency in nanoseconds, backing the periodic
 /// p50/p99 stats lines.
 pub const SERVE_REQUEST_LATENCY_NS: &str = "serve.request.latency_ns";
+/// Count of out-of-range user/item ids rejected by the request parser
+/// before they can reach the engine's range asserts (warn-and-continue).
+pub const SERVE_RANGE_ERRORS: &str = "serve.range_errors";
+/// Histogram of per-request top-K retrieval latency in nanoseconds
+/// (`serve --topk`).
+pub const SERVE_TOPK_LATENCY_NS: &str = "serve.topk.latency_ns";
 
 // --- train: the unified training engine (crates/train + `agnn train`) ---
 
@@ -80,6 +86,14 @@ pub const INFER_SCORE_CHUNK_NS: &str = "infer.score.chunk_ns";
 pub const INFER_SCORE_SIDE_FORWARD_NS: &str = "infer.score.side_forward_ns";
 /// Histogram of final predictor time in nanoseconds.
 pub const INFER_SCORE_PREDICT_NS: &str = "infer.score.predict_ns";
+/// Span around one one-user-vs-many-items scoring call (fields: items,
+/// materialized) — the batch shape behind top-K retrieval.
+pub const INFER_SCORE_ONE_VS_MANY_SPAN: &str = "infer.score_one_vs_many";
+/// Count of top-K retrieval calls (exhaustive and pruned).
+pub const INFER_TOPK_REQUESTS: &str = "infer.topk.requests";
+/// Count of items scored by top-K retrieval calls — the full catalog for
+/// exhaustive calls, the probe + expanded candidate closure for pruned.
+pub const INFER_TOPK_ITEMS_SCORED: &str = "infer.topk.items_scored";
 
 // --- tensor: kernel profile bridge (crates/obs/src/bridge.rs) ---
 

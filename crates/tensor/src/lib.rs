@@ -27,6 +27,7 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod profile;
+pub mod select;
 pub mod shape;
 mod simd;
 pub mod sparse;

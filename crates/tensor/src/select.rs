@@ -1,0 +1,181 @@
+//! Bounded-heap partial selection for top-K retrieval.
+//!
+//! [`partial_top_k`] keeps the best `k` of `n` scores in a size-`k` binary
+//! min-heap — `O(n log k)` instead of the `O(n log n)` full sort — and
+//! returns them best-first. The ordering is total and deterministic:
+//! descending by [`f32::total_cmp`] (so NaN payloads and signed zeros have a
+//! fixed rank instead of poisoning the comparison), ties broken by ascending
+//! index. [`rank_descending`] is the full-sort reference that produces the
+//! same order over *all* indices; the two are locked against each other by
+//! the unit tests here and by the engine-level top-K proptests in
+//! `agnn-infer`.
+//!
+//! The select is deliberately serial and outside the [`crate::dispatch`]
+//! policy layer: the heap is a sequential dependency chain (every push
+//! depends on the current root), and at serving sizes the scoring matmuls it
+//! follows dominate the cost by orders of magnitude.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate in the selection heap. `Ord` is "worse-first" so that a
+/// `BinaryHeap` (a max-heap) keeps the *worst* retained candidate at the
+/// root, where it can be evicted cheaply.
+#[derive(Clone, Copy, Debug)]
+struct Worst {
+    index: usize,
+    score: f32,
+}
+
+impl Worst {
+    /// "Better-than" under the retrieval order: higher score first,
+    /// ties to the lower index.
+    fn beats(&self, other: &Self) -> bool {
+        match self.score.total_cmp(&other.score) {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => self.index < other.index,
+        }
+    }
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.score.total_cmp(&other.score) == Ordering::Equal
+    }
+}
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: the heap's "greatest" element is the retrieval-order
+        // worst (lowest score, then highest index).
+        match other.score.total_cmp(&self.score) {
+            Ordering::Equal => self.index.cmp(&other.index),
+            ord => ord,
+        }
+    }
+}
+
+/// Selects the top `k` scores, best-first, as `(index, score)` pairs.
+///
+/// Order: descending score under [`f32::total_cmp`], ties by ascending
+/// index — identical to `rank_descending(scores).take(k)`. Returns fewer
+/// than `k` entries only when `scores` has fewer than `k` elements.
+pub fn partial_top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (index, &score) in scores.iter().enumerate() {
+        let cand = Worst { index, score };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if let Some(worst) = heap.peek() {
+            if cand.beats(worst) {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+    }
+    // Popping a worse-first heap yields worst → best; reverse to best-first.
+    let mut out: Vec<(usize, f32)> = Vec::with_capacity(heap.len());
+    while let Some(w) = heap.pop() {
+        out.push((w.index, w.score));
+    }
+    out.reverse();
+    out
+}
+
+/// Full argsort under the same total order as [`partial_top_k`]: descending
+/// score by [`f32::total_cmp`], ties by ascending index. The reference
+/// ranking for recall measurement and for the top-K identity proptests.
+pub fn rank_descending(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+        rank_descending(scores).into_iter().take(k).map(|i| (i, scores[i])).collect()
+    }
+
+    fn bits(sel: &[(usize, f32)]) -> Vec<(usize, u32)> {
+        sel.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+    }
+
+    #[test]
+    fn selects_best_k_in_order() {
+        let scores = [0.5, 3.0, -1.0, 2.0, 2.5];
+        assert_eq!(partial_top_k(&scores, 3), vec![(1, 3.0), (4, 2.5), (3, 2.0)]);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        assert!(partial_top_k(&[], 5).is_empty());
+        assert!(partial_top_k(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all_sorted() {
+        let scores = [1.0, 4.0, 2.0];
+        assert_eq!(partial_top_k(&scores, 10), vec![(1, 4.0), (2, 2.0), (0, 1.0)]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_index() {
+        let scores = [2.0, 1.0, 2.0, 2.0, 1.0];
+        assert_eq!(partial_top_k(&scores, 4), vec![(0, 2.0), (2, 2.0), (3, 2.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn total_order_handles_non_finite() {
+        // total_cmp: -NaN < -inf < finite < +inf < +NaN; the select must be
+        // deterministic, not lossy, in the presence of poison values.
+        let scores = [f32::NAN, 1.0, f32::INFINITY, f32::NEG_INFINITY, -f32::NAN];
+        let got = partial_top_k(&scores, 5);
+        assert_eq!(bits(&got), bits(&reference(&scores, 5)));
+        assert_eq!(got[0].0, 0, "positive NaN ranks above +inf under total_cmp");
+        assert_eq!(got[1].0, 2);
+        assert_eq!(got.last().map(|&(i, _)| i), Some(4));
+    }
+
+    #[test]
+    fn signed_zero_order_is_fixed() {
+        let scores = [-0.0f32, 0.0f32];
+        // total_cmp puts +0.0 above -0.0.
+        assert_eq!(partial_top_k(&scores, 2)[0].0, 1);
+    }
+
+    #[test]
+    fn matches_full_sort_reference_on_seeded_inputs() {
+        // Deterministic LCG so this also runs under the offline stub rng.
+        let mut state = 0x2458_71f3_9d2c_0b01u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for n in [1usize, 7, 64, 513] {
+            let mut scores: Vec<f32> = (0..n).map(|_| next()).collect();
+            // Plant duplicates so tie order is actually exercised.
+            for i in (0..n).step_by(5) {
+                scores[i] = 0.25;
+            }
+            for k in [0usize, 1, 3, n / 2, n, n + 4] {
+                assert_eq!(bits(&partial_top_k(&scores, k)), bits(&reference(&scores, k)), "n={n} k={k}");
+            }
+        }
+    }
+}
