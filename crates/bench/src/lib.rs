@@ -32,19 +32,25 @@
 //! the retrieval benchmark behind `agnn bench --topk`: exhaustive vs
 //! proximity-pruned top-K latency with a recall@K curve, written to
 //! `BENCH_topk.json`, gated on the exhaustive path matching the
-//! `score_batch` argsort bit for bit.
+//! `score_batch` argsort bit for bit. The [`serve`] module is the open-loop
+//! TCP load generator behind `agnn bench --serve`: offered-QPS rows against
+//! the in-process `agnn-serve` server with exact client-side p50/p99/p999
+//! and a byte-identity gate (every coalesced TCP response vs its one-shot
+//! `score_batch` answer), written to `BENCH_serve.json`.
 
 pub mod args;
 pub mod calibrate;
 pub mod infer;
 pub mod kernels;
 pub mod runner;
+pub mod serve;
 pub mod table;
 pub mod topk;
 
 pub use args::HarnessArgs;
 pub use calibrate::{run_calibration, CalibrateConfig, CalibrationReport, CrossoverRow};
 pub use infer::{run_infer_bench, InferBenchConfig, InferBenchReport, InferTiming};
+pub use serve::{run_serve_bench, ServeBenchConfig, ServeBenchReport, ServeTiming};
 pub use topk::{run_topk_bench, TopKBenchConfig, TopKBenchReport, TopKTiming};
 pub use kernels::{
     run_kernel_bench, run_kernel_bench_with_policy, KernelBenchConfig, KernelBenchReport, KernelShape, KernelTiming,

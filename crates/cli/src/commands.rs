@@ -328,12 +328,22 @@ fn train(opts: &Opts) -> Result<String, CliError> {
 /// stdin line, answered with the K best items (`--pruned` routes through
 /// the proximity-pool candidate generator instead of scoring the full
 /// catalog), timed per request in the `serve.topk.latency_ns` histogram.
+///
+/// `--listen ADDR` serves the same request grammar over TCP instead of
+/// stdin, multi-threaded with request coalescing — see [`serve_listen`].
 fn serve(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "model", "pairs", "stdin", "no-materialize", "stats-every", "telemetry", "metrics-out", "log-level", "policy",
-        "topk", "pruned",
+        "topk", "pruned", "listen", "batch-window-us", "max-batch", "workers",
     ])?;
     install_policy(opts)?;
+    if opts.get("listen").is_none() {
+        for flag in ["batch-window-us", "max-batch", "workers"] {
+            if opts.get(flag).is_some() {
+                return Err(CliError(format!("serve: --{flag} only applies to --listen network serving")));
+            }
+        }
+    }
     let stats_every: usize = opts.parse_or("stats-every", 0usize)?;
     let mut tele = telemetry_start(opts, stats_every > 0)?;
     let path = opts.required("model")?;
@@ -343,11 +353,14 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
         engine.materialize();
     }
     let topk: usize = opts.parse_or("topk", 0usize)?;
+    if topk == 0 && opts.get("pruned") == Some("true") {
+        return Err(CliError("serve: --pruned only applies to --topk retrieval".into()));
+    }
+    if let Some(listen) = opts.get("listen") {
+        return serve_listen(opts, engine, listen, topk, stats_every, &mut tele);
+    }
     if topk > 0 {
         return serve_topk(opts, &engine, topk, stats_every, &mut tele);
-    }
-    if opts.get("pruned") == Some("true") {
-        return Err(CliError("serve: --pruned only applies to --topk retrieval".into()));
     }
     let score_lines = |pairs: &[(u32, u32)]| -> Result<String, CliError> {
         for &(u, i) in pairs {
@@ -385,17 +398,10 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
         engine.num_items(),
         if engine.is_materialized() { "materialized" } else { "off" }
     ));
-    let stats_line = |requests: usize| {
-        if let Some(h) = agnn_obs::metrics::snapshot().histogram("serve.request.latency_ns") {
-            eprintln!(
-                "serve stats: {requests} request(s)  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
-                h.p50_ns() as f64 / 1e3,
-                h.p90_ns() as f64 / 1e3,
-                h.p99_ns() as f64 / 1e3,
-                h.max_ns() as f64 / 1e3
-            );
-        }
-    };
+    // All serving surfaces (this loop, --topk, --listen) render their
+    // periodic quantile line through the one shared reporter so the
+    // formats cannot drift.
+    let stats_line = |requests: usize| agnn_serve::stats::report("serve.request.latency_ns", "", requests);
     let mut served = 0usize;
     let mut requests = 0usize;
     for line in std::io::stdin().lock().lines() {
@@ -475,6 +481,79 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
     Ok(msg)
 }
 
+/// `agnn serve --listen ADDR` — the multi-threaded TCP front end
+/// (crates/serve): a worker pool behind a bounded request queue answers
+/// newline-delimited requests in the same pair/top-k line grammar as the
+/// stdin loop, coalescing concurrent in-flight requests into single
+/// `score_coalesced` calls that are bit-identical, per request, to the
+/// one-shot `--pairs` path. `--batch-window-us`/`--max-batch` shape the
+/// coalescing window, `--workers` sizes the pool; the in-band `shutdown`
+/// request line drains the queue and exits. Prints `listening on ADDR`
+/// (with `:0` resolved) on stdout before blocking so parent processes can
+/// connect.
+fn serve_listen(
+    opts: &Opts,
+    engine: agnn_infer::InferenceEngine,
+    listen: &str,
+    topk: usize,
+    stats_every: usize,
+    tele: &mut Telemetry,
+) -> Result<String, CliError> {
+    if opts.get("stdin") == Some("true") || opts.get("pairs").is_some() {
+        return Err(CliError("serve: --listen is exclusive with --stdin/--pairs".into()));
+    }
+    let default_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 8);
+    let cfg = agnn_serve::ServeConfig {
+        batch_window: std::time::Duration::from_micros(opts.parse_or("batch-window-us", 200u64)?),
+        max_batch: opts.parse_or("max-batch", 64usize)?,
+        workers: opts.parse_or("workers", default_workers)?,
+        topk: (topk > 0).then_some(topk),
+        pruned: opts.get("pruned") == Some("true"),
+        stats_every,
+        ..agnn_serve::ServeConfig::default()
+    };
+    agnn_obs::log::info(format!(
+        "serving {} snapshot ({} users × {} items, cache {}) over TCP — {} worker(s), batch window {}us, max batch {}{}",
+        engine.dataset(),
+        engine.num_users(),
+        engine.num_items(),
+        if engine.is_materialized() { "materialized" } else { "off" },
+        cfg.workers.max(1),
+        cfg.batch_window.as_micros(),
+        cfg.max_batch,
+        match cfg.topk {
+            Some(k) => format!(", top-{k} retrieval"),
+            None => String::new(),
+        }
+    ));
+    let topk_mode = cfg.topk.is_some();
+    let server = agnn_serve::Server::start(std::sync::Arc::new(engine), listen, cfg).map_err(CliError)?;
+    // Announce the resolved address *flushed* before blocking, so a parent
+    // process (tests, the load generator) can parse the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush()?;
+    let summary = server.wait();
+    if stats_every > 0 && summary.requests > 0 && summary.requests % stats_every as u64 != 0 {
+        // Exit summary for the tail that didn't land on a period boundary,
+        // like the stdin loops print.
+        if topk_mode {
+            agnn_serve::stats::report("serve.topk.latency_ns", "top-k ", summary.requests as usize);
+        } else {
+            agnn_serve::stats::report("serve.request.latency_ns", "", summary.requests as usize);
+        }
+    }
+    let mut msg = format!(
+        "served {} request(s) ({} pair(s)) over {} connection(s)",
+        summary.requests, summary.served_pairs, summary.connections
+    );
+    if let Some(note) = tele.finish()? {
+        msg.push('\n');
+        msg.push_str(&note);
+    }
+    Ok(msg)
+}
+
 /// The `serve --topk K` request loop: one user id per stdin line, answered
 /// with the K best items as `user U top-K: item:score ...` (scores clamped
 /// to the rating scale, best first). `--pruned` retrieves through the
@@ -507,17 +586,9 @@ fn serve_topk(
         if prune.is_some() { "pruned candidates" } else { "exhaustive" },
         if engine.is_materialized() { "materialized" } else { "off" }
     ));
-    let stats_line = |requests: usize| {
-        if let Some(h) = agnn_obs::metrics::snapshot().histogram("serve.topk.latency_ns") {
-            eprintln!(
-                "serve stats: {requests} top-k request(s)  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
-                h.p50_ns() as f64 / 1e3,
-                h.p90_ns() as f64 / 1e3,
-                h.p99_ns() as f64 / 1e3,
-                h.max_ns() as f64 / 1e3
-            );
-        }
-    };
+    // Shared reporter — identical line shape to the pair loop, only the
+    // request-kind tag differs.
+    let stats_line = |requests: usize| agnn_serve::stats::report("serve.topk.latency_ns", "top-k ", requests);
     let mut requests = 0usize;
     for line in std::io::stdin().lock().lines() {
         let line = match line {
@@ -591,16 +662,17 @@ fn serve_topk(
 /// exhaustive path is not the bit-exact argsort of `score_batch`. CI runs
 /// all four in `--smoke` mode as divergence gates.
 fn bench(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["kernels", "infer", "calibrate", "topk", "smoke", "out", "policy"])?;
+    opts.assert_known(&["kernels", "infer", "calibrate", "topk", "serve", "smoke", "out", "policy"])?;
     let smoke = opts.get("smoke") == Some("true");
     let surfaces = (
         opts.get("kernels") == Some("true"),
         opts.get("infer") == Some("true"),
         opts.get("calibrate") == Some("true"),
         opts.get("topk") == Some("true"),
+        opts.get("serve") == Some("true"),
     );
     match surfaces {
-        (true, false, false, false) => {
+        (true, false, false, false, false) => {
             let policy_note = install_policy(opts)?;
             let cfg =
                 if smoke { agnn_bench::KernelBenchConfig::smoke() } else { agnn_bench::KernelBenchConfig::representative() };
@@ -622,7 +694,7 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 )))
             }
         }
-        (false, true, false, false) => {
+        (false, true, false, false, false) => {
             // The tape-free engine runs the same dispatched kernels, so a
             // calibrated policy shapes serving latency too.
             let policy_note = install_policy(opts)?;
@@ -643,7 +715,7 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 Err(CliError(format!("{text}\ntape/engine DIVERGENCE — the tape-free path is wrong, do not ship")))
             }
         }
-        (false, false, true, false) => {
+        (false, false, true, false, false) => {
             let cfg =
                 if smoke { agnn_bench::CalibrateConfig::smoke() } else { agnn_bench::CalibrateConfig::representative() };
             let report = agnn_bench::run_calibration(&cfg);
@@ -662,7 +734,7 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
             text.push_str(&format!("wrote {out}"));
             Ok(text)
         }
-        (false, false, false, true) => {
+        (false, false, false, true, false) => {
             // Retrieval runs the same dispatched kernels as scoring, so the
             // calibrated policy shapes the latency curve here too.
             let policy_note = install_policy(opts)?;
@@ -685,7 +757,30 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 )))
             }
         }
-        _ => Err(CliError("bench: pass exactly one of --kernels | --infer | --calibrate | --topk".into())),
+        (false, false, false, false, true) => {
+            // The TCP workers score through the same dispatched kernels,
+            // so the calibrated policy shapes serving tail latency too.
+            let policy_note = install_policy(opts)?;
+            let cfg =
+                if smoke { agnn_bench::ServeBenchConfig::smoke() } else { agnn_bench::ServeBenchConfig::representative() };
+            let report = agnn_bench::run_serve_bench(&cfg).map_err(CliError)?;
+            let out = opts.get("out").unwrap_or("BENCH_serve.json");
+            std::fs::write(out, report.to_json())?;
+            let mut text = report.render_table();
+            if let Some(note) = policy_note {
+                text.push_str(&note);
+                text.push('\n');
+            }
+            text.push_str(&format!("wrote {out}"));
+            if report.all_identical() {
+                Ok(text)
+            } else {
+                Err(CliError(format!(
+                    "{text}\ncoalesced serving DIVERGENCE — a TCP response differed from its one-shot answer, do not ship"
+                )))
+            }
+        }
+        _ => Err(CliError("bench: pass exactly one of --kernels | --infer | --calibrate | --topk | --serve".into())),
     }
 }
 

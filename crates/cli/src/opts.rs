@@ -64,18 +64,10 @@ impl Opts {
     }
 }
 
-/// Parses `"0:5,3:12"` into `(user, item)` pairs.
-pub fn parse_pairs(s: &str) -> Result<Vec<(u32, u32)>, String> {
-    s.split(',')
-        .map(|pair| {
-            let (u, i) = pair.split_once(':').ok_or_else(|| format!("pair {pair:?} is not user:item"))?;
-            Ok((
-                u.trim().parse().map_err(|_| format!("bad user id {u:?}"))?,
-                i.trim().parse().map_err(|_| format!("bad item id {i:?}"))?,
-            ))
-        })
-        .collect()
-}
+/// Parses `"0:5,3:12"` into `(user, item)` pairs. The grammar lives in
+/// `agnn-serve`'s protocol module so the CLI flag, the stdin loop, and the
+/// TCP front end all parse request lines identically.
+pub use agnn_serve::protocol::parse_pairs;
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,8 @@
 //! The model snapshot codec is hand-written JSON (no serde), so the whole
 //! file runs under the offline stub workspace too.
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::process::{Command, Stdio};
 
 fn tmp(name: &str) -> String {
@@ -131,6 +132,286 @@ fn serve_topk_loop_answers_ranked_items_and_survives_bad_lines() {
     assert!(metrics.contains("agnn_serve_served_pairs 4"), "{metrics}");
     assert!(metrics.contains("agnn_serve_topk_latency_ns{quantile=\"0.5\"}"), "{metrics}");
     assert!(metrics.contains("agnn_infer_topk_requests 2"), "{metrics}");
+}
+
+/// Same tracer fit as [`tracer_snapshot_file`], but also returns the
+/// engine the subprocess will serve (materialized, like the CLI default)
+/// so tests can compute the exact bytes every TCP response must carry.
+fn tracer_snapshot_and_engine(name: &str) -> (String, agnn_infer::InferenceEngine) {
+    let path = tracer_snapshot_file(name);
+    let snap = agnn_core::ModelSnapshot::load(std::path::Path::new(&path)).unwrap();
+    let mut engine = agnn_infer::InferenceEngine::from_snapshot(&snap).unwrap();
+    engine.materialize();
+    (path, engine)
+}
+
+/// The exact response body the server must send for a pair request —
+/// computed through the one-shot path the conformance suite trusts.
+fn expected_pair_response(engine: &agnn_infer::InferenceEngine, pairs: &[(u32, u32)]) -> String {
+    let scores = engine.score_batch(pairs);
+    agnn_serve::protocol::format_pair_lines(pairs, &scores, |s| engine.clamp(s))
+}
+
+/// An `agnn serve --listen 127.0.0.1:0` subprocess with its ephemeral
+/// address parsed from the announce line.
+struct NetServer {
+    child: std::process::Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+impl NetServer {
+    fn start(snap: &str, extra: &[&str]) -> NetServer {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_agnn"))
+            .args(["serve", "--model", snap, "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn agnn serve --listen");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("no announce line, got {line:?}"))
+            .to_string();
+        NetServer { child, stdout, addr }
+    }
+
+    /// Waits for exit after shutdown and returns (remaining stdout, stderr)
+    /// having asserted a clean zero exit.
+    fn finish(mut self) -> (String, String) {
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).unwrap();
+        let out = self.child.wait_with_output().unwrap();
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(out.status.success(), "server exited {:?}\nstdout: {rest}\nstderr: {stderr}", out.status);
+        (rest, stderr)
+    }
+}
+
+/// One client connection: a write half plus a buffered read half.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_nodelay(true).unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.send_bytes(line.as_bytes());
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    /// Reads `n` response lines, re-joined with `\n` (a pair response
+    /// spans one line per scored pair).
+    fn read_lines(&mut self, n: usize) -> String {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut line = String::new();
+            let read = self.reader.read_line(&mut line).expect("read response line");
+            assert!(read > 0, "server closed connection early; got {out:?}");
+            out.push(line.trim_end_matches(['\n', '\r']).to_string());
+        }
+        out.join("\n")
+    }
+
+    fn roundtrip(&mut self, line: &str, response_lines: usize) -> String {
+        self.send(line);
+        self.read_lines(response_lines)
+    }
+}
+
+#[test]
+fn tcp_serve_answers_many_clients_and_survives_hostile_lines() {
+    let (snap, engine) = tracer_snapshot_and_engine("tcp-multi-snap.json");
+    let metrics_path = tmp("tcp-multi-metrics.txt");
+    let server = NetServer::start(&snap, &["--metrics-out", &metrics_path]);
+    let addr = server.addr.clone();
+
+    // 8 concurrent well-behaved clients, 3 requests each, every response
+    // byte-checked against the one-shot path.
+    let plans: Vec<(&str, Vec<(u32, u32)>)> =
+        vec![("0:0,1:1", vec![(0, 0), (1, 1)]), ("0:1", vec![(0, 1)]), ("1:0", vec![(1, 0)])];
+    let expected: Vec<(String, String, usize)> = plans
+        .iter()
+        .map(|(line, pairs)| ((*line).to_string(), expected_pair_response(&engine, pairs), pairs.len()))
+        .collect();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                for (line, want, lines) in &expected {
+                    assert_eq!(&client.roundtrip(line, *lines), want, "request {line:?}");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("good client panicked");
+    }
+
+    // One hostile session: a mixed valid/out-of-range line, an all-dropped
+    // line, a malformed line, non-UTF-8 bytes, an oversized line — each
+    // answered in order — then a valid line proving the session survived.
+    let mut chaos = Client::connect(&addr);
+    assert_eq!(chaos.roundtrip("0:0,9:9", 1), expected_pair_response(&engine, &[(0, 0)]));
+    assert_eq!(chaos.roundtrip("9:9", 1), "error: no pairs in range");
+    assert!(chaos.roundtrip("not-a-pair", 1).starts_with("error: pair"), "malformed line not rejected");
+    chaos.send_bytes(b"\xff\xfe-not-utf8");
+    assert_eq!(chaos.read_lines(1), "error: request line is not valid UTF-8");
+    chaos.send_bytes(&vec![b'x'; 70_000]);
+    assert_eq!(chaos.read_lines(1), "error: request line exceeds 65536 bytes");
+    assert_eq!(chaos.roundtrip("0:0", 1), expected_pair_response(&engine, &[(0, 0)]));
+    drop(chaos);
+
+    // An abrupt disconnect mid-line: the unterminated fragment surfaces at
+    // EOF as a parse error, never a panic or a wedged reader.
+    let mut abrupt = Client::connect(&addr);
+    abrupt.writer.write_all(b"0:").unwrap();
+    abrupt.writer.flush().unwrap();
+    drop(abrupt);
+
+    let mut closer = Client::connect(&addr);
+    assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+    let (stdout, stderr) = server.finish();
+
+    // 8×3 good requests + 2 answered chaos requests; 11 connections (the
+    // shutdown-wake probe is never handled, so never counted).
+    assert!(stdout.contains("served 26 request(s) (34 pair(s)) over 11 connection(s)"), "{stdout}");
+    assert!(stderr.contains("dropping out-of-range pair 9:9 (2 users, 2 items)"), "{stderr}");
+    assert!(!stderr.contains("panic"), "{stderr}");
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    // Chaos: malformed + non-UTF-8 + oversized, plus the abrupt fragment.
+    assert!(metrics.contains("agnn_serve_parse_errors 4"), "{metrics}");
+    // One dropped pair on the mixed line, one on the all-dropped line.
+    assert!(metrics.contains("agnn_serve_range_errors 2"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_connections 11"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_requests 26"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_served_pairs 34"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_batch_size"), "{metrics}");
+    assert!(metrics.contains("agnn_serve_batch_latency_ns"), "{metrics}");
+}
+
+#[test]
+fn tcp_serve_drains_every_accepted_request_on_shutdown() {
+    let (snap, engine) = tracer_snapshot_and_engine("tcp-drain-snap.json");
+    // A wide-open coalescing window and a single tiny-batch worker make
+    // the drain do real work: 20 pipelined requests are all in flight when
+    // shutdown lands, and every one must still be answered exactly.
+    let server =
+        NetServer::start(&snap, &["--batch-window-us", "20000", "--max-batch", "2", "--workers", "1"]);
+    let request_lines = ["0:0,1:1", "1:0,0:1", "0:0,0:1", "1:1,1:0", "0:1,1:0"];
+    let expected: Vec<String> = [[(0, 0), (1, 1)], [(1, 0), (0, 1)], [(0, 0), (0, 1)], [(1, 1), (1, 0)], [(0, 1), (1, 0)]]
+        .iter()
+        .map(|pairs| expected_pair_response(&engine, pairs))
+        .collect();
+
+    // Pipeline everything first (no reads), then shut down, then collect.
+    let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(&server.addr)).collect();
+    for client in &mut clients {
+        for line in &request_lines {
+            client.send(line);
+        }
+    }
+    let mut closer = Client::connect(&server.addr);
+    assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+
+    for (c, client) in clients.iter_mut().enumerate() {
+        for (want, line) in expected.iter().zip(&request_lines) {
+            assert_eq!(&client.read_lines(2), want, "client {c}, request {line:?}");
+        }
+    }
+    let (stdout, stderr) = server.finish();
+    assert!(stdout.contains("served 20 request(s) (40 pair(s)) over 5 connection(s)"), "{stdout}");
+    assert!(!stderr.contains("panic"), "{stderr}");
+}
+
+/// Collapses every digit run to `#` so latency quantile lines can be
+/// compared for *shape* across serving surfaces.
+fn shape(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_digits = false;
+    for ch in line.chars() {
+        if ch.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn stats_line_of(stderr: &str) -> &str {
+    stderr
+        .lines()
+        .find(|l| l.contains("serve stats:"))
+        .unwrap_or_else(|| panic!("no stats line in stderr: {stderr}"))
+}
+
+#[test]
+fn stats_lines_share_one_format_across_stdin_and_tcp_surfaces() {
+    let snap = tracer_snapshot_file("stats-shape-snap.json");
+
+    let (_, stdin_pairs) = drive(&["serve", "--model", &snap, "--stdin", "--stats-every", "1"], b"0:0\n\n");
+    let (_, stdin_topk) =
+        drive(&["serve", "--model", &snap, "--stdin", "--topk", "1", "--stats-every", "1"], b"0\n\n");
+
+    let server = NetServer::start(&snap, &["--stats-every", "1"]);
+    let mut client = Client::connect(&server.addr);
+    client.roundtrip("0:0", 1);
+    client.roundtrip("shutdown", 1);
+    let (_, tcp_stderr) = server.finish();
+
+    let pair_shape = shape(stats_line_of(&stdin_pairs));
+    let topk_shape = shape(stats_line_of(&stdin_topk));
+    let tcp_shape = shape(stats_line_of(&tcp_stderr));
+    // One reporter serves every surface: identical shape, and the top-k
+    // variant differs only by its request-kind label.
+    assert_eq!(tcp_shape, pair_shape);
+    assert_eq!(topk_shape.replace("top-k ", ""), pair_shape);
+    assert!(pair_shape.contains("p# #"), "unexpected stats shape: {pair_shape}");
+}
+
+/// Spawns `agnn <args>` expecting a nonzero exit; returns stderr.
+fn drive_err(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_agnn"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn agnn");
+    assert!(!out.status.success(), "expected failure, got exit {:?}", out.status);
+    String::from_utf8(out.stderr).unwrap()
+}
+
+#[test]
+fn listen_flag_validation_rejects_bad_combinations() {
+    let snap = tracer_snapshot_file("flags-snap.json");
+    let err = drive_err(&["serve", "--model", &snap, "--stdin", "--batch-window-us", "50"]);
+    assert!(err.contains("--batch-window-us only applies to --listen"), "{err}");
+    let err = drive_err(&["serve", "--model", &snap, "--listen", "127.0.0.1:0", "--stdin"]);
+    assert!(err.contains("--listen is exclusive with --stdin/--pairs"), "{err}");
 }
 
 #[test]

@@ -228,22 +228,32 @@ impl InferenceEngine {
         self.item.cache = None;
     }
 
-    /// Embeds targets, draws + embeds neighborhoods, aggregates — the eval
-    /// path of `Agnn::side_forward`. The neighborhood draw order (all
-    /// levels first, then embeddings) matches the tape so the shared rng
-    /// stream stays aligned.
-    fn side_forward(&self, which: Side, nodes: &[usize], sample: bool, rng: &mut StdRng) -> Matrix {
-        let side = match which {
+    /// The [`SideState`] for `which`.
+    fn side_state_of(&self, which: Side) -> &SideState {
+        match which {
             Side::User => &self.user,
             Side::Item => &self.item,
-        };
+        }
+    }
+
+    /// Draws the neighborhood levels for a node batch: level 0 is the batch
+    /// itself, level `l + 1` holds `fanout` drawn neighbor ids per level-`l`
+    /// row, in row order. This is the **only** rng-consuming step of a side
+    /// forward, and only for dynamic graph variants on sampled passes —
+    /// everywhere else `top_neighbors` is deterministic. The draw order
+    /// (all levels first, then embeddings) matches the tape so the shared
+    /// rng stream stays aligned.
+    fn draw_levels(&self, which: Side, nodes: &[usize], sample: bool, rng: &mut StdRng) -> Vec<Vec<usize>> {
+        let side = self.side_state_of(which);
         let cfg = &self.cfg;
-        let target = self.embed(side, nodes);
+        let mut levels: Vec<Vec<usize>> = vec![nodes.to_vec()];
         if cfg.variant.gnn == GnnKind::None {
-            return target;
+            return levels;
         }
         let dynamic = matches!(cfg.variant.graph, GraphKind::Dynamic(_) | GraphKind::CoPurchase);
-        let draw = |frontier: &[usize], rng: &mut StdRng| {
+        for _ in 0..side.gnn.len() {
+            // invariant: levels is seeded with one entry before the loop
+            let frontier = levels.last().expect("non-empty");
             let mut ids = Vec::with_capacity(frontier.len() * cfg.fanout);
             for &node in frontier {
                 let ns = if sample && dynamic {
@@ -253,21 +263,42 @@ impl InferenceEngine {
                 };
                 ids.extend(ns);
             }
-            ids
-        };
-        let hops = side.gnn.len();
-        let mut levels: Vec<Vec<usize>> = vec![nodes.to_vec()];
-        for _ in 0..hops {
-            // invariant: levels is seeded with one entry before the loop
-            let next = draw(levels.last().expect("non-empty"), rng);
-            levels.push(next);
+            levels.push(ids);
         }
-        let mut h = self.embed(side, &levels[hops]);
+        levels
+    }
+
+    /// Runs the embedding + GNN aggregation over already-drawn levels.
+    /// Pure (no rng): embeds the deepest level, then folds hop by hop down
+    /// to the level-0 targets, exactly as the tape's eval path does.
+    fn forward_levels(&self, which: Side, levels: &[Vec<usize>]) -> Matrix {
+        let side = self.side_state_of(which);
+        let cfg = &self.cfg;
+        let Some((base, rest)) = levels.split_first() else {
+            return Matrix::zeros(0, cfg.embed_dim);
+        };
+        let target = self.embed(side, base);
+        if cfg.variant.gnn == GnnKind::None || rest.is_empty() {
+            return target;
+        }
+        let hops = rest.len();
+        // invariant: rest is non-empty on this branch
+        let mut h = self.embed(side, rest.last().expect("non-empty"));
         for l in (0..hops).rev() {
-            let level_target = if l == 0 { target.clone() } else { self.embed(side, &levels[l]) };
+            let level_target = if l == 0 { target.clone() } else { self.embed(side, &rest[l - 1]) };
             h = side.gnn[hops - 1 - l].forward(cfg.variant.gnn, &level_target, &h, cfg.fanout);
         }
         h
+    }
+
+    /// Embeds targets, draws + embeds neighborhoods, aggregates — the eval
+    /// path of `Agnn::side_forward`, split into [`InferenceEngine::draw_levels`]
+    /// (the rng-consuming part) and [`InferenceEngine::forward_levels`] (the
+    /// pure part) so coalesced scoring can interleave per-request draws with
+    /// one merged forward.
+    fn side_forward(&self, which: Side, nodes: &[usize], sample: bool, rng: &mut StdRng) -> Matrix {
+        let levels = self.draw_levels(which, nodes, sample, rng);
+        self.forward_levels(which, &levels)
     }
 
     /// Prediction layer (Eq. 14) on aggregated embeddings — mirrors
@@ -331,6 +362,125 @@ impl InferenceEngine {
             });
         }
         out
+    }
+
+    /// Scores several independent pair requests in one coalesced execution,
+    /// returning one score vector per request, each bit-identical to what a
+    /// solo [`InferenceEngine::score_batch`] call on that request returns.
+    ///
+    /// Naively concatenating the requests would **not** be bit-identical for
+    /// dynamic-graph variants: the sampled passes of a merged batch would
+    /// share one rng stream and shift every request's 512-pair chunk grid.
+    /// Instead each request keeps its own rng (seeded exactly like
+    /// `score_batch`) and its own chunk grid; per (chunk round, ensemble
+    /// pass) the per-request neighborhood levels are drawn from the owning
+    /// request's rng in request order and concatenated level-wise, and one
+    /// merged [`InferenceEngine::forward_levels`] + predict call computes
+    /// all segments at once. Every kernel on that path is row-independent
+    /// (the same argument `materialize` relies on), and each level keeps
+    /// contiguous `fanout`-sized neighbor blocks per target row, so the
+    /// concatenation never crosses a segment boundary: row `r` of the
+    /// merged call equals row `r` of the per-request call bit for bit.
+    ///
+    /// Panics on out-of-range ids, like `score_batch`; the serving front
+    /// end range-checks before enqueueing.
+    pub fn score_coalesced(&self, requests: &[&[(u32, u32)]]) -> Vec<Vec<f32>> {
+        let (nu, ni) = (self.num_users(), self.num_items());
+        for req in requests {
+            for &(u, i) in *req {
+                assert!((u as usize) < nu, "score_coalesced: user {u} out of range ({nu} users)");
+                assert!((i as usize) < ni, "score_coalesced: item {i} out of range ({ni} items)");
+            }
+        }
+        let total: usize = requests.iter().map(|r| r.len()).sum();
+        let mut span = trace::span("infer.score_batch").with_field("pairs", total);
+        span.field("materialized", self.is_materialized());
+        span.field("coalesced_requests", requests.len());
+        if metrics::enabled() {
+            let scs = requests
+                .iter()
+                .flat_map(|r| r.iter())
+                .filter(|&&(u, i)| self.user.cold[u as usize] || self.item.cold[i as usize])
+                .count();
+            metrics::counter_add("infer.score.pairs", total as u64);
+            metrics::counter_add("infer.score.scs_pairs", scs as u64);
+            metrics::counter_add("infer.score.warm_pairs", (total - scs) as u64);
+        }
+        let mut rngs: Vec<StdRng> =
+            requests.iter().map(|_| StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed)).collect();
+        let mut outs: Vec<Vec<f32>> = requests.iter().map(|r| Vec::with_capacity(r.len())).collect();
+        let rounds = requests.iter().map(|r| r.len().div_ceil(CHUNK)).max().unwrap_or(0);
+        let passes = 1 + EVAL_NEIGHBORHOOD_SAMPLES;
+        for round in 0..rounds {
+            metrics::timed("infer.score.chunk_ns", || {
+                // The requests still alive in this chunk round, as
+                // (request index, this round's chunk of it) segments.
+                let segs: Vec<(usize, &[(u32, u32)])> = requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| round * CHUNK < r.len())
+                    .map(|(j, r)| (j, &r[round * CHUNK..r.len().min((round + 1) * CHUNK)]))
+                    .collect();
+                let users: Vec<usize> =
+                    segs.iter().flat_map(|(_, c)| c.iter().map(|&(u, _)| u as usize)).collect();
+                let items: Vec<usize> =
+                    segs.iter().flat_map(|(_, c)| c.iter().map(|&(_, i)| i as usize)).collect();
+                let mut acc = vec![0.0f32; users.len()];
+                for pass in 0..passes {
+                    let sample = pass > 0;
+                    let pu = metrics::timed("infer.score.side_forward_ns", || {
+                        self.coalesced_side(Side::User, &segs, sample, &mut rngs)
+                    });
+                    let qi = metrics::timed("infer.score.side_forward_ns", || {
+                        self.coalesced_side(Side::Item, &segs, sample, &mut rngs)
+                    });
+                    let scores =
+                        metrics::timed("infer.score.predict_ns", || self.predict_scores(&pu, &qi, &users, &items));
+                    for (a, &v) in acc.iter_mut().zip(scores.as_slice()) {
+                        *a += v;
+                    }
+                }
+                let mut off = 0usize;
+                for &(j, c) in &segs {
+                    // invariant: segs only holds indices < outs.len(), offsets partition acc
+                    outs[j].extend(acc[off..off + c.len()].iter().map(|v| v / passes as f32));
+                    off += c.len();
+                }
+            });
+        }
+        outs
+    }
+
+    /// One side of a coalesced pass: draws each segment's levels from the
+    /// owning request's rng (in segment order — the in-segment draw order is
+    /// exactly `side_forward`'s), concatenates the levels element-wise
+    /// across segments, and runs one merged forward over them.
+    fn coalesced_side(
+        &self,
+        which: Side,
+        segs: &[(usize, &[(u32, u32)])],
+        sample: bool,
+        rngs: &mut [StdRng],
+    ) -> Matrix {
+        let per_seg: Vec<Vec<Vec<usize>>> = segs
+            .iter()
+            .map(|&(j, chunk)| {
+                let nodes: Vec<usize> = chunk
+                    .iter()
+                    .map(|&(u, i)| match which {
+                        Side::User => u as usize,
+                        Side::Item => i as usize,
+                    })
+                    .collect();
+                // invariant: segs only holds indices < rngs.len()
+                self.draw_levels(which, &nodes, sample, &mut rngs[j])
+            })
+            .collect();
+        let depth = per_seg.iter().map(Vec::len).max().unwrap_or(1);
+        let merged: Vec<Vec<usize>> = (0..depth)
+            .map(|l| per_seg.iter().flat_map(|ls| ls.get(l).into_iter().flatten().copied()).collect())
+            .collect();
+        self.forward_levels(which, &merged)
     }
 
     /// Single-pair convenience wrapper.

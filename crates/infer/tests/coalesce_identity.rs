@@ -1,0 +1,222 @@
+//! Coalescing identity: `score_coalesced` over any partition of concurrent
+//! requests must return, per request, exactly the bits a solo `score_batch`
+//! call on that request returns — rng stream, 512-pair chunk grid, and
+//! ensemble passes included. This is the contract the TCP micro-batching
+//! scheduler leans on: merging in-flight requests into one kernel pass is
+//! only legal because of it.
+//!
+//! Two fitted models cover both rng regimes (dynamic graph: sampled eval
+//! passes consume each request's own rng; static kNN: no draws at all),
+//! and every check runs against both a fresh and a materialized engine,
+//! under all four kernel parallel modes.
+
+use agnn_core::{Agnn, AgnnConfig, AgnnVariant, GraphKind, RatingModel};
+use agnn_data::{ColdStartKind, Preset, Split, SplitConfig};
+use agnn_infer::conformance::{ModeGuard, ALL_MODES};
+use agnn_infer::InferenceEngine;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+struct Ctx {
+    model: Agnn,
+    /// Materialized engine (embedding cache primed).
+    engine: InferenceEngine,
+    /// Same snapshot, no cache: the merged forward recomputes embeddings.
+    fresh: InferenceEngine,
+    num_users: usize,
+    num_items: usize,
+}
+
+fn build_ctx(graph: GraphKind, seed: u64) -> Ctx {
+    let data = Preset::Ml100k.generate(0.05, seed);
+    let split = Split::create(&data, SplitConfig::paper_default(ColdStartKind::StrictItem, seed));
+    let cfg = AgnnConfig {
+        embed_dim: 8,
+        vae_latent_dim: 4,
+        fanout: 3,
+        epochs: 1,
+        batch_size: 64,
+        seed,
+        variant: AgnnVariant { graph, ..AgnnVariant::default() },
+        ..AgnnConfig::default()
+    };
+    let mut model = Agnn::new(cfg);
+    model.fit(&data, &split);
+    let snap = model.export_snapshot().unwrap();
+    let fresh = InferenceEngine::from_snapshot(&snap).unwrap();
+    let mut engine = InferenceEngine::from_snapshot(&snap).unwrap();
+    engine.materialize();
+    Ctx { model, engine, fresh, num_users: data.num_users, num_items: data.num_items }
+}
+
+static DYNAMIC: OnceLock<Ctx> = OnceLock::new();
+static STATIC_KNN: OnceLock<Ctx> = OnceLock::new();
+
+fn dynamic_ctx() -> &'static Ctx {
+    DYNAMIC.get_or_init(|| {
+        let c = build_ctx(AgnnVariant::default().graph, 7);
+        assert!(
+            matches!(c.engine.config().variant.graph, GraphKind::Dynamic(_)),
+            "default variant is expected to sample neighborhoods at eval"
+        );
+        c
+    })
+}
+
+fn static_ctx() -> &'static Ctx {
+    STATIC_KNN.get_or_init(|| build_ctx(GraphKind::StaticKnn, 11))
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Coalesced scoring of `requests` must equal per-request `score_batch`,
+/// bit for bit, on both the materialized and the fresh engine.
+fn assert_coalesced_identical(c: &Ctx, requests: &[Vec<(u32, u32)>]) {
+    let refs: Vec<&[(u32, u32)]> = requests.iter().map(Vec::as_slice).collect();
+    for (engine, label) in [(&c.engine, "materialized"), (&c.fresh, "fresh")] {
+        let merged = engine.score_coalesced(&refs);
+        assert_eq!(merged.len(), requests.len(), "{label}: one output per request");
+        for (r, (req, got)) in requests.iter().zip(&merged).enumerate() {
+            assert_eq!(got.len(), req.len(), "{label}: request {r} length");
+            assert_eq!(bits(got), bits(&engine.score_batch(req)), "{label}: request {r} of {}", requests.len());
+        }
+    }
+}
+
+/// Deterministic pseudo-random request set: `n_requests` requests of up to
+/// `max_pairs` in-range pairs each (empty requests allowed on purpose).
+fn random_requests(c: &Ctx, rng: &mut StdRng, n_requests: usize, max_pairs: usize) -> Vec<Vec<(u32, u32)>> {
+    (0..n_requests)
+        .map(|_| {
+            let n = rng.gen_range(0..=max_pairs);
+            (0..n)
+                .map(|_| (rng.gen_range(0..c.num_users as u32), rng.gen_range(0..c.num_items as u32)))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fixed_partitions_coalesce_bit_identically() {
+    for c in [dynamic_ctx(), static_ctx()] {
+        let u = (c.num_users - 1) as u32;
+        let i = (c.num_items - 1) as u32;
+        // Shapes a TCP batch window actually produces: single request,
+        // duplicates of the same request, an empty request in the middle,
+        // and wildly uneven sizes.
+        assert_coalesced_identical(c, &[vec![(0, 0)]]);
+        assert_coalesced_identical(c, &[vec![(0, 0), (u, i)], vec![(0, 0), (u, i)]]);
+        assert_coalesced_identical(c, &[vec![(1, 2), (3, 0)], vec![], vec![(u, 0), (0, i), (2, 2)]]);
+        assert_coalesced_identical(c, &[vec![], vec![]]);
+        assert_coalesced_identical(c, &[]);
+    }
+}
+
+#[test]
+fn multi_chunk_requests_coalesce_bit_identically() {
+    // Requests past the 512-pair chunk size force multiple coalescing
+    // rounds; a short request alongside exercises segments that drop out
+    // of later rounds while the long one keeps consuming its own rng.
+    let c = dynamic_ctx();
+    let long: Vec<(u32, u32)> =
+        (0..1100).map(|j| ((j * 13 % c.num_users) as u32, (j * 31 % c.num_items) as u32)).collect();
+    let short: Vec<(u32, u32)> = (0..9).map(|j| ((j % c.num_users) as u32, (j * 7 % c.num_items) as u32)).collect();
+    let mid: Vec<(u32, u32)> = (0..600).map(|j| ((j * 5 % c.num_users) as u32, (j * 3 % c.num_items) as u32)).collect();
+    assert_coalesced_identical(c, &[long.clone(), short.clone(), mid.clone()]);
+    assert_coalesced_identical(c, &[short, long, mid]);
+}
+
+#[test]
+fn coalescing_is_bit_identical_under_every_parallel_mode() {
+    let c = dynamic_ctx();
+    let requests = vec![
+        vec![(0, 0), (1, 5), (2, 3)],
+        vec![((c.num_users - 1) as u32, 0); 40],
+        vec![(4, (c.num_items - 1) as u32), (0, 1)],
+    ];
+    for mode in ALL_MODES {
+        let _guard = ModeGuard::set(mode);
+        assert_coalesced_identical(c, &requests);
+    }
+}
+
+#[test]
+fn coalesced_scores_match_training_tape() {
+    // Closing the loop: the merged path must agree not just with the
+    // engine's solo path but with the tape the snapshot came from.
+    for c in [dynamic_ctx(), static_ctx()] {
+        let reqs = [
+            vec![(0u32, 0u32), (1, 1), (2, 0)],
+            vec![((c.num_users - 1) as u32, (c.num_items - 1) as u32)],
+        ];
+        let refs: Vec<&[(u32, u32)]> = reqs.iter().map(Vec::as_slice).collect();
+        let merged = c.engine.score_coalesced(&refs);
+        for (req, got) in reqs.iter().zip(&merged) {
+            assert_eq!(bits(got), bits(&c.model.predict_batch(req)));
+        }
+    }
+}
+
+#[test]
+fn seeded_random_partitions_coalesce_bit_identically() {
+    // Deterministic twin of the proptest below, so this coverage also runs
+    // under the offline stub build (whose `proptest!` expands to nothing).
+    let c = dynamic_ctx();
+    let mut rng = StdRng::seed_from_u64(0xc0a1);
+    for round in 0..5 {
+        let n = 1 + rng.gen_range(0..6usize);
+        let max_pairs = if round == 0 { 700 } else { 60 };
+        let requests = random_requests(c, &mut rng, n, max_pairs);
+        assert_coalesced_identical(c, &requests);
+    }
+    let c = static_ctx();
+    let requests = random_requests(c, &mut rng, 4, 80);
+    assert_coalesced_identical(c, &requests);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_request_sets_coalesce_bit_identically(seed in 0u64..256) {
+        let c = dynamic_ctx();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0a7e5ce);
+        let n = 1 + rng.gen_range(0..7);
+        let requests = random_requests(c, &mut rng, n, 90);
+        let refs: Vec<&[(u32, u32)]> = requests.iter().map(Vec::as_slice).collect();
+        let merged = c.engine.score_coalesced(&refs);
+        for (req, got) in requests.iter().zip(&merged) {
+            prop_assert_eq!(bits(got), bits(&c.engine.score_batch(req)));
+        }
+    }
+
+    #[test]
+    fn random_partitions_of_one_batch_coalesce_bit_identically(seed in 0u64..128) {
+        // A single logical batch split at random cut points must score the
+        // same whether each piece is scored alone or all pieces are
+        // coalesced — the "any interleaving" half of the serving contract.
+        let c = dynamic_ctx();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9a57);
+        let total = 1 + rng.gen_range(0..800);
+        let pool: Vec<(u32, u32)> = (0..total)
+            .map(|_| (rng.gen_range(0..c.num_users as u32), rng.gen_range(0..c.num_items as u32)))
+            .collect();
+        let mut requests: Vec<Vec<(u32, u32)>> = Vec::new();
+        let mut rest = pool.as_slice();
+        while !rest.is_empty() {
+            let take = 1 + rng.gen_range(0..rest.len());
+            let (head, tail) = rest.split_at(take);
+            requests.push(head.to_vec());
+            rest = tail;
+        }
+        let refs: Vec<&[(u32, u32)]> = requests.iter().map(Vec::as_slice).collect();
+        let merged = c.engine.score_coalesced(&refs);
+        for (req, got) in requests.iter().zip(&merged) {
+            prop_assert_eq!(bits(got), bits(&c.engine.score_batch(req)));
+        }
+    }
+}

@@ -77,7 +77,7 @@ impl Default for Config {
             float_approved: vec!["crates/tensor/src/ops.rs".into(), "crates/tensor/src/simd.rs".into()],
             dispatch_file: "crates/tensor/src/ops.rs".into(),
             registry_file: "crates/obs/src/names.rs".into(),
-            panic_paths: vec!["crates/infer/src/".into(), "crates/cli/src/".into()],
+            panic_paths: vec!["crates/infer/src/".into(), "crates/cli/src/".into(), "crates/serve/src/".into()],
         }
     }
 }

@@ -38,6 +38,15 @@ pub const SERVE_RANGE_ERRORS: &str = "serve.range_errors";
 /// Histogram of per-request top-K retrieval latency in nanoseconds
 /// (`serve --topk`).
 pub const SERVE_TOPK_LATENCY_NS: &str = "serve.topk.latency_ns";
+/// Count of TCP connections accepted by the network front end
+/// (`serve --listen`, crates/serve).
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Histogram of requests coalesced per scoring batch by the
+/// micro-batching scheduler.
+pub const SERVE_BATCH_SIZE: &str = "serve.batch.size";
+/// Histogram of per-batch scoring time in nanoseconds (one coalesced
+/// `score_coalesced` pass plus any top-k requests in the batch).
+pub const SERVE_BATCH_LATENCY_NS: &str = "serve.batch.latency_ns";
 
 // --- train: the unified training engine (crates/train + `agnn train`) ---
 

@@ -1,0 +1,24 @@
+//! Multi-threaded TCP serving front end over `agnn-infer`.
+//!
+//! Std-only (no async runtime, no external crates): a [`std::net::TcpListener`]
+//! acceptor spawns one reader + one writer thread per connection; readers
+//! parse the same newline-delimited pair/top-k line grammar the stdin
+//! `serve` loop speaks and push requests into a [`queue::BoundedQueue`];
+//! a small worker pool pops **coalesced batches** (first request opens a
+//! batch, the window/`max_batch` close it) and answers every pair request
+//! in the batch through one [`agnn_infer::InferenceEngine::score_coalesced`]
+//! call — bit-identical, per request, to the one-shot `--pairs` path.
+//!
+//! The engine is shared read-mostly (`Arc<InferenceEngine>`, no locks on
+//! the scoring path); backpressure is the bounded queue itself (readers
+//! block instead of buffering unboundedly); shutdown (the `shutdown`
+//! request line, or [`server::Server::begin_shutdown`]) closes the
+//! listener and drains: every request accepted into the queue is still
+//! answered before the workers exit.
+
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use server::{ServeConfig, ServeSummary, Server};

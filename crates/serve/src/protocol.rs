@@ -1,0 +1,199 @@
+//! The newline-delimited serving protocol: request parsing and response
+//! formatting, shared between the stdin loop and the TCP front end so the
+//! two surfaces cannot drift — a TCP client must receive byte-for-byte
+//! what the one-shot `--pairs` path prints.
+//!
+//! Requests are one line each: `u:i,u:i,...` in pair mode (answered with
+//! one `user U item I: S` line per pair), a bare user id in top-k mode
+//! (answered with one `user U top-K: i:s i:s ...` line), the literal
+//! `shutdown` to stop the server, or a blank line to end the session.
+
+use std::io::{BufRead, BufReader, Read};
+
+/// Hard cap on an accepted request line. Longer lines are discarded while
+/// streaming (never buffered whole) and answered with an error.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Parses a `u:i,u:i` request line into id pairs (no range checking).
+pub fn parse_pairs(s: &str) -> Result<Vec<(u32, u32)>, String> {
+    s.split(',')
+        .map(|pair| {
+            let (u, i) = pair.split_once(':').ok_or_else(|| format!("pair {pair:?} is not user:item"))?;
+            Ok((
+                u.trim().parse().map_err(|_| format!("bad user id {u:?}"))?,
+                i.trim().parse().map_err(|_| format!("bad item id {i:?}"))?,
+            ))
+        })
+        .collect()
+}
+
+/// The response body for a scored pair request: one
+/// `user {u} item {i}: {score:.2}` line per pair, newline-joined with no
+/// trailing newline — exactly what `serve --pairs` prints.
+pub fn format_pair_lines(pairs: &[(u32, u32)], scores: &[f32], clamp: impl Fn(f32) -> f32) -> String {
+    let mut out = String::new();
+    for (&(u, i), &s) in pairs.iter().zip(scores) {
+        out.push_str(&format!("user {u} item {i}: {:.2}\n", clamp(s)));
+    }
+    out.trim_end().to_string()
+}
+
+/// The response line for a top-k request — exactly what the stdin
+/// `serve --topk` loop prints.
+pub fn format_topk_line(user: u32, k: usize, ranked: &[(u32, f32)], clamp: impl Fn(f32) -> f32) -> String {
+    let body: Vec<String> = ranked.iter().map(|&(i, s)| format!("{i}:{:.2}", clamp(s))).collect();
+    format!("user {user} top-{k}: {}", body.join(" "))
+}
+
+/// One completed read event from a connection.
+pub enum LineEvent {
+    /// A full request line, delimiter stripped (`\r\n` tolerated).
+    Line(Vec<u8>),
+    /// A line longer than the reader's cap; its bytes were discarded.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Incremental line reader for sockets with a read timeout: partial lines
+/// survive across timeout polls (so a slow client is not a protocol
+/// error), oversized lines are discarded while streaming instead of being
+/// buffered, and a final unterminated line at EOF — an abrupt client
+/// disconnect mid-line — is surfaced as a normal line for the parser to
+/// reject, never as a transport failure.
+pub struct LineReader<R: Read> {
+    inner: BufReader<R>,
+    buf: Vec<u8>,
+    max: usize,
+    discarding: bool,
+    done: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    pub fn new(inner: R, max: usize) -> Self {
+        Self { inner: BufReader::new(inner), buf: Vec::new(), max, discarding: false, done: false }
+    }
+
+    /// Polls for the next event. `Ok(None)` means the read timed out with
+    /// no complete line yet — poll again (checking shutdown in between).
+    /// `Err` is a real transport failure.
+    pub fn poll_line(&mut self) -> std::io::Result<Option<LineEvent>> {
+        if self.done {
+            return Ok(Some(LineEvent::Eof));
+        }
+        loop {
+            match self.inner.read_until(b'\n', &mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    if self.discarding {
+                        self.discarding = false;
+                        return Ok(Some(LineEvent::TooLong));
+                    }
+                    if self.buf.is_empty() {
+                        return Ok(Some(LineEvent::Eof));
+                    }
+                    return Ok(Some(self.take_line()));
+                }
+                Ok(_) => {
+                    let complete = self.buf.last() == Some(&b'\n');
+                    if self.discarding {
+                        self.buf.clear();
+                        if complete {
+                            self.discarding = false;
+                            return Ok(Some(LineEvent::TooLong));
+                        }
+                        continue;
+                    }
+                    if complete {
+                        return Ok(Some(self.take_line()));
+                    }
+                    if self.buf.len() > self.max {
+                        self.discarding = true;
+                        self.buf.clear();
+                    }
+                    // `read_until` only returns without the delimiter on
+                    // timeout-truncated reads; keep accumulating.
+                    continue;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> LineEvent {
+        let mut line = std::mem::take(&mut self.buf);
+        if line.last() == Some(&b'\n') {
+            line.pop();
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.len() > self.max {
+            return LineEvent::TooLong;
+        }
+        LineEvent::Line(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(input: &[u8], max: usize) -> Vec<String> {
+        let mut r = LineReader::new(input, max);
+        let mut out = Vec::new();
+        loop {
+            match r.poll_line().expect("in-memory reads cannot fail") {
+                Some(LineEvent::Eof) => break,
+                Some(LineEvent::Line(l)) => out.push(String::from_utf8_lossy(&l).into_owned()),
+                Some(LineEvent::TooLong) => out.push("<too long>".into()),
+                None => unreachable!("in-memory reads never time out"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn splits_lines_and_strips_delimiters() {
+        assert_eq!(drain(b"a\nbb\r\nccc\n", 16), ["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn final_unterminated_line_is_surfaced() {
+        assert_eq!(drain(b"0:1\n2:", 16), ["0:1", "2:"]);
+    }
+
+    #[test]
+    fn oversized_lines_are_discarded_not_buffered() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        assert_eq!(drain(&input, 8), ["<too long>", "ok"]);
+        // Oversized *final* line without a delimiter too.
+        assert_eq!(drain(&[b'y'; 50], 8), ["<too long>"]);
+    }
+
+    #[test]
+    fn pair_and_topk_formatting_match_the_stdin_grammar() {
+        let lines = format_pair_lines(&[(0, 1), (2, 3)], &[1.234, 9.9], |s| s.min(5.0));
+        assert_eq!(lines, "user 0 item 1: 1.23\nuser 2 item 3: 5.00");
+        let line = format_topk_line(7, 2, &[(4, 3.5), (1, 2.25)], |s| s);
+        assert_eq!(line, "user 7 top-2: 4:3.50 1:2.25");
+    }
+
+    #[test]
+    fn parse_pairs_round_trips_and_rejects() {
+        assert_eq!(parse_pairs("0:5, 3:12").expect("valid"), vec![(0, 5), (3, 12)]);
+        assert!(parse_pairs("0-5").is_err());
+        assert!(parse_pairs("a:1").is_err());
+        assert!(parse_pairs("1:b").is_err());
+    }
+}

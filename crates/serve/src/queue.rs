@@ -1,0 +1,192 @@
+//! Bounded multi-producer/multi-consumer queue with **batch pop** — the
+//! micro-batching scheduler at the heart of the TCP front end.
+//!
+//! Producers (connection readers) block while the queue is full: the
+//! bound *is* the backpressure policy, a slow scoring core stalls intake
+//! at the sockets instead of buffering requests unboundedly. Consumers
+//! (scoring workers) block for the first request, then keep the batch
+//! open until `max` requests are collected or the coalescing window has
+//! elapsed — so an idle server answers a lone request after at most one
+//! window, and a busy one coalesces everything in flight.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// A panicking thread can only poison the lock mid-update of a plain
+    /// VecDeque push/pop, which cannot leave it structurally broken —
+    /// recover the guard so one wounded worker never wedges the server.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocking push. Waits while the queue is at capacity (backpressure);
+    /// returns the item back once the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                break;
+            }
+            st = self.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available (or the queue closes),
+    /// then drains until `max` items are collected or `window` has elapsed
+    /// since the first one. `None` only when closed **and** empty, so a
+    /// close while requests are queued still drains them.
+    pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut st = self.lock();
+        while st.items.is_empty() {
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let mut batch = Vec::with_capacity(max.min(st.items.len()));
+        let deadline = Instant::now() + window;
+        loop {
+            while batch.len() < max {
+                match st.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max || st.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) =
+                self.not_empty.wait_timeout(st, deadline - now).unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() && st.items.is_empty() {
+                break;
+            }
+        }
+        drop(st);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Closes the queue: pending pushes fail, pops drain what is left.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).expect("open");
+        }
+        assert_eq!(q.pop_batch(3, Duration::ZERO), Some(vec![0, 1, 2]));
+        assert_eq!(q.pop_batch(16, Duration::ZERO), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn window_keeps_the_batch_open_for_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.push(1u32).expect("open");
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(2).expect("open");
+            })
+        };
+        let batch = q.pop_batch(4, Duration::from_millis(400));
+        producer.join().expect("producer");
+        assert_eq!(batch, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push("a").expect("open");
+        q.close();
+        assert!(q.push("b").is_err(), "push after close must fail");
+        assert_eq!(q.pop_batch(4, Duration::from_millis(50)), Some(vec!["a"]));
+        assert_eq!(q.pop_batch(4, Duration::from_millis(50)), None);
+    }
+
+    #[test]
+    fn full_queue_blocks_producers_until_a_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u8).expect("open");
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer cannot finish until we make room.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 1, "bounded at capacity");
+        assert_eq!(q.pop_batch(1, Duration::ZERO), Some(vec![0]));
+        assert!(blocked.join().expect("producer"), "push resumes after pop");
+        assert_eq!(q.pop_batch(1, Duration::ZERO), Some(vec![1]));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u8>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_millis(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().expect("consumer"), None);
+    }
+}

@@ -1,0 +1,442 @@
+//! The TCP server: acceptor → per-connection reader/writer threads → the
+//! bounded request queue → a scoring worker pool.
+//!
+//! Ordering invariant: a connection's responses arrive in request order
+//! even though batches interleave requests from many connections. The
+//! reader enqueues one single-use reply channel per request line (error
+//! replies are pre-resolved), and the writer drains those channels
+//! strictly in enqueue order — pipelined clients just see their answers
+//! come back in sequence.
+//!
+//! Bit-identity invariant: workers answer every pair request in a batch
+//! through one [`InferenceEngine::score_coalesced`] call, which is proven
+//! (conformance suite `coalesce_identity`) to return per request exactly
+//! the bits a solo `score_batch` call returns — so coalescing is invisible
+//! to clients, byte for byte.
+
+use crate::protocol::{self, LineEvent, LineReader, MAX_LINE_BYTES};
+use crate::queue::BoundedQueue;
+use crate::stats;
+use agnn_infer::{InferenceEngine, PruneConfig};
+use agnn_obs::{log, metrics};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often an idle connection reader wakes up to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+/// Serving knobs; the CLI maps `--batch-window-us`, `--max-batch`,
+/// `--workers`, `--topk`/`--pruned` and `--stats-every` onto this.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// How long a worker keeps a batch open after its first request.
+    pub batch_window: Duration,
+    /// Most requests coalesced into one scoring batch.
+    pub max_batch: usize,
+    /// Scoring worker threads.
+    pub workers: usize,
+    /// Bound of the in-flight request queue; readers block when full.
+    pub queue_capacity: usize,
+    /// `Some(k)`: request lines are user ids, answered with top-k
+    /// retrieval instead of pair scoring.
+    pub topk: Option<usize>,
+    /// Route top-k requests through proximity-pruned candidates.
+    pub pruned: bool,
+    /// Print a stats line every N answered requests (0 = never).
+    pub stats_every: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            batch_window: Duration::from_micros(200),
+            max_batch: 64,
+            workers: 4,
+            queue_capacity: 1024,
+            topk: None,
+            pruned: false,
+            stats_every: 0,
+        }
+    }
+}
+
+/// What a finished server saw over its lifetime.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    pub connections: u64,
+    pub requests: u64,
+    pub served_pairs: u64,
+}
+
+enum Payload {
+    Pairs(Vec<(u32, u32)>),
+    TopK(u32),
+}
+
+struct Request {
+    payload: Payload,
+    reply: mpsc::Sender<String>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    engine: Arc<InferenceEngine>,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    queue: BoundedQueue<Request>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    served_pairs: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of its blocking `accept`; if the listener
+        // is already gone the connect just fails, which is fine.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// A running server. Drop order is irrelevant — [`Server::wait`] owns the
+/// join choreography.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+fn lock_conns(conns: &Mutex<Vec<JoinHandle<()>>>) -> MutexGuard<'_, Vec<JoinHandle<()>>> {
+    conns.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Server {
+    /// Binds `listen` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the acceptor and worker threads.
+    pub fn start(engine: Arc<InferenceEngine>, listen: &str, cfg: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(listen).map_err(|e| format!("serve: cannot bind {listen}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| format!("serve: no local address: {e}"))?;
+        let workers = cfg.workers.max(1);
+        let capacity = cfg.queue_capacity;
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            addr,
+            queue: BoundedQueue::new(capacity),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            served_pairs: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let sh = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name("agnn-serve-worker".into())
+                .spawn(move || worker_loop(&sh))
+                .map_err(|e| format!("serve: cannot spawn worker: {e}"))?;
+            worker_handles.push(h);
+        }
+        let acceptor = {
+            let sh = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("agnn-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &sh, &conns))
+                .map_err(|e| format!("serve: cannot spawn acceptor: {e}"))?
+        };
+        Ok(Server { shared, acceptor: Some(acceptor), workers: worker_handles, conns })
+    }
+
+    /// The bound address (resolves `:0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts a graceful shutdown: stop accepting, let connection readers
+    /// finish their buffered lines, then drain the queue. Idempotent; the
+    /// in-band `shutdown` request line calls this too.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Joins everything in drain order — acceptor, connection readers and
+    /// writers, then (queue closed) the workers — and reports totals.
+    /// Every request accepted into the queue has been answered when this
+    /// returns.
+    pub fn wait(mut self) -> ServeSummary {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Readers may still be registering writer handles while we drain,
+        // so keep draining until the vec stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = lock_conns(&self.conns).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        ServeSummary {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            served_pairs: self.shared.served_pairs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let sh = Arc::clone(shared);
+                let cs = Arc::clone(conns);
+                let spawned = std::thread::Builder::new()
+                    .name("agnn-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &sh, &cs));
+                match spawned {
+                    Ok(h) => lock_conns(conns).push(h),
+                    Err(e) => log::warn(format!("serve: cannot spawn connection thread: {e}")),
+                }
+            }
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                log::warn(format!("serve: accept failed: {e}"));
+            }
+        }
+    }
+}
+
+/// Answers a request line that never reached the queue (parse/range
+/// errors, shutdown acks) while preserving response order: the reply
+/// channel is pre-resolved and takes its place in the writer's sequence.
+fn respond_now(resp_tx: &mpsc::Sender<mpsc::Receiver<String>>, msg: String) {
+    let (tx, rx) = mpsc::channel();
+    let _ = tx.send(msg);
+    let _ = resp_tx.send(rx);
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    metrics::counter_add("serve.connections", 1);
+    if let Err(e) = stream.set_read_timeout(Some(READ_TICK)) {
+        log::warn(format!("serve: cannot set read timeout: {e}"));
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            log::warn(format!("serve: cannot clone connection: {e}"));
+            return;
+        }
+    };
+    // A stalled client must not wedge the shutdown drain forever.
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
+    let (resp_tx, resp_rx) = mpsc::channel::<mpsc::Receiver<String>>();
+    let writer = std::thread::Builder::new().name("agnn-serve-write".into()).spawn(move || writer_loop(write_half, &resp_rx));
+    match writer {
+        Ok(h) => lock_conns(conns).push(h),
+        Err(e) => {
+            log::warn(format!("serve: cannot spawn connection writer: {e}"));
+            return;
+        }
+    }
+    reader_loop(stream, shared, &resp_tx);
+}
+
+fn writer_loop(stream: TcpStream, responses: &mpsc::Receiver<mpsc::Receiver<String>>) {
+    let mut out = std::io::BufWriter::new(stream);
+    while let Ok(pending) = responses.recv() {
+        // A dropped sender without a message only happens if a worker died
+        // before replying; skip rather than wedge the connection.
+        let Ok(msg) = pending.recv() else { continue };
+        let wrote = out.write_all(msg.as_bytes()).and_then(|()| out.write_all(b"\n")).and_then(|()| out.flush());
+        if wrote.is_err() {
+            // Client went away. Workers replying into dropped receivers is
+            // a harmless failed send, so just stop writing.
+            break;
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, resp_tx: &mpsc::Sender<mpsc::Receiver<String>>) {
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+    let mut lines = LineReader::new(stream, MAX_LINE_BYTES);
+    loop {
+        match lines.poll_line() {
+            Ok(None) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(Some(LineEvent::Eof)) => break,
+            Ok(Some(LineEvent::TooLong)) => {
+                metrics::counter_add("serve.parse_errors", 1);
+                log::warn(format!("serve: {peer}: dropping request line over {MAX_LINE_BYTES} bytes"));
+                respond_now(resp_tx, format!("error: request line exceeds {MAX_LINE_BYTES} bytes"));
+            }
+            Ok(Some(LineEvent::Line(bytes))) => {
+                let Ok(text) = String::from_utf8(bytes) else {
+                    metrics::counter_add("serve.parse_errors", 1);
+                    log::warn(format!("serve: {peer}: skipping non-UTF-8 request line"));
+                    respond_now(resp_tx, "error: request line is not valid UTF-8".to_string());
+                    continue;
+                };
+                let line = text.trim();
+                if line.is_empty() {
+                    // Same contract as the stdin loop: blank line ends the
+                    // session (this connection only).
+                    break;
+                }
+                if line == "shutdown" {
+                    respond_now(resp_tx, "shutting down".to_string());
+                    shared.begin_shutdown();
+                    break;
+                }
+                match parse_request(line, shared, &peer) {
+                    Err(reply) => respond_now(resp_tx, reply),
+                    Ok(payload) => {
+                        let (tx, rx) = mpsc::channel();
+                        let _ = resp_tx.send(rx);
+                        let request = Request { payload, reply: tx, enqueued: Instant::now() };
+                        if let Err(request) = shared.queue.push(request) {
+                            let _ = request.reply.send("error: server is shutting down".to_string());
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                log::warn(format!("serve: {peer}: connection error: {e}"));
+                break;
+            }
+        }
+    }
+}
+
+/// Validates one request line into a queueable payload, or an in-band
+/// `error:` reply. Counting and warnings mirror the stdin loop exactly:
+/// unparseable lines → `serve.parse_errors`, out-of-range ids dropped →
+/// `serve.range_errors`, and ids are checked *before* the engine sees
+/// them — `score_coalesced` asserts on bad ids and an untrusted request
+/// must never be able to panic a worker.
+fn parse_request(line: &str, shared: &Shared, peer: &str) -> Result<Payload, String> {
+    let (nu, ni) = (shared.engine.num_users(), shared.engine.num_items());
+    if shared.cfg.topk.is_some() {
+        let user: u32 = match line.parse() {
+            Ok(u) => u,
+            Err(_) => {
+                metrics::counter_add("serve.parse_errors", 1);
+                log::warn(format!("serve: {peer}: expected one user id per request line, got {line:?}"));
+                return Err(format!("error: expected one user id per request line, got {line:?}"));
+            }
+        };
+        if user as usize >= nu {
+            metrics::counter_add("serve.range_errors", 1);
+            log::warn(format!("serve: {peer}: dropping out-of-range user {user} ({nu} users)"));
+            return Err(format!("error: user {user} out of range ({nu} users)"));
+        }
+        return Ok(Payload::TopK(user));
+    }
+    let pairs = match protocol::parse_pairs(line) {
+        Ok(pairs) => pairs,
+        Err(e) => {
+            metrics::counter_add("serve.parse_errors", 1);
+            log::warn(format!("serve: {peer}: {e}"));
+            return Err(format!("error: {e}"));
+        }
+    };
+    let kept: Vec<(u32, u32)> = pairs
+        .into_iter()
+        .filter(|&(u, i)| {
+            let ok = (u as usize) < nu && (i as usize) < ni;
+            if !ok {
+                metrics::counter_add("serve.range_errors", 1);
+                log::warn(format!("serve: {peer}: dropping out-of-range pair {u}:{i} ({nu} users, {ni} items)"));
+            }
+            ok
+        })
+        .collect();
+    if kept.is_empty() {
+        return Err("error: no pairs in range".to_string());
+    }
+    Ok(Payload::Pairs(kept))
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(batch) = shared.queue.pop_batch(shared.cfg.max_batch, shared.cfg.batch_window) {
+        if batch.is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        metrics::observe_ns("serve.batch.size", batch.len() as u64);
+        // All pair requests in the batch go through ONE coalesced call.
+        let mut pair_requests: Vec<&Request> = Vec::new();
+        let mut segments: Vec<&[(u32, u32)]> = Vec::new();
+        for request in &batch {
+            if let Payload::Pairs(pairs) = &request.payload {
+                pair_requests.push(request);
+                segments.push(pairs);
+            }
+        }
+        let scored = if segments.is_empty() { Vec::new() } else { shared.engine.score_coalesced(&segments) };
+        for ((request, pairs), scores) in pair_requests.iter().zip(&segments).zip(&scored) {
+            let msg = protocol::format_pair_lines(pairs, scores, |s| shared.engine.clamp(s));
+            answer(shared, request, pairs.len() as u64, msg);
+        }
+        for request in &batch {
+            if let Payload::TopK(user) = request.payload {
+                let k = shared.cfg.topk.unwrap_or(1);
+                let ranked = metrics::timed("serve.topk.latency_ns", || {
+                    if shared.cfg.pruned {
+                        shared.engine.top_k_pruned(user, k, &PruneConfig::default())
+                    } else {
+                        shared.engine.top_k(user, k)
+                    }
+                });
+                let msg = protocol::format_topk_line(user, k, &ranked, |s| shared.engine.clamp(s));
+                answer(shared, request, ranked.len() as u64, msg);
+            }
+        }
+        metrics::observe_ns("serve.batch.latency_ns", started.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Replies to one answered request and does the bookkeeping the stdin
+/// loops do: latency histogram (queue wait included), request/pair
+/// counters, and the shared periodic stats line.
+fn answer(shared: &Shared, request: &Request, pairs: u64, msg: String) {
+    metrics::observe_ns("serve.request.latency_ns", request.enqueued.elapsed().as_nanos() as u64);
+    metrics::counter_add("serve.requests", 1);
+    metrics::counter_add("serve.served_pairs", pairs);
+    shared.served_pairs.fetch_add(pairs, Ordering::Relaxed);
+    let answered = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
+    let _ = request.reply.send(msg);
+    let every = shared.cfg.stats_every as u64;
+    if every > 0 && answered % every == 0 {
+        if shared.cfg.topk.is_some() {
+            stats::report("serve.topk.latency_ns", "top-k ", answered as usize);
+        } else {
+            stats::report("serve.request.latency_ns", "", answered as usize);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The one shared `serve stats:` reporter. Every serving surface — the
+//! stdin pair loop, the stdin top-k loop, and the TCP front end — renders
+//! its periodic quantile line through this module, so the formats cannot
+//! drift apart (they once did: the quantile line was printed only from
+//! the stdin pair loop, with a diverging copy in the top-k loop).
+
+use agnn_obs::metrics::Histogram;
+
+/// The canonical stats line. `kind` is `""` for pair requests and
+/// `"top-k "` for retrieval requests; quantiles come from whichever
+/// latency histogram the surface records into.
+pub fn stats_line(kind: &str, requests: usize, h: &Histogram) -> String {
+    format!(
+        "serve stats: {requests} {kind}request(s)  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+        h.p50_ns() as f64 / 1e3,
+        h.p90_ns() as f64 / 1e3,
+        h.p99_ns() as f64 / 1e3,
+        h.max_ns() as f64 / 1e3
+    )
+}
+
+/// Prints the stats line for `histogram_name` from the global registry to
+/// stderr (a no-op until that histogram has observations).
+pub fn report(histogram_name: &str, kind: &str, requests: usize) {
+    if let Some(h) = agnn_obs::metrics::snapshot().histogram(histogram_name) {
+        eprintln!("{}", stats_line(kind, requests, h));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_obs::metrics::Registry;
+
+    #[test]
+    fn line_format_is_shared_between_pair_and_topk_kinds() {
+        let reg = Registry::new();
+        reg.observe_ns("serve.request.latency_ns", 12_500);
+        let snap = reg.snapshot();
+        let h = snap.histogram("serve.request.latency_ns").expect("recorded");
+        let pair = stats_line("", 3, h);
+        let topk = stats_line("top-k ", 3, h);
+        assert!(pair.starts_with("serve stats: 3 request(s)  p50 "), "{pair}");
+        assert!(topk.starts_with("serve stats: 3 top-k request(s)  p50 "), "{topk}");
+        // Identical except for the request-kind tag.
+        assert_eq!(pair, topk.replace("top-k ", ""));
+        for piece in ["  p50 ", "  p90 ", "  p99 ", "  max ", "us"] {
+            assert!(pair.contains(piece), "{pair} missing {piece}");
+        }
+    }
+}
