@@ -1,0 +1,268 @@
+//! Bench regression guard behind `agnn bench --compare OLD.json,NEW.json`.
+//!
+//! Reads two `BENCH_*.json` artifacts of the same kind and diffs every
+//! latency quantile they share: per-row `p50_ns`/`p99_ns` (matched by row
+//! position) and, when present, the per-stage quantiles under `"stages"`.
+//! A quantile *regresses* when the new value exceeds the old by more than
+//! `threshold` (a ratio: 0.25 means +25%) *and* by more than an absolute
+//! floor — sub-floor jitter on a microsecond-scale stage is noise, not a
+//! regression. The CLI exits nonzero when any quantile regresses, so the
+//! comparator can gate CI directly.
+//!
+//! Parsing uses the workspace's dependency-free JSON reader
+//! ([`agnn_core::jsonio`]) — the artifacts are hand-written JSON, and the
+//! comparator must work in the same no-external-deps builds the rest of
+//! the harness supports.
+
+use agnn_core::jsonio::JsonValue;
+
+/// Quantile keys compared inside each `results` row, in report order.
+const ROW_KEYS: [&str; 2] = ["p50_ns", "p99_ns"];
+
+/// Quantile keys compared inside each `stages` entry.
+const STAGE_KEYS: [&str; 2] = ["p50_ns", "p99_ns"];
+
+/// Below this many nanoseconds of absolute growth a drift ratio is
+/// treated as scheduler jitter and never flagged (50µs).
+const ABS_FLOOR_NS: u64 = 50_000;
+
+/// Knobs for one comparison run.
+#[derive(Clone, Debug)]
+pub struct CompareConfig {
+    /// Baseline artifact path (the committed `BENCH_*.json`).
+    pub old_path: String,
+    /// Candidate artifact path (the freshly regenerated one).
+    pub new_path: String,
+    /// Allowed growth ratio before a quantile counts as regressed
+    /// (`0.25` = new may be up to 25% above old).
+    pub threshold: f64,
+}
+
+impl CompareConfig {
+    /// Default drift allowance. Generous enough for same-machine rerun
+    /// noise on bucketed quantiles; override with `--threshold` for
+    /// cross-machine comparisons.
+    pub const DEFAULT_THRESHOLD: f64 = 0.25;
+}
+
+/// One compared quantile.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// Where the quantile lives (`results[1]` or `stages.score`).
+    pub context: String,
+    /// The compared key (`p50_ns`, `p99_ns`).
+    pub key: String,
+    /// Baseline value.
+    pub old: u64,
+    /// Candidate value.
+    pub new: u64,
+    /// Signed growth ratio (`(new - old) / old`; 0 when both are 0).
+    pub drift: f64,
+    /// Whether this quantile trips the guard.
+    pub regressed: bool,
+}
+
+/// Everything one comparison produced.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// The shared `"bench"` kind of both artifacts.
+    pub kind: String,
+    /// The threshold the guard ran with.
+    pub threshold: f64,
+    /// Every compared quantile, in artifact order.
+    pub rows: Vec<DriftRow>,
+}
+
+impl CompareReport {
+    /// Number of quantiles that tripped the guard.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Human-readable diff table plus a one-line verdict.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "bench compare · kind {} · threshold +{:.0}% (abs floor {}us)\n{:<24} {:>8} {:>12} {:>12} {:>9}  flag\n",
+            self.kind,
+            self.threshold * 100.0,
+            ABS_FLOOR_NS / 1000,
+            "context",
+            "key",
+            "old_ns",
+            "new_ns",
+            "drift"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>12} {:>12} {:>8.1}%  {}\n",
+                r.context,
+                r.key,
+                r.old,
+                r.new,
+                r.drift * 100.0,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        let n = self.regressions();
+        if n == 0 {
+            out.push_str(&format!("ok: {} quantile(s) within threshold\n", self.rows.len()));
+        } else {
+            out.push_str(&format!("FAIL: {n} of {} quantile(s) regressed\n", self.rows.len()));
+        }
+        out
+    }
+}
+
+fn drift_of(old: u64, new: u64) -> f64 {
+    if old == 0 && new == 0 {
+        return 0.0;
+    }
+    // A zero baseline with a nonzero candidate is infinite relative growth;
+    // the absolute floor is what decides whether it matters.
+    if old == 0 {
+        return f64::INFINITY;
+    }
+    (new as f64 - old as f64) / old as f64
+}
+
+fn compare_one(context: String, key: &str, old: u64, new: u64, threshold: f64) -> DriftRow {
+    let drift = drift_of(old, new);
+    let regressed = drift > threshold && new.saturating_sub(old) > ABS_FLOOR_NS;
+    DriftRow { context, key: key.to_string(), old, new, drift, regressed }
+}
+
+fn u64_field(obj: &JsonValue, key: &str, context: &str) -> Result<u64, String> {
+    obj.req(key).and_then(JsonValue::as_u64).map_err(|e| format!("{context}: {e}"))
+}
+
+/// Diffs two parsed artifacts. Exposed separately from [`run_compare`] so
+/// tests can compare in-memory documents without touching the filesystem.
+pub fn compare_reports(old: &JsonValue, new: &JsonValue, threshold: f64) -> Result<CompareReport, String> {
+    let old_kind = old.req("bench").and_then(JsonValue::as_str).map_err(|e| format!("old artifact: {e}"))?;
+    let new_kind = new.req("bench").and_then(JsonValue::as_str).map_err(|e| format!("new artifact: {e}"))?;
+    if old_kind != new_kind {
+        return Err(format!("bench kinds differ: old is {old_kind:?}, new is {new_kind:?}"));
+    }
+    let mut rows = Vec::new();
+
+    let old_results = old.req("results").and_then(JsonValue::as_arr).map_err(|e| format!("old artifact: {e}"))?;
+    let new_results = new.req("results").and_then(JsonValue::as_arr).map_err(|e| format!("new artifact: {e}"))?;
+    if old_results.len() != new_results.len() {
+        return Err(format!(
+            "result row counts differ: old has {}, new has {} (rows are matched by position)",
+            old_results.len(),
+            new_results.len()
+        ));
+    }
+    for (i, (o, n)) in old_results.iter().zip(new_results).enumerate() {
+        let context = format!("results[{i}]");
+        for key in ROW_KEYS {
+            // Not every artifact kind carries every quantile; compare what
+            // both rows have and ignore the rest.
+            if o.get(key).is_none() || n.get(key).is_none() {
+                continue;
+            }
+            let old_v = u64_field(o, key, &context)?;
+            let new_v = u64_field(n, key, &context)?;
+            rows.push(compare_one(context.clone(), key, old_v, new_v, threshold));
+        }
+    }
+
+    // Per-stage quantiles (serve artifacts). Stages are matched by name;
+    // a stage present on only one side is skipped (schema growth must not
+    // fail old baselines).
+    if let (Some(JsonValue::Obj(entries)), Some(new_stages)) = (old.get("stages"), new.get("stages")) {
+        for (stage, o) in entries {
+            let Some(n) = new_stages.get(stage) else { continue };
+            let context = format!("stages.{stage}");
+            for key in STAGE_KEYS {
+                if o.get(key).is_none() || n.get(key).is_none() {
+                    continue;
+                }
+                let old_v = u64_field(o, key, &context)?;
+                let new_v = u64_field(n, key, &context)?;
+                rows.push(compare_one(context.clone(), key, old_v, new_v, threshold));
+            }
+        }
+    }
+
+    if rows.is_empty() {
+        return Err(format!("no comparable quantiles found in {old_kind:?} artifacts"));
+    }
+    Ok(CompareReport { kind: old_kind.to_string(), threshold, rows })
+}
+
+/// Reads, parses, and diffs the two artifact files.
+pub fn run_compare(cfg: &CompareConfig) -> Result<CompareReport, String> {
+    let read = |path: &str| -> Result<JsonValue, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("compare: read {path}: {e}"))?;
+        JsonValue::parse(&text).map_err(|e| format!("compare: parse {path}: {e}"))
+    };
+    compare_reports(&read(&cfg.old_path)?, &read(&cfg.new_path)?, cfg.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(p50: u64, p99: u64, score_p99: u64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"bench": "serve",
+                 "stages": {{"score": {{"count": 9, "p50_ns": 1000, "p99_ns": {score_p99}}}}},
+                 "results": [{{"qps": 400, "p50_ns": {p50}, "p99_ns": {p99}, "identical": true}}]}}"#
+        ))
+        .expect("test artifact parses")
+    }
+
+    #[test]
+    fn self_compare_has_zero_drift_and_passes() {
+        let a = artifact(100_000, 900_000, 400_000);
+        let report = compare_reports(&a, &a, CompareConfig::DEFAULT_THRESHOLD).expect("comparable");
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.rows.len(), 4, "{report:?}");
+        assert!(report.rows.iter().all(|r| r.drift == 0.0));
+        assert!(report.render_table().contains("ok: 4 quantile(s) within threshold"));
+    }
+
+    #[test]
+    fn drift_beyond_threshold_and_floor_is_flagged() {
+        let old = artifact(100_000, 900_000, 400_000);
+        // p99 grows 2x (+900us): regression. p50 grows 2x but only +100us
+        // over a 100us base — above the floor too, so also flagged.
+        let new = artifact(200_000, 1_800_000, 400_000);
+        let report = compare_reports(&old, &new, 0.25).expect("comparable");
+        assert_eq!(report.regressions(), 2, "{}", report.render_table());
+        assert!(report.render_table().contains("REGRESSED"));
+        // The untouched stage quantiles stay clean.
+        assert!(report.rows.iter().filter(|r| r.context == "stages.score").all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn sub_floor_jitter_is_never_a_regression() {
+        let old = artifact(10_000, 20_000, 5_000);
+        let new = artifact(40_000, 60_000, 30_000); // huge ratios, tiny absolutes
+        let report = compare_reports(&old, &new, 0.25).expect("comparable");
+        assert_eq!(report.regressions(), 0, "{}", report.render_table());
+    }
+
+    #[test]
+    fn kind_and_shape_mismatches_are_errors() {
+        let serve = artifact(1, 2, 3);
+        let kernels = JsonValue::parse(r#"{"bench": "kernels", "results": []}"#).expect("parses");
+        assert!(compare_reports(&serve, &kernels, 0.25).unwrap_err().contains("kinds differ"));
+        let two_rows = JsonValue::parse(
+            r#"{"bench": "serve", "results": [{"p50_ns": 1, "p99_ns": 2}, {"p50_ns": 1, "p99_ns": 2}]}"#,
+        )
+        .expect("parses");
+        assert!(compare_reports(&serve, &two_rows, 0.25).unwrap_err().contains("row counts differ"));
+    }
+
+    #[test]
+    fn zero_baseline_uses_the_absolute_floor() {
+        let old = JsonValue::parse(r#"{"bench": "serve", "results": [{"p50_ns": 0, "p99_ns": 0}]}"#).expect("ok");
+        let small = JsonValue::parse(r#"{"bench": "serve", "results": [{"p50_ns": 1000, "p99_ns": 2000}]}"#).expect("ok");
+        let big = JsonValue::parse(r#"{"bench": "serve", "results": [{"p50_ns": 1000, "p99_ns": 90000000}]}"#).expect("ok");
+        assert_eq!(compare_reports(&old, &small, 0.25).expect("ok").regressions(), 0);
+        assert_eq!(compare_reports(&old, &big, 0.25).expect("ok").regressions(), 1);
+    }
+}

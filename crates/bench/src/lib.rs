@@ -36,10 +36,14 @@
 //! TCP load generator behind `agnn bench --serve`: offered-QPS rows against
 //! the in-process `agnn-serve` server with exact client-side p50/p99/p999
 //! and a byte-identity gate (every coalesced TCP response vs its one-shot
-//! `score_batch` answer), written to `BENCH_serve.json`.
+//! `score_batch` answer), written to `BENCH_serve.json`. The [`compare`]
+//! module is the regression guard behind `agnn bench --compare OLD,NEW`:
+//! it diffs the latency quantiles of two same-kind artifacts and exits
+//! nonzero when any drifts past the threshold.
 
 pub mod args;
 pub mod calibrate;
+pub mod compare;
 pub mod infer;
 pub mod kernels;
 pub mod runner;
@@ -49,6 +53,7 @@ pub mod topk;
 
 pub use args::HarnessArgs;
 pub use calibrate::{run_calibration, CalibrateConfig, CalibrationReport, CrossoverRow};
+pub use compare::{run_compare, CompareConfig, CompareReport, DriftRow};
 pub use infer::{run_infer_bench, InferBenchConfig, InferBenchReport, InferTiming};
 pub use serve::{run_serve_bench, ServeBenchConfig, ServeBenchReport, ServeTiming};
 pub use topk::{run_topk_bench, TopKBenchConfig, TopKBenchReport, TopKTiming};

@@ -162,6 +162,23 @@ impl ServeBenchReport {
         self.results.iter().all(|r| r.identical)
     }
 
+    /// Server-side per-stage latency histograms (`serve.stage.*`) present
+    /// in the metric snapshot, in pipeline order. Bucketed upper-bound
+    /// quantiles, unlike the exact client-side row latencies — the split
+    /// tells you *where* a p99 lives (queue vs batch-form vs score vs
+    /// write), not a second opinion on its exact value.
+    fn stage_rows(&self) -> Vec<(&'static str, &agnn_obs::metrics::Histogram)> {
+        [
+            ("queue_wait", "serve.stage.queue_wait_ns"),
+            ("batch_form", "serve.stage.batch_form_ns"),
+            ("score", "serve.stage.score_ns"),
+            ("write", "serve.stage.write_ns"),
+        ]
+        .iter()
+        .filter_map(|&(label, name)| self.metrics.histogram(name).map(|h| (label, h)))
+        .collect()
+    }
+
     /// The `BENCH_serve.json` document (stable hand-written schema).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -177,6 +194,20 @@ impl ServeBenchReport {
         out.push_str(&format!("  \"batch_window_us\": {},\n", self.batch_window_us));
         out.push_str(&format!("  \"max_batch\": {},\n", self.max_batch));
         out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str("  \"stages\": {\n");
+        let stages = self.stage_rows();
+        for (i, (label, h)) in stages.iter().enumerate() {
+            let comma = if i + 1 == stages.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{label}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{comma}\n",
+                h.count(),
+                h.p50_ns(),
+                h.p90_ns(),
+                h.p99_ns(),
+                h.max_ns(),
+            ));
+        }
+        out.push_str("  },\n");
         out.push_str(&format!("  \"metrics\": {},\n", self.metrics.render_json()));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -232,6 +263,16 @@ impl ServeBenchReport {
                 r.max() as f64 / 1e3,
                 r.batch_mean,
                 r.identical
+            ));
+        }
+        for (label, h) in self.stage_rows() {
+            out.push_str(&format!(
+                "stage {label:>10}: p50 {:>9.1}us  p90 {:>9.1}us  p99 {:>9.1}us  max {:>9.1}us  ({} obs)\n",
+                h.p50_ns() as f64 / 1e3,
+                h.p90_ns() as f64 / 1e3,
+                h.p99_ns() as f64 / 1e3,
+                h.max_ns() as f64 / 1e3,
+                h.count()
             ));
         }
         out
@@ -390,10 +431,8 @@ fn run_rows(cfg: &ServeBenchConfig, engine: &Arc<InferenceEngine>) -> Result<Vec
         let addr = server.local_addr();
 
         let before = agnn_obs::metrics::snapshot();
-        let (batches_before, size_sum_before) = before
-            .histogram("serve.batch.size")
-            .map(|h| (h.count(), h.sum_ns()))
-            .unwrap_or((0, 0));
+        let (batches_before, size_sum_before) =
+            before.histogram("serve.batch.size").map(|h| (h.count(), h.sum())).unwrap_or((0, 0));
 
         // Spread requests round-robin so every connection's stream is an
         // interleaved slice of the global open-loop schedule.
@@ -428,7 +467,7 @@ fn run_rows(cfg: &ServeBenchConfig, engine: &Arc<InferenceEngine>) -> Result<Vec
 
         let after = agnn_obs::metrics::snapshot();
         let (batches_after, size_sum_after) =
-            after.histogram("serve.batch.size").map(|h| (h.count(), h.sum_ns())).unwrap_or((0, 0));
+            after.histogram("serve.batch.size").map(|h| (h.count(), h.sum())).unwrap_or((0, 0));
         let batches = batches_after.saturating_sub(batches_before);
         let batch_mean = size_sum_after.saturating_sub(size_sum_before) as f64 / batches.max(1) as f64;
 
@@ -461,6 +500,13 @@ mod tests {
         assert!(row.p50() > 0 && row.p99() >= row.p50() && row.p999() >= row.p99(), "{row:?}");
         assert!(row.batches > 0 && row.batch_mean >= 1.0, "{row:?}");
         assert!(report.metrics.counter("serve.requests").unwrap_or(0) >= 24, "{:?}", report.metrics);
+        // Every request leaves one observation in each stage histogram.
+        for stage in ["queue_wait", "batch_form", "score", "write"] {
+            let name = format!("serve.stage.{stage}_ns");
+            let h = report.metrics.histogram(&name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(h.count(), 24, "{name} count");
+        }
+        assert!(report.to_json().contains("\"queue_wait\": {\"count\": 24"), "stages block missing");
     }
 
     #[test]
@@ -491,6 +537,7 @@ mod tests {
         assert!(json.contains("\"all_identical\": true"));
         assert!(json.contains("\"qps\": 400"));
         assert!(json.contains("\"p999_ns\": 400"));
+        assert!(json.contains("\"stages\": {"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let table = report.render_table();
         assert!(table.contains("p999_us"), "{table}");

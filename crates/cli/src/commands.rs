@@ -334,18 +334,20 @@ fn train(opts: &Opts) -> Result<String, CliError> {
 fn serve(opts: &Opts) -> Result<String, CliError> {
     opts.assert_known(&[
         "model", "pairs", "stdin", "no-materialize", "stats-every", "telemetry", "metrics-out", "log-level", "policy",
-        "topk", "pruned", "listen", "batch-window-us", "max-batch", "workers",
+        "topk", "pruned", "listen", "batch-window-us", "max-batch", "workers", "trace-slow-ms", "admin",
     ])?;
     install_policy(opts)?;
     if opts.get("listen").is_none() {
-        for flag in ["batch-window-us", "max-batch", "workers"] {
+        for flag in ["batch-window-us", "max-batch", "workers", "trace-slow-ms", "admin"] {
             if opts.get(flag).is_some() {
                 return Err(CliError(format!("serve: --{flag} only applies to --listen network serving")));
             }
         }
     }
     let stats_every: usize = opts.parse_or("stats-every", 0usize)?;
-    let mut tele = telemetry_start(opts, stats_every > 0)?;
+    // The admin plane answers `stats`/`metrics` from the global registry,
+    // so a dedicated admin listener forces collection on.
+    let mut tele = telemetry_start(opts, stats_every > 0 || opts.get("admin").is_some())?;
     let path = opts.required("model")?;
     let snap = agnn_core::ModelSnapshot::load(std::path::Path::new(path)).map_err(|e| CliError(e.to_string()))?;
     let mut engine = agnn_infer::InferenceEngine::from_snapshot(&snap).map_err(|e| CliError(e.to_string()))?;
@@ -422,6 +424,12 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
         if line.is_empty() {
             break;
         }
+        // In-band admin plane: same grammar and renderer as the TCP
+        // surfaces, answered inline without touching request counters.
+        if let Some(cmd) = agnn_serve::protocol::parse_admin(line) {
+            println!("{}", agnn_serve::stats::admin_response(cmd, "serve.request.latency_ns", "", requests));
+            continue;
+        }
         let pairs = match parse_pairs(line) {
             Ok(pairs) => pairs,
             Err(e) => {
@@ -491,6 +499,14 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
 /// request line drains the queue and exits. Prints `listening on ADDR`
 /// (with `:0` resolved) on stdout before blocking so parent processes can
 /// connect.
+///
+/// `--trace-slow-ms N` emits a full stage-breakdown trace event
+/// (`serve.slow_request`) through the `--telemetry` sink for any request
+/// whose end-to-end latency reaches `N` ms (`0` traces every request).
+/// `--admin ADDR` opens a second listener speaking only the admin grammar
+/// (`health` / `stats` / `metrics` / `metrics json`), announced as
+/// `admin on ADDR`; the same commands also work in-band on scoring
+/// connections and the stdin loops.
 fn serve_listen(
     opts: &Opts,
     engine: agnn_infer::InferenceEngine,
@@ -510,6 +526,12 @@ fn serve_listen(
         topk: (topk > 0).then_some(topk),
         pruned: opts.get("pruned") == Some("true"),
         stats_every,
+        trace_slow: match opts.get("trace-slow-ms") {
+            // `0` means "trace every request" — an exemplar per response.
+            Some(_) => Some(std::time::Duration::from_millis(opts.parse_or("trace-slow-ms", 0u64)?)),
+            None => None,
+        },
+        admin: opts.get("admin").map(String::from),
         ..agnn_serve::ServeConfig::default()
     };
     agnn_obs::log::info(format!(
@@ -531,6 +553,9 @@ fn serve_listen(
     // Announce the resolved address *flushed* before blocking, so a parent
     // process (tests, the load generator) can parse the ephemeral port.
     println!("listening on {}", server.local_addr());
+    if let Some(admin) = server.admin_addr() {
+        println!("admin on {admin}");
+    }
     use std::io::Write;
     std::io::stdout().flush()?;
     let summary = server.wait();
@@ -604,6 +629,12 @@ fn serve_topk(
         if line.is_empty() {
             break;
         }
+        // In-band admin plane, answered through the same shared renderer
+        // as the pair loop and the TCP surfaces.
+        if let Some(cmd) = agnn_serve::protocol::parse_admin(line) {
+            println!("{}", agnn_serve::stats::admin_response(cmd, "serve.topk.latency_ns", "top-k ", requests));
+            continue;
+        }
         let user: u32 = match line.parse() {
             Ok(u) => u,
             Err(_) => {
@@ -661,8 +692,38 @@ fn serve_topk(
 /// recall@K-vs-latency curve to `BENCH_topk.json`, and fails if the
 /// exhaustive path is not the bit-exact argsort of `score_batch`. CI runs
 /// all four in `--smoke` mode as divergence gates.
+///
+/// `--compare OLD.json,NEW.json` is the regression guard: it diffs the
+/// latency quantiles of two same-kind `BENCH_*.json` artifacts (per-row
+/// `p50_ns`/`p99_ns` plus the serve artifact's per-stage quantiles) and
+/// fails when any grows past `--threshold` (a ratio, default 0.25 =
+/// +25%) by more than the absolute jitter floor.
 fn bench(opts: &Opts) -> Result<String, CliError> {
-    opts.assert_known(&["kernels", "infer", "calibrate", "topk", "serve", "smoke", "out", "policy"])?;
+    opts.assert_known(&["kernels", "infer", "calibrate", "topk", "serve", "smoke", "out", "policy", "compare", "threshold"])?;
+    if let Some(spec) = opts.get("compare") {
+        for flag in ["kernels", "infer", "calibrate", "topk", "serve", "smoke", "out", "policy"] {
+            if opts.get(flag).is_some() {
+                return Err(CliError(format!("bench: --compare is exclusive with --{flag}")));
+            }
+        }
+        let Some((old, new)) = spec.split_once(',') else {
+            return Err(CliError("bench: --compare takes OLD.json,NEW.json (one comma-separated value)".into()));
+        };
+        let cfg = agnn_bench::CompareConfig {
+            old_path: old.trim().to_string(),
+            new_path: new.trim().to_string(),
+            threshold: opts.parse_or("threshold", agnn_bench::CompareConfig::DEFAULT_THRESHOLD)?,
+        };
+        if cfg.threshold <= 0.0 || !cfg.threshold.is_finite() {
+            return Err(CliError(format!("bench: --threshold must be a positive ratio, got {}", cfg.threshold)));
+        }
+        let report = agnn_bench::run_compare(&cfg).map_err(CliError)?;
+        let text = report.render_table();
+        return if report.regressions() == 0 { Ok(text) } else { Err(CliError(text)) };
+    }
+    if opts.get("threshold").is_some() {
+        return Err(CliError("bench: --threshold only applies to --compare".into()));
+    }
     let smoke = opts.get("smoke") == Some("true");
     let surfaces = (
         opts.get("kernels") == Some("true"),
@@ -780,7 +841,9 @@ fn bench(opts: &Opts) -> Result<String, CliError> {
                 )))
             }
         }
-        _ => Err(CliError("bench: pass exactly one of --kernels | --infer | --calibrate | --topk | --serve".into())),
+        _ => Err(CliError(
+            "bench: pass exactly one of --kernels | --infer | --calibrate | --topk | --serve | --compare".into(),
+        )),
     }
 }
 

@@ -1,0 +1,422 @@
+//! Subprocess coverage for the request-scoped trace plane and the live
+//! admin/introspection plane of `agnn serve --listen`.
+//!
+//! Locks four properties:
+//! 1. **Stage accounting** — under TCP load every scored request leaves one
+//!    observation in each `serve.stage.*` histogram, and the four stage
+//!    sums telescope *exactly* to `serve.request.latency_ns`'s sum (the
+//!    stage boundaries share clock reads, so no tolerance is needed).
+//! 2. **Admin plane** — `health` / `stats` / `metrics` / `metrics json`
+//!    answer in-band on scoring connections, on the dedicated `--admin`
+//!    listener, and on the stdin loop, through one shared renderer; the
+//!    Prometheus body is scrape-parseable mid-load and ends with `# EOF`.
+//! 3. **Slow-request exemplars** — `--trace-slow-ms 0` emits one
+//!    schema-valid `serve.slow_request` JSONL event per request, carrying
+//!    the trace id and the full stage breakdown.
+//! 4. **Conformance** — the full telemetry stack (metrics + trace sink +
+//!    exemplars) changes no served byte.
+//!
+//! The snapshot codec and the trace sink are serde-free, so the whole file
+//! runs under the offline stub workspace.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("agnn-admin-trace-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+/// Fits a tiny AGNN on the 2-user × 2-item tracer dataset and saves its
+/// snapshot (same helper as the serve robustness suite).
+fn tracer_snapshot_file(name: &str) -> String {
+    use agnn_core::model::RatingModel;
+    use agnn_core::variants::VariantName;
+    let data = agnn_data::tracer::dataset();
+    let split = agnn_data::tracer::split(&data);
+    let mut model = agnn_core::Agnn::new(agnn_core::AgnnConfig {
+        embed_dim: 8,
+        vae_latent_dim: 4,
+        fanout: 3,
+        epochs: 1,
+        batch_size: 2,
+        variant: VariantName::Full.variant(),
+        ..agnn_core::AgnnConfig::default()
+    });
+    model.fit(&data, &split);
+    let path = tmp(name);
+    model.snapshot().unwrap().save(std::path::Path::new(&path)).unwrap();
+    path
+}
+
+/// An `agnn serve --listen 127.0.0.1:0` subprocess; when `--admin` is among
+/// `extra`, the second announce line is parsed too.
+struct NetServer {
+    child: std::process::Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: String,
+    admin_addr: Option<String>,
+}
+
+impl NetServer {
+    fn start(snap: &str, extra: &[&str]) -> NetServer {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_agnn"))
+            .args(["serve", "--model", snap, "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn agnn serve --listen");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("no announce line, got {line:?}"))
+            .to_string();
+        let admin_addr = if extra.contains(&"--admin") {
+            let mut line = String::new();
+            stdout.read_line(&mut line).unwrap();
+            Some(
+                line.trim()
+                    .strip_prefix("admin on ")
+                    .unwrap_or_else(|| panic!("no admin announce line, got {line:?}"))
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        NetServer { child, stdout, addr, admin_addr }
+    }
+
+    fn finish(mut self) -> (String, String) {
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).unwrap();
+        let out = self.child.wait_with_output().unwrap();
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(out.status.success(), "server exited {:?}\nstdout: {rest}\nstderr: {stderr}", out.status);
+        (rest, stderr)
+    }
+}
+
+/// One client connection: a write half plus a buffered read half.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_nodelay(true).unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn read_lines(&mut self, n: usize) -> String {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut line = String::new();
+            let read = self.reader.read_line(&mut line).expect("read response line");
+            assert!(read > 0, "server closed connection early; got {out:?}");
+            out.push(line.trim_end_matches(['\n', '\r']).to_string());
+        }
+        out.join("\n")
+    }
+
+    fn roundtrip(&mut self, line: &str, response_lines: usize) -> String {
+        self.send(line);
+        self.read_lines(response_lines)
+    }
+
+    /// Sends one line and reads response lines until `stop` (inclusive) —
+    /// for the multi-line `metrics` Prometheus body.
+    fn read_until(&mut self, line: &str, stop: &str) -> Vec<String> {
+        self.send(line);
+        let mut out = Vec::new();
+        loop {
+            let mut l = String::new();
+            let read = self.reader.read_line(&mut l).expect("read response line");
+            assert!(read > 0, "server closed connection before {stop:?}; got {out:?}");
+            let l = l.trim_end_matches(['\n', '\r']).to_string();
+            let done = l == stop;
+            out.push(l);
+            if done {
+                return out;
+            }
+        }
+    }
+}
+
+/// Extracts the integer value of `name value` from a Prometheus exposition.
+fn prom_u64(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing:\n{metrics}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{name} not a u64: {e}"))
+}
+
+/// Asserts every line of a Prometheus body is a comment or `name value`
+/// with a numeric value — the same contract the CI checker enforces.
+fn assert_prometheus_parseable(body: &[String]) {
+    assert!(!body.is_empty(), "empty exposition");
+    for line in body {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("not `name value`: {line:?}"));
+        assert!(!name.is_empty() && name.starts_with("agnn_"), "bad metric name: {line:?}");
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line:?}");
+    }
+}
+
+#[test]
+fn stage_histograms_populate_and_telescope_exactly() {
+    let snap = tracer_snapshot_file("stage-snap.json");
+    let metrics_path = tmp("stage-metrics.txt");
+    let server = NetServer::start(&snap, &["--metrics-out", &metrics_path]);
+
+    let mut client = Client::connect(&server.addr);
+    for _ in 0..6 {
+        client.roundtrip("0:0,1:1", 2);
+        client.roundtrip("0:1", 1);
+    }
+    let mut closer = Client::connect(&server.addr);
+    assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+    let (stdout, _) = server.finish();
+    assert!(stdout.contains("served 12 request(s) (18 pair(s))"), "{stdout}");
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    let mut stage_sum = 0u64;
+    for stage in ["queue_wait", "batch_form", "score", "write"] {
+        let base = format!("agnn_serve_stage_{stage}_ns");
+        assert_eq!(prom_u64(&metrics, &format!("{base}_count")), 12, "{base} count\n{metrics}");
+        stage_sum += prom_u64(&metrics, &format!("{base}_sum"));
+    }
+    assert_eq!(prom_u64(&metrics, "agnn_serve_request_latency_ns_count"), 12, "{metrics}");
+    // The stage boundaries share their clock reads, so the four stage
+    // durations sum to the end-to-end latency exactly — per request and
+    // therefore across histogram sums.
+    assert_eq!(stage_sum, prom_u64(&metrics, "agnn_serve_request_latency_ns_sum"), "{metrics}");
+    assert!(stage_sum > 0, "zero total latency over 12 requests\n{metrics}");
+}
+
+#[test]
+fn admin_plane_answers_in_band_and_on_dedicated_listener() {
+    let snap = tracer_snapshot_file("admin-snap.json");
+    let metrics_path = tmp("admin-metrics.txt");
+    let server = NetServer::start(&snap, &["--admin", "127.0.0.1:0", "--metrics-out", &metrics_path]);
+    let admin_addr = server.admin_addr.clone().expect("admin announce");
+
+    // Score two requests so `health`/`stats` have something to report.
+    let mut client = Client::connect(&server.addr);
+    client.roundtrip("0:0", 1);
+    client.roundtrip("1:1", 1);
+
+    // In-band on the scoring connection: same grammar, ordered with the
+    // scoring replies.
+    assert_eq!(client.roundtrip("health", 1), "ok: serving, 2 request(s) answered");
+    let stats = client.roundtrip("stats", 1);
+    assert!(stats.starts_with("serve stats: 2 request(s)  p50 "), "{stats}");
+    let json = client.roundtrip("metrics json", 1);
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"serve.requests\""), "{json}");
+
+    // Dedicated listener: scrapes never queue behind scoring traffic.
+    let mut admin = Client::connect(&admin_addr);
+    assert_eq!(admin.roundtrip("health", 1), "ok: serving, 2 request(s) answered");
+    let body = admin.read_until("metrics", "# EOF");
+    assert_prometheus_parseable(&body);
+    let text = body.join("\n");
+    assert!(text.contains("agnn_serve_requests 2"), "{text}");
+    assert!(text.contains("agnn_serve_batch_size"), "{text}");
+    // A second command on the same admin session still works.
+    let err = admin.roundtrip("bogus", 1);
+    assert!(err.starts_with("error: unknown admin command \"bogus\""), "{err}");
+    drop(admin);
+
+    // Scoring lines are rejected on the admin plane, not scored.
+    let mut admin2 = Client::connect(&admin_addr);
+    assert!(admin2.roundtrip("0:0", 1).starts_with("error: unknown admin command"), "admin must not score");
+    drop(admin2);
+
+    let mut closer = Client::connect(&server.addr);
+    assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+    let (stdout, stderr) = server.finish();
+    // Admin traffic is answered inline and never counted as requests.
+    assert!(stdout.contains("served 2 request(s) (2 pair(s))"), "{stdout}");
+    assert!(!stderr.contains("panic"), "{stderr}");
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    // health + stats + metrics json in-band, health + metrics dedicated
+    // (unknown-command and scoring lines never count).
+    assert_eq!(prom_u64(&metrics, "agnn_serve_admin_requests"), 5, "{metrics}");
+    assert!(prom_u64(&metrics, "agnn_serve_admin_connections") >= 2, "{metrics}");
+}
+
+#[test]
+fn metrics_scrape_is_parseable_mid_load() {
+    let snap = tracer_snapshot_file("midload-snap.json");
+    let server = NetServer::start(&snap, &["--admin", "127.0.0.1:0", "--batch-window-us", "2000"]);
+    let admin_addr = server.admin_addr.clone().expect("admin announce");
+
+    // Load threads hammer the scoring plane while the scraper polls the
+    // admin plane; every scrape must be a complete, parseable exposition.
+    let addr = server.addr.clone();
+    let load: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                for _ in 0..30 {
+                    client.roundtrip("0:0,1:0", 2);
+                }
+            })
+        })
+        .collect();
+    let mut admin = Client::connect(&admin_addr);
+    for _ in 0..5 {
+        let body = admin.read_until("metrics", "# EOF");
+        assert_prometheus_parseable(&body);
+    }
+    for t in load {
+        t.join().expect("load client panicked");
+    }
+    // After the load drains, a final scrape sees all 90 requests.
+    let body = admin.read_until("metrics", "# EOF").join("\n");
+    assert!(body.contains("agnn_serve_requests 90"), "{body}");
+    drop(admin);
+
+    let mut closer = Client::connect(&server.addr);
+    assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+    server.finish();
+}
+
+/// Extracts the integer value of `"key":N` from a JSONL line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn trace_slow_zero_emits_one_schema_valid_exemplar_per_request() {
+    let snap = tracer_snapshot_file("exemplar-snap.json");
+    let trace_path = tmp("exemplar-trace.jsonl");
+    let server = NetServer::start(&snap, &["--trace-slow-ms", "0", "--telemetry", &trace_path]);
+
+    let mut client = Client::connect(&server.addr);
+    for _ in 0..5 {
+        client.roundtrip("0:0,1:1", 2);
+    }
+    let mut closer = Client::connect(&server.addr);
+    assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+    server.finish();
+
+    let stream = std::fs::read_to_string(&trace_path).unwrap();
+    let exemplars: Vec<&str> = stream.lines().filter(|l| l.contains("\"name\":\"serve.slow_request\"")).collect();
+    assert_eq!(exemplars.len(), 5, "one exemplar per request:\n{stream}");
+    let mut prev_id = 0u64;
+    for line in exemplars {
+        // Locked trace schema: seq, then kind/name (events carry no
+        // duration), then the fields object.
+        assert!(line.starts_with("{\"seq\":"), "{line}");
+        assert!(line.contains("\"kind\":\"event\""), "{line}");
+        assert!(!line.contains(",\"us\":"), "{line}");
+        assert!(line.contains(",\"fields\":{"), "{line}");
+        let id = json_u64(line, "trace_id").unwrap_or_else(|| panic!("trace_id missing: {line}"));
+        assert!(id > prev_id, "trace ids must increase along one connection: {line}");
+        prev_id = id;
+        assert!(line.contains("\"kind_\":") || line.contains("\"kind\":\"pairs\"") || line.contains("\"kind\":\"topk\""), "{line}");
+        for field in ["total_us", "queue_wait_us", "batch_form_us", "score_us", "write_us", "pairs", "batch_size", "warm_pairs", "scs_pairs"] {
+            assert!(json_u64(line, field).is_some(), "{field} missing or not a u64: {line}");
+        }
+        assert_eq!(json_u64(line, "pairs"), Some(2), "{line}");
+        assert!(line.contains("\"dispatch\":\""), "{line}");
+        // The stage breakdown telescopes to the total (µs truncation can
+        // only make the parts smaller, never larger).
+        let parts: u64 = ["queue_wait_us", "batch_form_us", "score_us", "write_us"]
+            .iter()
+            .map(|f| json_u64(line, f).unwrap())
+            .sum();
+        let total = json_u64(line, "total_us").unwrap();
+        assert!(parts <= total + 4, "stages {parts}us exceed total {total}us: {line}");
+    }
+}
+
+#[test]
+fn full_telemetry_stack_changes_no_served_byte() {
+    let snap = tracer_snapshot_file("conformance-snap.json");
+    let requests = ["0:0,1:1", "0:1", "1:0,0:0,1:1", "1:1"];
+    let lines = [2usize, 1, 3, 1];
+
+    let drive_once = |extra: &[&str]| -> Vec<String> {
+        let server = NetServer::start(&snap, extra);
+        let mut client = Client::connect(&server.addr);
+        let responses: Vec<String> =
+            requests.iter().zip(lines).map(|(line, n)| client.roundtrip(line, n)).collect();
+        let mut closer = Client::connect(&server.addr);
+        assert_eq!(closer.roundtrip("shutdown", 1), "shutting down");
+        server.finish();
+        responses
+    };
+
+    let plain = drive_once(&[]);
+    let trace_path = tmp("conformance-trace.jsonl");
+    let metrics_path = tmp("conformance-metrics.txt");
+    let traced = drive_once(&[
+        "--telemetry",
+        &trace_path,
+        "--metrics-out",
+        &metrics_path,
+        "--trace-slow-ms",
+        "0",
+        "--stats-every",
+        "2",
+        "--admin",
+        "127.0.0.1:0",
+    ]);
+    assert_eq!(plain, traced, "telemetry changed a served byte");
+    assert!(plain.iter().all(|r| r.starts_with("user ")), "{plain:?}");
+    // And the instrumented run really did trace + collect.
+    let stream = std::fs::read_to_string(&trace_path).unwrap();
+    assert_eq!(stream.lines().filter(|l| l.contains("serve.slow_request")).count(), 4, "{stream}");
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.contains("agnn_serve_stage_score_ns_count 4"), "{metrics}");
+}
+
+#[test]
+fn stdin_loop_answers_the_same_admin_grammar() {
+    let snap = tracer_snapshot_file("stdin-admin-snap.json");
+    let metrics_path = tmp("stdin-admin-metrics.txt");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_agnn"))
+        .args(["serve", "--model", &snap, "--stdin", "--metrics-out", &metrics_path])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn agnn serve");
+    child.stdin.as_mut().unwrap().write_all(b"health\n0:0\nstats\nmetrics json\n\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "serve exited {:?}\nstdout: {stdout}", out.status);
+
+    assert!(stdout.contains("ok: serving, 0 request(s) answered"), "{stdout}");
+    assert!(stdout.contains("serve stats: 1 request(s)  p50 "), "{stdout}");
+    assert!(stdout.lines().any(|l| l.starts_with('{') && l.contains("\"serve.requests\"")), "{stdout}");
+    assert!(stdout.contains("served 1 pair(s)"), "{stdout}");
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(metrics.contains("agnn_serve_admin_requests 3"), "{metrics}");
+}

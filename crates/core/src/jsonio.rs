@@ -6,13 +6,14 @@
 //! round-trip `Display`, which parses back bit-exactly. This module is the
 //! matching reader. Numbers are kept as raw tokens and parsed on demand, so
 //! an `f32` never round-trips through `f64` (double rounding would break
-//! bit-exactness).
+//! bit-exactness). The reader is exported for other workspace consumers of
+//! hand-written JSON artifacts (e.g. the bench regression comparator).
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value. Object keys keep insertion order.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum JsonValue {
+pub enum JsonValue {
     Null,
     Bool(bool),
     /// Raw number token exactly as it appeared in the input.

@@ -44,7 +44,7 @@ pub mod config;
 pub mod evae;
 pub mod gnn;
 pub mod interaction;
-mod jsonio;
+pub mod jsonio;
 pub mod model;
 pub mod snapshot;
 pub mod variants;

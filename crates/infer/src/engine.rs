@@ -164,6 +164,14 @@ impl InferenceEngine {
         score.clamp(self.rating_scale.0, self.rating_scale.1)
     }
 
+    /// True when either side of an (already range-checked) pair is a
+    /// strict-cold-start node — the same classification the
+    /// `infer.score.scs_pairs` counter uses. Exposed so the serving layer
+    /// can stamp a warm/SCS mix onto slow-request exemplars.
+    pub fn is_scs_pair(&self, user: u32, item: u32) -> bool {
+        self.user.cold[user as usize] || self.item.cold[item as usize]
+    }
+
     /// Pre-GNN embedding of a node batch — the eval arms of
     /// `Agnn::embed_nodes`, kernel for kernel: preference gather, attribute
     /// interaction, cold-row substitution, fuse.

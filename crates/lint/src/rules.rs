@@ -53,7 +53,8 @@ const REASSOC_METHODS: &[&str] = &["fold", "reduce", "sum", "product"];
 
 /// `agnn-obs` functions whose first string-literal argument is a telemetry
 /// name (emit sites and snapshot lookups).
-const EMIT_FNS: &[&str] = &["counter_add", "gauge_set", "observe_ns", "timed", "span", "event", "counter", "gauge", "histogram"];
+const EMIT_FNS: &[&str] =
+    &["counter_add", "gauge_set", "observe_ns", "observe", "timed", "span", "event", "counter", "gauge", "histogram"];
 
 /// Scoping knobs. Paths are workspace-relative with `/` separators;
 /// `*_files` entries match by suffix, `panic_paths` by prefix.

@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod names;
 pub mod trace;
 
-pub use trace::{event, span, Field, SpanGuard};
+pub use trace::{event, span, Field, SpanGuard, TraceContext};
 
 /// True when any telemetry facility is live: a trace sink is installed or
 /// the metrics registry is collecting. Instrumented code uses this to skip

@@ -47,14 +47,35 @@ pub const BUCKETS_NS: [u64; 22] = [
     10_000_000_000,
 ];
 
+/// Bucket upper bounds (inclusive) for dimensionless count histograms
+/// (batch sizes, fan-outs): near-geometric from 1 to 4096, resolving the
+/// small sizes exactly. Same length as [`BUCKETS_NS`] so both ladders share
+/// one storage layout.
+pub const BUCKETS_COUNT: [u64; 22] = [
+    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096,
+];
+
 const N_BUCKETS: usize = BUCKETS_NS.len() + 1; // + overflow
 
-/// Fixed-bucket latency histogram with percentile summaries.
+/// What a histogram's observations measure. Renderers key off this: a
+/// `Nanos` histogram reports `sum_ns`/`p50_ns` (and µs in the table), a
+/// `Count` histogram reports bare `sum`/`p50` with no time suffix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Unit {
+    /// Wall-clock nanoseconds (the default — latency histograms).
+    #[default]
+    Nanos,
+    /// Dimensionless counts (batch sizes, pool depths).
+    Count,
+}
+
+/// Fixed-bucket histogram with percentile summaries.
 ///
 /// Percentiles resolve to the matched bucket's upper bound clamped to the
 /// maximum observed value, so resolution is bounded by the bucket ladder
 /// (documented, and locked by unit tests) — good enough for p50/p99 serving
-/// dashboards without storing raw samples.
+/// dashboards without storing raw samples. The [`Unit`] picks the ladder
+/// ([`BUCKETS_NS`] vs [`BUCKETS_COUNT`]) and how renderers label values.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     counts: [u64; N_BUCKETS],
@@ -62,33 +83,58 @@ pub struct Histogram {
     sum_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    unit: Unit,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Self { counts: [0; N_BUCKETS], count: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+        Self { counts: [0; N_BUCKETS], count: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0, unit: Unit::Nanos }
     }
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty nanosecond-latency histogram.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Index of the bucket `ns` falls into (`BUCKETS_NS` bounds are
-    /// inclusive; beyond the last bound lands in the overflow bucket).
+    /// An empty histogram measuring `unit`.
+    pub fn with_unit(unit: Unit) -> Self {
+        Self { unit, ..Self::default() }
+    }
+
+    /// What this histogram's observations measure.
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// Index of the bucket `ns` falls into on the nanosecond ladder
+    /// (`BUCKETS_NS` bounds are inclusive; beyond the last bound lands in
+    /// the overflow bucket).
     pub fn bucket_index(ns: u64) -> usize {
         BUCKETS_NS.iter().position(|&b| ns <= b).unwrap_or(BUCKETS_NS.len())
     }
 
+    /// This histogram's bucket ladder, chosen by its unit.
+    fn ladder(&self) -> &'static [u64; 22] {
+        match self.unit {
+            Unit::Nanos => &BUCKETS_NS,
+            Unit::Count => &BUCKETS_COUNT,
+        }
+    }
+
+    fn bucket_of(&self, value: u64) -> usize {
+        self.ladder().iter().position(|&b| value <= b).unwrap_or(BUCKETS_NS.len())
+    }
+
     /// Records one observation. Count and sum saturate instead of wrapping.
-    pub fn observe(&mut self, ns: u64) {
-        self.counts[Self::bucket_index(ns)] = self.counts[Self::bucket_index(ns)].saturating_add(1);
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bucket_of(value);
+        self.counts[idx] = self.counts[idx].saturating_add(1);
         self.count = self.count.saturating_add(1);
-        self.sum_ns = self.sum_ns.saturating_add(ns);
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
+        self.sum_ns = self.sum_ns.saturating_add(value);
+        self.min_ns = self.min_ns.min(value);
+        self.max_ns = self.max_ns.max(value);
     }
 
     /// Number of observations.
@@ -98,6 +144,13 @@ impl Histogram {
 
     /// Sum of all observations, nanoseconds (saturating).
     pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Sum of all observations in this histogram's own unit — same value
+    /// as [`sum_ns`](Self::sum_ns), named for `Count` histograms where the
+    /// `_ns` suffix would lie.
+    pub fn sum(&self) -> u64 {
         self.sum_ns
     }
 
@@ -126,11 +179,12 @@ impl Histogram {
             return 0;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let ladder = self.ladder();
         let mut cumulative = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cumulative = cumulative.saturating_add(c);
             if cumulative >= rank {
-                let upper = if i < BUCKETS_NS.len() { BUCKETS_NS[i] } else { self.max_ns };
+                let upper = if i < ladder.len() { ladder[i] } else { self.max_ns };
                 return upper.min(self.max_ns);
             }
         }
@@ -229,13 +283,25 @@ impl Registry {
 
     /// Records `ns` into the histogram `name` (created on first use).
     pub fn observe_ns(&self, name: &str, ns: u64) {
+        self.observe_with_unit(name, ns, Unit::Nanos);
+    }
+
+    /// Records the dimensionless `value` into the count histogram `name`
+    /// (created on first use with [`Unit::Count`]).
+    pub fn observe_count(&self, name: &str, value: u64) {
+        self.observe_with_unit(name, value, Unit::Count);
+    }
+
+    /// First use fixes the unit along with the kind; later observations
+    /// land in whatever histogram the name already is.
+    fn observe_with_unit(&self, name: &str, value: u64, unit: Unit) {
         let mut map = self.lock();
         match map.get_mut(name) {
-            Some(Metric::Histogram(h)) => h.observe(ns),
+            Some(Metric::Histogram(h)) => h.observe(value),
             Some(_) => {}
             None => {
-                let mut h = Histogram::new();
-                h.observe(ns);
+                let mut h = Histogram::with_unit(unit);
+                h.observe(value);
                 map.insert(name.to_string(), Metric::Histogram(Box::new(h)));
             }
         }
@@ -301,14 +367,24 @@ impl Snapshot {
             let value = match metric {
                 Metric::Counter(v) => v.to_string(),
                 Metric::Gauge(v) => format!("{v:.6}"),
-                Metric::Histogram(h) => format!(
-                    "count {}  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
-                    h.count(),
-                    h.p50_ns() as f64 / 1e3,
-                    h.p90_ns() as f64 / 1e3,
-                    h.p99_ns() as f64 / 1e3,
-                    h.max_ns() as f64 / 1e3
-                ),
+                Metric::Histogram(h) => match h.unit() {
+                    Unit::Nanos => format!(
+                        "count {}  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+                        h.count(),
+                        h.p50_ns() as f64 / 1e3,
+                        h.p90_ns() as f64 / 1e3,
+                        h.p99_ns() as f64 / 1e3,
+                        h.max_ns() as f64 / 1e3
+                    ),
+                    Unit::Count => format!(
+                        "count {}  p50 {}  p90 {}  p99 {}  max {}",
+                        h.count(),
+                        h.p50_ns(),
+                        h.p90_ns(),
+                        h.p99_ns(),
+                        h.max_ns()
+                    ),
+                },
             };
             out.push_str(&format!("{:<41} {:<10} {}\n", name, metric.kind(), value));
         }
@@ -357,15 +433,23 @@ impl Snapshot {
             match metric {
                 Metric::Counter(v) => out.push_str(&format!("\"{name}\": {{\"type\": \"counter\", \"value\": {v}}}")),
                 Metric::Gauge(v) => out.push_str(&format!("\"{name}\": {{\"type\": \"gauge\", \"value\": {v}}}")),
-                Metric::Histogram(h) => out.push_str(&format!(
-                    "\"{name}\": {{\"type\": \"histogram\", \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
-                    h.count(),
-                    h.sum_ns(),
-                    h.p50_ns(),
-                    h.p90_ns(),
-                    h.p99_ns(),
-                    h.max_ns()
-                )),
+                Metric::Histogram(h) => {
+                    // Count histograms drop the `_ns` suffix: a batch-size
+                    // quantile is not a duration and must not render as one.
+                    let s = match h.unit() {
+                        Unit::Nanos => "_ns",
+                        Unit::Count => "",
+                    };
+                    out.push_str(&format!(
+                        "\"{name}\": {{\"type\": \"histogram\", \"count\": {}, \"sum{s}\": {}, \"p50{s}\": {}, \"p90{s}\": {}, \"p99{s}\": {}, \"max{s}\": {}}}",
+                        h.count(),
+                        h.sum(),
+                        h.p50_ns(),
+                        h.p90_ns(),
+                        h.p99_ns(),
+                        h.max_ns()
+                    ))
+                }
             }
         }
         out.push('}');
@@ -410,6 +494,14 @@ pub fn gauge_set(name: &str, value: f64) {
 pub fn observe_ns(name: &str, ns: u64) {
     if enabled() {
         global().observe_ns(name, ns);
+    }
+}
+
+/// [`Registry::observe_count`] on the global registry, gated by
+/// [`enabled`] — for dimensionless size/count histograms.
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        global().observe_count(name, value);
     }
 }
 
@@ -559,6 +651,52 @@ mod tests {
         assert!(json.contains("\"a.counter\": {\"type\": \"counter\", \"value\": 3}"), "{json}");
         assert!(json.contains("\"c.latency_ns\": {\"type\": \"histogram\", \"count\": 1,"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    }
+
+    #[test]
+    fn count_histograms_use_the_count_ladder_and_render_without_ns() {
+        let reg = Registry::new();
+        // Batch sizes 1..=10 all fit the nanosecond ladder's first bucket;
+        // on the count ladder they resolve per-size.
+        for size in 1..=10u64 {
+            reg.observe_count("q.batch.size", size);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("q.batch.size").expect("registered");
+        assert_eq!(h.unit(), Unit::Count);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        // rank(p50) = 5 lands in the `6` bucket (counts ladder 1,2,3,4,6,…).
+        assert_eq!(h.p50_ns(), 6);
+        assert_eq!(h.max_ns(), 10);
+
+        let json = snap.render_json();
+        assert!(
+            json.contains("\"q.batch.size\": {\"type\": \"histogram\", \"count\": 10, \"sum\": 55, \"p50\": 6,"),
+            "{json}"
+        );
+        assert!(!json.contains("sum_ns"), "count histogram leaked an _ns key: {json}");
+
+        let table = snap.render_table();
+        // rank(p90) = 9 lands in the `12` bucket, clamped to the max of 10.
+        assert!(table.contains("count 10  p50 6  p90 10  p99 10  max 10"), "{table}");
+
+        // Prometheus names carry the unit; structure is shared.
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("agnn_q_batch_size_sum 55\nagnn_q_batch_size_count 10\n"), "{prom}");
+    }
+
+    #[test]
+    fn count_ladder_overflow_and_first_use_fixes_unit() {
+        let reg = Registry::new();
+        reg.observe_count("q.depth", 5_000);
+        // Same name, nanosecond entry point: unit was fixed at first use.
+        reg.observe_ns("q.depth", 1);
+        let snap = reg.snapshot();
+        let h = snap.histogram("q.depth").expect("registered");
+        assert_eq!(h.unit(), Unit::Count);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p99_ns(), 5_000); // overflow bucket reports observed max
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! (DESIGN.md §5b8, rule family 3).
 //!
 //! `agnn lint` extracts the first string-literal argument of every
-//! `counter_add`/`gauge_set`/`observe_ns`/`timed`/`span`/`event` emit site
+//! `counter_add`/`gauge_set`/`observe_ns`/`observe`/`timed`/`span`/`event` emit site
 //! (and the `Snapshot::counter`/`gauge`/`histogram` lookups) across the
 //! workspace and checks it against this module in both directions: an emit
 //! whose name is not declared here fails the build, and a name declared
@@ -47,6 +47,28 @@ pub const SERVE_BATCH_SIZE: &str = "serve.batch.size";
 /// Histogram of per-batch scoring time in nanoseconds (one coalesced
 /// `score_coalesced` pass plus any top-k requests in the batch).
 pub const SERVE_BATCH_LATENCY_NS: &str = "serve.batch.latency_ns";
+/// Histogram of time each request spent queued before its batch opened
+/// (ingress → batch open), nanoseconds. With the three stages below this
+/// telescopes exactly to `serve.request.latency_ns`.
+pub const SERVE_STAGE_QUEUE_WAIT_NS: &str = "serve.stage.queue_wait_ns";
+/// Histogram of time each request waited for its batch to fill after the
+/// batch opened (batch open → batch close), nanoseconds.
+pub const SERVE_STAGE_BATCH_FORM_NS: &str = "serve.stage.batch_form_ns";
+/// Histogram of time from batch close to the request's reply being handed
+/// to its writer (coalesced scoring + formatting), nanoseconds.
+pub const SERVE_STAGE_SCORE_NS: &str = "serve.stage.score_ns";
+/// Histogram of time from reply hand-off to the response bytes being
+/// flushed onto the socket (in-order write-back), nanoseconds.
+pub const SERVE_STAGE_WRITE_NS: &str = "serve.stage.write_ns";
+/// Event per request whose end-to-end latency exceeded `--trace-slow-ms`:
+/// full stage breakdown plus batch size, dispatch decisions, and the
+/// warm/SCS pair mix of its batch.
+pub const SERVE_SLOW_REQUEST: &str = "serve.slow_request";
+/// Count of admin-plane commands answered (`health`/`stats`/`metrics`),
+/// across the in-band and dedicated-listener surfaces.
+pub const SERVE_ADMIN_REQUESTS: &str = "serve.admin.requests";
+/// Count of connections accepted by the dedicated `--admin` listener.
+pub const SERVE_ADMIN_CONNECTIONS: &str = "serve.admin.connections";
 
 // --- train: the unified training engine (crates/train + `agnn train`) ---
 

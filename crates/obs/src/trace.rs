@@ -20,8 +20,38 @@ use std::time::Instant;
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
+static TRACE_ID: AtomicU64 = AtomicU64::new(1);
 #[allow(clippy::type_complexity)]
 static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Allocates the next process-unique trace id (monotonic from 1, never 0,
+/// one relaxed `fetch_add`). Unconditional — request pipelines stamp every
+/// request so an id exists by the time a stage decides to record, and the
+/// cost bound ("a relaxed atomic op per request when telemetry is off")
+/// is part of the serve conformance contract.
+pub fn next_trace_id() -> u64 {
+    TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-request trace context: a process-unique id plus the ingress
+/// timestamp, stamped once where the request enters the system (the serve
+/// reader thread) and carried alongside it through every stage. Stages
+/// subtract neighbouring timestamps from `ingress` so the per-stage
+/// durations telescope exactly to the end-to-end latency.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceContext {
+    /// Process-unique request id from [`next_trace_id`].
+    pub id: u64,
+    /// When the request entered the system.
+    pub ingress: Instant,
+}
+
+impl TraceContext {
+    /// Stamps a fresh context: one relaxed atomic op plus one clock read.
+    pub fn begin() -> Self {
+        Self { id: next_trace_id(), ingress: Instant::now() }
+    }
+}
 
 /// A field value attached to a span or event.
 #[derive(Clone, Debug, PartialEq)]

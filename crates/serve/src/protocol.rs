@@ -7,12 +7,50 @@
 //! one `user U item I: S` line per pair), a bare user id in top-k mode
 //! (answered with one `user U top-K: i:s i:s ...` line), the literal
 //! `shutdown` to stop the server, or a blank line to end the session.
+//!
+//! Admin commands share the same line grammar on every surface (stdin,
+//! scoring TCP connections, and the dedicated `--admin` listener): `health`
+//! answers one `ok ...` line, `stats` one `serve stats: ...` line,
+//! `metrics` a Prometheus text exposition terminated by `# EOF`, and
+//! `metrics json` one canonical-JSON line.
 
 use std::io::{BufRead, BufReader, Read};
 
 /// Hard cap on an accepted request line. Longer lines are discarded while
 /// streaming (never buffered whole) and answered with an error.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Terminator line for multi-line admin responses (the `metrics`
+/// Prometheus exposition) so stream clients know where the body ends —
+/// the OpenMetrics end-of-exposition marker.
+pub const ADMIN_EOF: &str = "# EOF";
+
+/// One parsed admin-plane command (see the module docs for the grammar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminCommand {
+    /// Liveness probe — one-line answer.
+    Health,
+    /// The same `serve stats: ...` line the periodic reporter prints.
+    Stats,
+    /// Full Prometheus text exposition, terminated by [`ADMIN_EOF`].
+    MetricsProm,
+    /// Canonical metrics JSON on one line.
+    MetricsJson,
+}
+
+/// Parses an admin command line; `None` means the line is a scoring
+/// request (or garbage) and should fall through to the request parser.
+/// Matching is exact after trimming — `healthy` or `metrics jsonx` are
+/// *not* admin commands, so user ids and pair lines can never collide.
+pub fn parse_admin(line: &str) -> Option<AdminCommand> {
+    match line.trim() {
+        "health" => Some(AdminCommand::Health),
+        "stats" => Some(AdminCommand::Stats),
+        "metrics" => Some(AdminCommand::MetricsProm),
+        "metrics json" => Some(AdminCommand::MetricsJson),
+        _ => None,
+    }
+}
 
 /// Parses a `u:i,u:i` request line into id pairs (no range checking).
 pub fn parse_pairs(s: &str) -> Result<Vec<(u32, u32)>, String> {
@@ -187,6 +225,20 @@ mod tests {
         assert_eq!(lines, "user 0 item 1: 1.23\nuser 2 item 3: 5.00");
         let line = format_topk_line(7, 2, &[(4, 3.5), (1, 2.25)], |s| s);
         assert_eq!(line, "user 7 top-2: 4:3.50 1:2.25");
+    }
+
+    #[test]
+    fn admin_grammar_is_exact_match_only() {
+        assert_eq!(parse_admin("health"), Some(AdminCommand::Health));
+        assert_eq!(parse_admin("  stats "), Some(AdminCommand::Stats));
+        assert_eq!(parse_admin("metrics"), Some(AdminCommand::MetricsProm));
+        assert_eq!(parse_admin("metrics json"), Some(AdminCommand::MetricsJson));
+        // Near-misses fall through to the request parser.
+        assert_eq!(parse_admin("healthy"), None);
+        assert_eq!(parse_admin("metrics jsonx"), None);
+        assert_eq!(parse_admin("0:1,2:3"), None);
+        assert_eq!(parse_admin("shutdown"), None);
+        assert_eq!(parse_admin(""), None);
     }
 
     #[test]

@@ -66,6 +66,14 @@ impl<T> BoundedQueue<T> {
     /// since the first one. `None` only when closed **and** empty, so a
     /// close while requests are queued still drains them.
     pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<T>> {
+        self.pop_batch_open(max, window).map(|(batch, _)| batch)
+    }
+
+    /// [`pop_batch`](Self::pop_batch) that also returns the instant the
+    /// batch *opened* (the clock read that anchors the coalescing window —
+    /// no extra clock cost). Stage attribution splits each request's wait
+    /// at this point: before it is queue wait, after it is batch formation.
+    pub fn pop_batch_open(&self, max: usize, window: Duration) -> Option<(Vec<T>, Instant)> {
         let max = max.max(1);
         let mut st = self.lock();
         while st.items.is_empty() {
@@ -75,7 +83,8 @@ impl<T> BoundedQueue<T> {
             st = self.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         let mut batch = Vec::with_capacity(max.min(st.items.len()));
-        let deadline = Instant::now() + window;
+        let opened = Instant::now();
+        let deadline = opened + window;
         loop {
             while batch.len() < max {
                 match st.items.pop_front() {
@@ -99,7 +108,7 @@ impl<T> BoundedQueue<T> {
         }
         drop(st);
         self.not_full.notify_all();
-        Some(batch)
+        Some((batch, opened))
     }
 
     /// Closes the queue: pending pushes fail, pops drain what is left.

@@ -13,12 +13,23 @@
 //! (conformance suite `coalesce_identity`) to return per request exactly
 //! the bits a solo `score_batch` call returns — so coalescing is invisible
 //! to clients, byte for byte.
+//!
+//! Trace invariant: every request is stamped with a
+//! [`TraceContext`] (monotonic id + ingress instant) in its reader thread
+//! and carries it through queue → batch → worker → writer. When telemetry
+//! is live the four `serve.stage.*_ns` histograms decompose
+//! `serve.request.latency_ns` *exactly* — the stage boundaries reuse or
+//! telescope between the same clock reads, so per-request
+//! `queue_wait + batch_form + score + write == total`. When telemetry is
+//! off the pipeline adds only the id's relaxed `fetch_add` per request
+//! over the pre-existing ingress clock read; no stage reads a clock.
 
 use crate::protocol::{self, LineEvent, LineReader, MAX_LINE_BYTES};
 use crate::queue::BoundedQueue;
 use crate::stats;
 use agnn_infer::{InferenceEngine, PruneConfig};
-use agnn_obs::{log, metrics};
+use agnn_obs::trace::{self, TraceContext};
+use agnn_obs::{log, metrics, Field};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +59,13 @@ pub struct ServeConfig {
     pub pruned: bool,
     /// Print a stats line every N answered requests (0 = never).
     pub stats_every: usize,
+    /// `Some(t)`: any request whose end-to-end latency reaches `t` emits a
+    /// stage-breakdown exemplar event through the trace sink
+    /// (`--trace-slow-ms`; `Some(ZERO)` traces every request).
+    pub trace_slow: Option<Duration>,
+    /// `Some(addr)`: bind a dedicated admin listener (`--admin`) answering
+    /// `health`/`stats`/`metrics` without competing with scoring traffic.
+    pub admin: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +78,8 @@ impl Default for ServeConfig {
             topk: None,
             pruned: false,
             stats_every: 0,
+            trace_slow: None,
+            admin: None,
         }
     }
 }
@@ -79,19 +99,62 @@ enum Payload {
 
 struct Request {
     payload: Payload,
-    reply: mpsc::Sender<String>,
-    enqueued: Instant,
+    reply: mpsc::Sender<Reply>,
+    /// Stamped in the reader thread the moment the line parsed.
+    ctx: TraceContext,
+}
+
+/// One response travelling to a connection writer. `meta` is `None` for
+/// error/ack replies and whenever telemetry is fully off — the writer then
+/// does nothing but write, reading no clock.
+struct Reply {
+    body: String,
+    meta: Option<ReplyMeta>,
+}
+
+/// Stage timestamps a worker hands the writer so the final two stages
+/// (write + total) can be stamped after the flush, where the request
+/// actually ends.
+struct ReplyMeta {
+    ctx: TraceContext,
+    queue_wait_ns: u64,
+    batch_form_ns: u64,
+    score_ns: u64,
+    /// When the worker handed the reply over (end of the score stage).
+    sent: Instant,
+    /// `""` for pair requests, `"top-k "` for retrieval (stats-line kind).
+    kind: &'static str,
+    /// Pairs (or ranked items) in this request.
+    pairs: u64,
+    /// Batch-level context, shared by every request in the batch; only
+    /// built when slow-request exemplars can actually be emitted.
+    batch: Option<Arc<BatchExemplar>>,
+}
+
+/// What a slow-request exemplar records about the batch that carried the
+/// outlier: its size, the warm/SCS mix of its scored pairs, and which
+/// kernel execution paths the dispatcher chose while it scored
+/// (process-wide delta — concurrent batches overlap, documented as such).
+struct BatchExemplar {
+    size: usize,
+    warm_pairs: u64,
+    scs_pairs: u64,
+    dispatch: String,
 }
 
 struct Shared {
     engine: Arc<InferenceEngine>,
     cfg: ServeConfig,
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     queue: BoundedQueue<Request>,
     shutdown: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
     served_pairs: AtomicU64,
+    /// Replies flushed onto sockets — drives the writer-side stats cadence
+    /// (the latency histogram is complete for everything counted here).
+    written: AtomicU64,
 }
 
 impl Shared {
@@ -99,9 +162,22 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor out of its blocking `accept`; if the listener
+        // Wake the acceptors out of their blocking `accept`; if a listener
         // is already gone the connect just fails, which is fine.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(admin) = self.admin_addr {
+            let _ = TcpStream::connect_timeout(&admin, Duration::from_millis(250));
+        }
+    }
+
+    /// Which latency histogram + stats-line kind this server's surface
+    /// reports (pair scoring vs top-k retrieval).
+    fn stats_source(&self) -> (&'static str, &'static str) {
+        if self.cfg.topk.is_some() {
+            ("serve.topk.latency_ns", "top-k ")
+        } else {
+            ("serve.request.latency_ns", "")
+        }
     }
 }
 
@@ -110,6 +186,7 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    admin_acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -124,17 +201,30 @@ impl Server {
     pub fn start(engine: Arc<InferenceEngine>, listen: &str, cfg: ServeConfig) -> Result<Server, String> {
         let listener = TcpListener::bind(listen).map_err(|e| format!("serve: cannot bind {listen}: {e}"))?;
         let addr = listener.local_addr().map_err(|e| format!("serve: no local address: {e}"))?;
+        let admin_listener = match cfg.admin.as_deref() {
+            Some(admin) => {
+                let l = TcpListener::bind(admin).map_err(|e| format!("serve: cannot bind admin {admin}: {e}"))?;
+                Some(l)
+            }
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(l) => Some(l.local_addr().map_err(|e| format!("serve: no admin local address: {e}"))?),
+            None => None,
+        };
         let workers = cfg.workers.max(1);
         let capacity = cfg.queue_capacity;
         let shared = Arc::new(Shared {
             engine,
             cfg,
             addr,
+            admin_addr,
             queue: BoundedQueue::new(capacity),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             served_pairs: AtomicU64::new(0),
+            written: AtomicU64::new(0),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let mut worker_handles = Vec::with_capacity(workers);
@@ -154,12 +244,29 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &sh, &conns))
                 .map_err(|e| format!("serve: cannot spawn acceptor: {e}"))?
         };
-        Ok(Server { shared, acceptor: Some(acceptor), workers: worker_handles, conns })
+        let admin_acceptor = match admin_listener {
+            Some(l) => {
+                let sh = Arc::clone(&shared);
+                let conns = Arc::clone(&conns);
+                let h = std::thread::Builder::new()
+                    .name("agnn-serve-admin".into())
+                    .spawn(move || admin_accept_loop(&l, &sh, &conns))
+                    .map_err(|e| format!("serve: cannot spawn admin acceptor: {e}"))?;
+                Some(h)
+            }
+            None => None,
+        };
+        Ok(Server { shared, acceptor: Some(acceptor), admin_acceptor, workers: worker_handles, conns })
     }
 
     /// The bound address (resolves `:0` to the real ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound admin-plane address, when `--admin` is configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.shared.admin_addr
     }
 
     /// Starts a graceful shutdown: stop accepting, let connection readers
@@ -175,6 +282,9 @@ impl Server {
     /// returns.
     pub fn wait(mut self) -> ServeSummary {
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.admin_acceptor.take() {
             let _ = h.join();
         }
         // Readers may still be registering writer handles while we drain,
@@ -227,12 +337,118 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Arc<Mutex<V
     }
 }
 
+/// The dedicated admin-plane acceptor (`serve --admin ADDR`): scrape
+/// traffic lands here instead of competing with scoring connections for
+/// queue slots. Same lifecycle as the scoring acceptor — woken by
+/// [`Shared::begin_shutdown`]'s self-connect, handlers joined through the
+/// shared connection-handle vec.
+fn admin_accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let sh = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("agnn-serve-admin-conn".into())
+                    .spawn(move || admin_connection(stream, &sh));
+                match spawned {
+                    Ok(h) => lock_conns(conns).push(h),
+                    Err(e) => log::warn(format!("serve: cannot spawn admin connection thread: {e}")),
+                }
+            }
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                log::warn(format!("serve: admin accept failed: {e}"));
+            }
+        }
+    }
+}
+
+/// One admin connection: strictly sequential line-in/response-out (no
+/// queue, no writer thread — admin answers never wait behind scoring).
+/// Unknown lines get an `error:` reply; blank line or EOF ends the
+/// session, exactly like the scoring surfaces.
+fn admin_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    metrics::counter_add("serve.admin.connections", 1);
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+    if let Err(e) = stream.set_read_timeout(Some(READ_TICK)) {
+        log::warn(format!("serve: admin {peer}: cannot set read timeout: {e}"));
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            log::warn(format!("serve: admin {peer}: cannot clone connection: {e}"));
+            return;
+        }
+    };
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut out = std::io::BufWriter::new(write_half);
+    let mut lines = LineReader::new(stream, MAX_LINE_BYTES);
+    loop {
+        let event = match lines.poll_line() {
+            Ok(None) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Ok(Some(ev)) => ev,
+            Err(e) => {
+                log::warn(format!("serve: admin {peer}: connection error: {e}"));
+                break;
+            }
+        };
+        let body = match event {
+            LineEvent::Eof => break,
+            LineEvent::TooLong => format!("error: admin line exceeds {MAX_LINE_BYTES} bytes"),
+            LineEvent::Line(bytes) => {
+                let Ok(text) = String::from_utf8(bytes) else {
+                    write_admin(&mut out, &peer, "error: admin line is not valid UTF-8");
+                    continue;
+                };
+                let line = text.trim();
+                if line.is_empty() {
+                    break;
+                }
+                match protocol::parse_admin(line) {
+                    Some(cmd) => {
+                        let (hist, kind) = shared.stats_source();
+                        let answered = shared.requests.load(Ordering::Relaxed) as usize;
+                        stats::admin_response(cmd, hist, kind, answered)
+                    }
+                    None => format!("error: unknown admin command {line:?} (try health, stats, metrics, metrics json)"),
+                }
+            }
+        };
+        if !write_admin(&mut out, &peer, &body) {
+            break;
+        }
+    }
+}
+
+/// Writes one admin response body plus the line delimiter; false when the
+/// scraper went away.
+fn write_admin(out: &mut std::io::BufWriter<TcpStream>, peer: &str, body: &str) -> bool {
+    let wrote = out.write_all(body.as_bytes()).and_then(|()| out.write_all(b"\n")).and_then(|()| out.flush());
+    if let Err(e) = wrote {
+        log::warn(format!("serve: admin {peer}: write failed: {e}"));
+        return false;
+    }
+    true
+}
+
 /// Answers a request line that never reached the queue (parse/range
-/// errors, shutdown acks) while preserving response order: the reply
-/// channel is pre-resolved and takes its place in the writer's sequence.
-fn respond_now(resp_tx: &mpsc::Sender<mpsc::Receiver<String>>, msg: String) {
+/// errors, shutdown acks, admin commands) while preserving response
+/// order: the reply channel is pre-resolved and takes its place in the
+/// writer's sequence.
+fn respond_now(resp_tx: &mpsc::Sender<mpsc::Receiver<Reply>>, msg: String) {
     let (tx, rx) = mpsc::channel();
-    let _ = tx.send(msg);
+    let _ = tx.send(Reply { body: msg, meta: None });
     let _ = resp_tx.send(rx);
 }
 
@@ -252,8 +468,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conns: &Arc<Mutex<
     };
     // A stalled client must not wedge the shutdown drain forever.
     let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
-    let (resp_tx, resp_rx) = mpsc::channel::<mpsc::Receiver<String>>();
-    let writer = std::thread::Builder::new().name("agnn-serve-write".into()).spawn(move || writer_loop(write_half, &resp_rx));
+    let (resp_tx, resp_rx) = mpsc::channel::<mpsc::Receiver<Reply>>();
+    let writer = {
+        let sh = Arc::clone(shared);
+        std::thread::Builder::new().name("agnn-serve-write".into()).spawn(move || writer_loop(write_half, &resp_rx, &sh))
+    };
     match writer {
         Ok(h) => lock_conns(conns).push(h),
         Err(e) => {
@@ -264,22 +483,71 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conns: &Arc<Mutex<
     reader_loop(stream, shared, &resp_tx);
 }
 
-fn writer_loop(stream: TcpStream, responses: &mpsc::Receiver<mpsc::Receiver<String>>) {
+fn writer_loop(stream: TcpStream, responses: &mpsc::Receiver<mpsc::Receiver<Reply>>, shared: &Shared) {
     let mut out = std::io::BufWriter::new(stream);
     while let Ok(pending) = responses.recv() {
         // A dropped sender without a message only happens if a worker died
         // before replying; skip rather than wedge the connection.
-        let Ok(msg) = pending.recv() else { continue };
-        let wrote = out.write_all(msg.as_bytes()).and_then(|()| out.write_all(b"\n")).and_then(|()| out.flush());
+        let Ok(reply) = pending.recv() else { continue };
+        let wrote =
+            out.write_all(reply.body.as_bytes()).and_then(|()| out.write_all(b"\n")).and_then(|()| out.flush());
         if wrote.is_err() {
             // Client went away. Workers replying into dropped receivers is
             // a harmless failed send, so just stop writing.
             break;
         }
+        if let Some(meta) = reply.meta {
+            finish_request(shared, &meta);
+        }
     }
 }
 
-fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, resp_tx: &mpsc::Sender<mpsc::Receiver<String>>) {
+/// Closes out one flushed request: stamps the write stage and the
+/// end-to-end latency (the request truly ends at the socket flush, so the
+/// four stages telescope to the total by construction), drives the
+/// periodic stats line, and emits the slow-request exemplar when the
+/// total crosses `--trace-slow-ms`.
+fn finish_request(shared: &Shared, meta: &ReplyMeta) {
+    let done = Instant::now();
+    let write_ns = done.saturating_duration_since(meta.sent).as_nanos() as u64;
+    let total_ns = done.saturating_duration_since(meta.ctx.ingress).as_nanos() as u64;
+    metrics::observe_ns("serve.stage.queue_wait_ns", meta.queue_wait_ns);
+    metrics::observe_ns("serve.stage.batch_form_ns", meta.batch_form_ns);
+    metrics::observe_ns("serve.stage.score_ns", meta.score_ns);
+    metrics::observe_ns("serve.stage.write_ns", write_ns);
+    metrics::observe_ns("serve.request.latency_ns", total_ns);
+    let written = shared.written.fetch_add(1, Ordering::Relaxed) + 1;
+    let every = shared.cfg.stats_every as u64;
+    if every > 0 && written % every == 0 {
+        let (hist, kind) = shared.stats_source();
+        stats::report(hist, kind, written as usize);
+    }
+    let slow = match shared.cfg.trace_slow {
+        Some(t) => total_ns >= t.as_nanos() as u64,
+        None => false,
+    };
+    if slow {
+        let mut fields: Vec<(&str, Field)> = vec![
+            ("trace_id", Field::from(meta.ctx.id)),
+            ("kind", Field::from(if meta.kind.is_empty() { "pairs" } else { "topk" })),
+            ("total_us", Field::from(total_ns / 1_000)),
+            ("queue_wait_us", Field::from(meta.queue_wait_ns / 1_000)),
+            ("batch_form_us", Field::from(meta.batch_form_ns / 1_000)),
+            ("score_us", Field::from(meta.score_ns / 1_000)),
+            ("write_us", Field::from(write_ns / 1_000)),
+            ("pairs", Field::from(meta.pairs)),
+        ];
+        if let Some(batch) = &meta.batch {
+            fields.push(("batch_size", Field::from(batch.size)));
+            fields.push(("warm_pairs", Field::from(batch.warm_pairs)));
+            fields.push(("scs_pairs", Field::from(batch.scs_pairs)));
+            fields.push(("dispatch", Field::from(batch.dispatch.as_str())));
+        }
+        trace::event("serve.slow_request", &fields);
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, resp_tx: &mpsc::Sender<mpsc::Receiver<Reply>>) {
     let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
     let mut lines = LineReader::new(stream, MAX_LINE_BYTES);
     loop {
@@ -313,14 +581,27 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, resp_tx: &mpsc::Sender<m
                     shared.begin_shutdown();
                     break;
                 }
+                if let Some(cmd) = protocol::parse_admin(line) {
+                    // In-band admin: answered inline (order-preserving,
+                    // never queued behind scoring work on this connection's
+                    // reader, but written in sequence with its replies).
+                    let (hist, kind) = shared.stats_source();
+                    let answered = shared.requests.load(Ordering::Relaxed) as usize;
+                    respond_now(resp_tx, stats::admin_response(cmd, hist, kind, answered));
+                    continue;
+                }
                 match parse_request(line, shared, &peer) {
                     Err(reply) => respond_now(resp_tx, reply),
                     Ok(payload) => {
                         let (tx, rx) = mpsc::channel();
                         let _ = resp_tx.send(rx);
-                        let request = Request { payload, reply: tx, enqueued: Instant::now() };
+                        // The trace context is stamped here, in the reader:
+                        // ingress is the moment the request entered the
+                        // pipeline, before any queueing.
+                        let request = Request { payload, reply: tx, ctx: TraceContext::begin() };
                         if let Err(request) = shared.queue.push(request) {
-                            let _ = request.reply.send("error: server is shutting down".to_string());
+                            let _ =
+                                request.reply.send(Reply { body: "error: server is shutting down".into(), meta: None });
                         }
                     }
                 }
@@ -382,13 +663,31 @@ fn parse_request(line: &str, shared: &Shared, peer: &str) -> Result<Payload, Str
     Ok(Payload::Pairs(kept))
 }
 
+/// Per-batch timing context a worker threads through [`answer`]: the
+/// batch-open and batch-close instants (both already read for scheduling,
+/// so stage attribution adds no clock reads on the worker side) plus the
+/// lazily built exemplar info.
+struct BatchTiming {
+    opened: Instant,
+    closed: Instant,
+    /// `Some` only when telemetry can observe anything — when `None`,
+    /// replies carry no meta and the writer stays clock-free.
+    collect: bool,
+    exemplar: Option<Arc<BatchExemplar>>,
+}
+
 fn worker_loop(shared: &Shared) {
-    while let Some(batch) = shared.queue.pop_batch(shared.cfg.max_batch, shared.cfg.batch_window) {
+    // Slow-request exemplars need a live trace sink; checked once per
+    // batch alongside the metrics gate.
+    while let Some((batch, opened)) = shared.queue.pop_batch_open(shared.cfg.max_batch, shared.cfg.batch_window) {
         if batch.is_empty() {
             continue;
         }
         let started = Instant::now();
-        metrics::observe_ns("serve.batch.size", batch.len() as u64);
+        let slow_on = shared.cfg.trace_slow.is_some() && trace::enabled();
+        let collect = metrics::enabled() || slow_on;
+        metrics::observe("serve.batch.size", batch.len() as u64);
+        let dispatch_before = if slow_on { Some(agnn_tensor::dispatch::decisions_snapshot()) } else { None };
         // All pair requests in the batch go through ONE coalesced call.
         let mut pair_requests: Vec<&Request> = Vec::new();
         let mut segments: Vec<&[(u32, u32)]> = Vec::new();
@@ -399,9 +698,28 @@ fn worker_loop(shared: &Shared) {
             }
         }
         let scored = if segments.is_empty() { Vec::new() } else { shared.engine.score_coalesced(&segments) };
+        let mut timing = BatchTiming { opened, closed: started, collect, exemplar: None };
+        if slow_on {
+            let mut scs = 0u64;
+            let mut total = 0u64;
+            for pairs in &segments {
+                total += pairs.len() as u64;
+                scs += pairs.iter().filter(|&&(u, i)| shared.engine.is_scs_pair(u, i)).count() as u64;
+            }
+            let dispatch = match dispatch_before {
+                Some(before) => dispatch_delta(&before, &agnn_tensor::dispatch::decisions_snapshot()),
+                None => String::new(),
+            };
+            timing.exemplar = Some(Arc::new(BatchExemplar {
+                size: batch.len(),
+                warm_pairs: total - scs,
+                scs_pairs: scs,
+                dispatch,
+            }));
+        }
         for ((request, pairs), scores) in pair_requests.iter().zip(&segments).zip(&scored) {
             let msg = protocol::format_pair_lines(pairs, scores, |s| shared.engine.clamp(s));
-            answer(shared, request, pairs.len() as u64, msg);
+            answer(shared, request, pairs.len() as u64, msg, "", &timing);
         }
         for request in &batch {
             if let Payload::TopK(user) = request.payload {
@@ -414,29 +732,67 @@ fn worker_loop(shared: &Shared) {
                     }
                 });
                 let msg = protocol::format_topk_line(user, k, &ranked, |s| shared.engine.clamp(s));
-                answer(shared, request, ranked.len() as u64, msg);
+                answer(shared, request, ranked.len() as u64, msg, "top-k ", &timing);
             }
         }
         metrics::observe_ns("serve.batch.latency_ns", started.elapsed().as_nanos() as u64);
     }
 }
 
-/// Replies to one answered request and does the bookkeeping the stdin
-/// loops do: latency histogram (queue wait included), request/pair
-/// counters, and the shared periodic stats line.
-fn answer(shared: &Shared, request: &Request, pairs: u64, msg: String) {
-    metrics::observe_ns("serve.request.latency_ns", request.enqueued.elapsed().as_nanos() as u64);
+/// Renders the per-(kernel × path) dispatch-decision delta between two
+/// snapshots as `kernel:path=count` pairs (empty when nothing ran).
+/// Process-wide counters: batches scoring concurrently overlap in the
+/// delta, which an exemplar reader must treat as "what ran during this
+/// batch", not "what this batch ran".
+fn dispatch_delta(
+    before: &agnn_tensor::dispatch::DispatchCounts,
+    after: &agnn_tensor::dispatch::DispatchCounts,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for e in &after.entries {
+        let prior = before
+            .entries
+            .iter()
+            .find(|b| b.kernel == e.kernel && b.path == e.path)
+            .map(|b| b.count)
+            .unwrap_or(0);
+        if e.count > prior {
+            parts.push(format!("{}:{}={}", e.kernel, e.path, e.count - prior));
+        }
+    }
+    parts.join(" ")
+}
+
+/// Replies to one answered request and does the worker-side bookkeeping:
+/// request/pair counters plus (when telemetry is live) the stage
+/// attribution up to this hand-off. Queue wait ends when the batch opened;
+/// batch formation ends when the batch closed; the score stage ends here.
+/// A request that arrived *after* its batch opened has zero queue wait and
+/// its formation wait starts at its own ingress, so the stages always
+/// telescope: `queue_wait + batch_form = closed - ingress` exactly.
+fn answer(shared: &Shared, request: &Request, pairs: u64, msg: String, kind: &'static str, timing: &BatchTiming) {
     metrics::counter_add("serve.requests", 1);
     metrics::counter_add("serve.served_pairs", pairs);
     shared.served_pairs.fetch_add(pairs, Ordering::Relaxed);
-    let answered = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
-    let _ = request.reply.send(msg);
-    let every = shared.cfg.stats_every as u64;
-    if every > 0 && answered % every == 0 {
-        if shared.cfg.topk.is_some() {
-            stats::report("serve.topk.latency_ns", "top-k ", answered as usize);
-        } else {
-            stats::report("serve.request.latency_ns", "", answered as usize);
-        }
-    }
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let meta = if timing.collect {
+        let ingress = request.ctx.ingress;
+        let sent = Instant::now();
+        let queue_wait = timing.opened.saturating_duration_since(ingress);
+        let form_start = if ingress > timing.opened { ingress } else { timing.opened };
+        let batch_form = timing.closed.saturating_duration_since(form_start);
+        Some(ReplyMeta {
+            ctx: request.ctx,
+            queue_wait_ns: queue_wait.as_nanos() as u64,
+            batch_form_ns: batch_form.as_nanos() as u64,
+            score_ns: sent.saturating_duration_since(timing.closed).as_nanos() as u64,
+            sent,
+            kind,
+            pairs,
+            batch: timing.exemplar.clone(),
+        })
+    } else {
+        None
+    };
+    let _ = request.reply.send(Reply { body: msg, meta });
 }

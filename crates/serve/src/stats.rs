@@ -27,6 +27,38 @@ pub fn report(histogram_name: &str, kind: &str, requests: usize) {
     }
 }
 
+/// Renders the response body for one admin command — the single renderer
+/// every surface (stdin loops, scoring TCP connections, the dedicated
+/// `--admin` listener) answers through, so the admin plane cannot drift
+/// between surfaces. Multi-line bodies are newline-joined with no trailing
+/// newline (the transport appends the final delimiter, exactly like
+/// scoring responses); the Prometheus exposition ends with the
+/// [`ADMIN_EOF`](crate::protocol::ADMIN_EOF) marker line.
+///
+/// `latency_histogram` and `kind` pick which latency feeds the `stats`
+/// line (`serve.request.latency_ns` for pair surfaces,
+/// `serve.topk.latency_ns` + `"top-k "` for retrieval).
+pub fn admin_response(cmd: crate::protocol::AdminCommand, latency_histogram: &str, kind: &str, requests: usize) -> String {
+    use crate::protocol::AdminCommand;
+    agnn_obs::metrics::counter_add("serve.admin.requests", 1);
+    let snap = agnn_obs::metrics::snapshot();
+    match cmd {
+        AdminCommand::Health => format!("ok: serving, {requests} request(s) answered"),
+        AdminCommand::Stats => match snap.histogram(latency_histogram) {
+            Some(h) => stats_line(kind, requests, h),
+            // Pre-traffic (or telemetry-off) scrape: an all-zero line with
+            // the canonical shape beats silence on a health dashboard.
+            None => stats_line(kind, requests, &Histogram::new()),
+        },
+        AdminCommand::MetricsProm => {
+            let mut body = snap.render_prometheus();
+            body.push_str(crate::protocol::ADMIN_EOF);
+            body
+        }
+        AdminCommand::MetricsJson => snap.render_json(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
